@@ -1,0 +1,157 @@
+(* nvmgc: command-line driver for the NVM-aware GC simulator.
+
+   Subcommands:
+     list-apps          show the 26 application profiles
+     list-experiments   show reproducible figures/tables
+     fig <id>           regenerate one experiment (e.g. fig5, tab-prefetch)
+     run <app>          run one application under a chosen configuration
+     all                regenerate every experiment *)
+
+open Cmdliner
+
+let options_term =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 28
+      & info [ "threads"; "t" ] ~docv:"N" ~doc:"Default GC thread count.")
+  in
+  let gc_scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "gc-scale" ] ~docv:"F"
+          ~doc:"Multiplier on GCs per run (use <1 for quicker runs).")
+  in
+  let make seed threads gc_scale =
+    { Experiments.Runner.seed; threads; gc_scale; verbose = false }
+  in
+  Term.(const make $ seed $ threads $ gc_scale)
+
+let list_apps_cmd =
+  let doc = "List the 26 application profiles." in
+  let run () =
+    Printf.printf "%-18s %-12s %8s %8s %8s %8s\n" "name" "suite" "heap"
+      "young" "survival" "gcs";
+    List.iter
+      (fun (p : Workloads.App_profile.t) ->
+        Printf.printf "%-18s %-12s %6dKB %6dKB %8.3f %8d\n"
+          p.Workloads.App_profile.name
+          (Workloads.App_profile.suite_name p.Workloads.App_profile.suite)
+          (p.Workloads.App_profile.heap_bytes / 1024)
+          (p.Workloads.App_profile.young_bytes / 1024)
+          p.Workloads.App_profile.survival_ratio
+          p.Workloads.App_profile.gcs_per_run)
+      Workloads.Apps.all
+  in
+  Cmd.v (Cmd.info "list-apps" ~doc) Term.(const run $ const ())
+
+let list_experiments_cmd =
+  let doc = "List reproducible figures and tables." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "%-14s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.description)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list-experiments" ~doc) Term.(const run $ const ())
+
+let fig_cmd =
+  let doc = "Regenerate one experiment by id (see list-experiments)." in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id, e.g. fig5 or tab-prefetch.")
+  in
+  let run options id =
+    match Experiments.Registry.find id with
+    | Some e ->
+        e.Experiments.Registry.run options;
+        `Ok ()
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; known: %s" id
+              (String.concat ", " (Experiments.Registry.ids ())) )
+  in
+  Cmd.v (Cmd.info "fig" ~doc) Term.(ret (const run $ options_term $ id))
+
+let all_cmd =
+  let doc = "Regenerate every experiment." in
+  let run options =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "==== %s: %s ====\n%!" e.Experiments.Registry.id
+          e.Experiments.Registry.description;
+        e.Experiments.Registry.run options)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ options_term)
+
+let setup_conv =
+  let parse = function
+    | "vanilla" -> Ok Experiments.Runner.Vanilla
+    | "writecache" | "+writecache" -> Ok Experiments.Runner.Write_cache_only
+    | "all" | "+all" -> Ok Experiments.Runner.All_opts
+    | "dram" | "vanilla-dram" -> Ok Experiments.Runner.Vanilla_dram
+    | "young-dram" | "young-gen-dram" -> Ok Experiments.Runner.Young_gen_dram
+    | s -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Experiments.Runner.setup_name s))
+
+let run_cmd =
+  let doc = "Run one application under a configuration and report GC stats." in
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application name (see list-apps).")
+  in
+  let setup_arg =
+    Arg.(
+      value
+      & opt setup_conv Experiments.Runner.All_opts
+      & info [ "config"; "c" ] ~docv:"CONFIG"
+          ~doc:"vanilla | writecache | all | dram | young-dram.")
+  in
+  let run options app setup =
+    match
+      List.find_opt
+        (fun (p : Workloads.App_profile.t) -> p.Workloads.App_profile.name = app)
+        Workloads.Apps.all
+    with
+    | None -> `Error (false, Printf.sprintf "unknown application %S" app)
+    | Some profile ->
+        let r = Experiments.Runner.execute options profile setup in
+        let totals = Nvmgc.Young_gc.totals r.Experiments.Runner.gc in
+        Printf.printf
+          "%s under %s (%d threads):\n  pauses: %d\n  GC time: %.3f ms (max \
+           pause %.3f ms)\n  app time: %.3f ms (GC share %.1f%%)\n  copied: \
+           %d objects, %.2f MB\n  avg NVM bandwidth during GC: %.0f MB/s\n"
+          app
+          (Experiments.Runner.setup_name setup)
+          options.Experiments.Runner.threads totals.Nvmgc.Gc_stats.pauses
+          (Experiments.Runner.gc_seconds r *. 1e3)
+          (totals.Nvmgc.Gc_stats.max_pause_ns /. 1e6)
+          (Experiments.Runner.app_seconds r *. 1e3)
+          (100.
+          *. Workloads.Mutator.gc_share r.Experiments.Runner.result)
+          totals.Nvmgc.Gc_stats.objects_copied
+          (float_of_int totals.Nvmgc.Gc_stats.bytes_copied /. 1e6)
+          (Experiments.Runner.avg_nvm_bandwidth r);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ options_term $ app_arg $ setup_arg))
+
+let () =
+  let doc = "NVM-aware copy-based garbage collection simulator (EuroSys'21 reproduction)" in
+  let info = Cmd.info "nvmgc" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ list_apps_cmd; list_experiments_cmd; fig_cmd; run_cmd; all_cmd ]
+  in
+  exit (Cmd.eval group)

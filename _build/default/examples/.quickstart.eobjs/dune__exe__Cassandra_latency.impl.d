@@ -1,0 +1,1 @@
+examples/cassandra_latency.ml: List Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Memsim Nvmgc Printf Simheap Simstats Workloads

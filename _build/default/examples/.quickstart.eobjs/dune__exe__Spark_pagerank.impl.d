@@ -1,0 +1,1 @@
+examples/spark_pagerank.ml: Array List Nvmgc Printf Workloads

@@ -1,0 +1,27 @@
+(* Tail latency of a Cassandra-like server: requests stall when a GC
+   pause is in progress, so shorter pauses directly cut the p95/p99 tail
+   (paper Figure 8).
+
+   Run with:  dune exec examples/cassandra_latency.exe *)
+
+let () =
+  print_endline
+    "Cassandra read-phase tail latency (ms) vs offered load, 28 GC threads:";
+  Printf.printf "%8s  %22s  %22s\n" "kQPS" "NVM-aware (p95/p99)"
+    "vanilla (p95/p99)";
+  List.iter
+    (fun thr ->
+      let point optimized =
+        Workloads.Cassandra.simulate ~write_phase:false ~optimized ~threads:28
+          ~throughput_kqps:thr ~seed:42 ()
+      in
+      let opt = point true and van = point false in
+      Printf.printf "%8.0f  %10.3f / %9.3f  %10.3f / %9.3f   (p99 gain %.2fx)\n"
+        thr opt.Workloads.Cassandra.p95_ms opt.Workloads.Cassandra.p99_ms
+        van.Workloads.Cassandra.p95_ms van.Workloads.Cassandra.p99_ms
+        (van.Workloads.Cassandra.p99_ms /. opt.Workloads.Cassandra.p99_ms))
+    Workloads.Cassandra.default_throughputs;
+  print_endline
+    "\nThe tail is pause-dominated: the NVM-aware collector's shorter\n\
+     stop-the-world pauses shrink the worst-case waiting time, as in the\n\
+     paper's Figure 8 (up to 5.09x p95 at 130 kQPS)."

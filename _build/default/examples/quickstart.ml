@@ -1,0 +1,53 @@
+(* Quickstart: build a heap on simulated NVM, populate it with a live
+   object graph, and run one young collection under vanilla G1 and under
+   the NVM-aware configuration — then compare the pauses.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick an application profile: object demographics, liveness, graph
+     shape.  `reactors` is a Renaissance workload with a 16 MiB simulated
+     heap (16 GB at paper scale). *)
+  let profile = Workloads.Apps.reactors in
+
+  let collect_once ~label preset =
+    (* 2. Build the substrate: a region-based heap placed on NVM, and the
+       memory system (DRAM + Optane + shared LLC). *)
+    let heap = Simheap.Heap.create (Workloads.App_profile.heap_config profile) in
+    let memory =
+      Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+    in
+
+    (* 3. Configure the collector: 28 GC threads, with or without the
+       paper's optimizations (write cache, header map, non-temporal
+       flush, prefetching). *)
+    let config = Workloads.Apps.gc_config profile ~preset ~threads:28 in
+    let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+
+    (* 4. Let the "mutator" fill the eden space with a live object graph. *)
+    let old_pool = Workloads.Old_space.create heap in
+    let rng = Simstats.Prng.create 42 in
+    let graph = Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool in
+
+    (* 5. Stop the world and collect. *)
+    let pause = Nvmgc.Young_gc.collect gc ~now_ns:0.0 in
+
+    Printf.printf
+      "%-10s pause %6.3f ms  (traverse %6.3f + write-back %6.3f ms)  \
+       copied %d objects / %d KB, %d refs\n"
+      label
+      (Nvmgc.Gc_stats.pause_ms pause)
+      (pause.Nvmgc.Gc_stats.traverse_ns /. 1e6)
+      (pause.Nvmgc.Gc_stats.flush_ns /. 1e6)
+      pause.Nvmgc.Gc_stats.objects_copied
+      (pause.Nvmgc.Gc_stats.bytes_copied / 1024)
+      pause.Nvmgc.Gc_stats.refs_processed;
+    ignore graph;
+    Nvmgc.Gc_stats.pause_ms pause
+  in
+
+  print_endline "One young GC of `reactors` on simulated NVM, 28 GC threads:";
+  let vanilla = collect_once ~label:"vanilla" `Vanilla in
+  let optimized = collect_once ~label:"NVM-aware" `All in
+  Printf.printf "\nNVM-aware GC is %.2fx faster on this pause.\n"
+    (vanilla /. optimized)

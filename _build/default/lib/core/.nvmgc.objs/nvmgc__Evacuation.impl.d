@@ -1,0 +1,1 @@
+lib/core/evacuation.ml: Array Float Flush_tracker Gc_config Hashtbl Header_map List Memsim Simheap Simstats Work_stack Write_cache

@@ -1,0 +1,1 @@
+lib/core/evacuation.mli: Gc_config Header_map Memsim Simheap Simstats Work_stack Write_cache

@@ -1,0 +1,1 @@
+lib/core/flush_tracker.ml: Simheap Write_cache

@@ -1,0 +1,1 @@
+lib/core/flush_tracker.mli: Work_stack Write_cache

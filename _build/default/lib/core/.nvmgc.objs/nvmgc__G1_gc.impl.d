@@ -1,0 +1,1 @@
+lib/core/g1_gc.ml: Gc_config Young_gc

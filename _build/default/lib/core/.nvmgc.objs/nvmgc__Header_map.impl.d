@@ -1,0 +1,1 @@
+lib/core/header_map.ml: Array Atomic Domain Gc_config Simheap

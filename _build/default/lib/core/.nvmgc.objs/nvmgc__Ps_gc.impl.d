@@ -1,0 +1,1 @@
+lib/core/ps_gc.ml: Gc_config Young_gc

@@ -1,0 +1,1 @@
+lib/core/work_stack.ml: Float List Simheap Simstats

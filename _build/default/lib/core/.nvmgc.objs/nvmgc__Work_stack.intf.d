@@ -1,0 +1,1 @@
+lib/core/work_stack.mli: Simheap

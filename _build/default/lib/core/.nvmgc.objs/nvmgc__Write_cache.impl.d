@@ -1,0 +1,1 @@
+lib/core/write_cache.ml: List Memsim Simheap Simstats Work_stack

@@ -1,0 +1,1 @@
+lib/core/write_cache.mli: Simheap Simstats Work_stack

@@ -1,0 +1,1 @@
+lib/core/young_gc.ml: Array Evacuation Float Gc_config Gc_stats Header_map List Memsim Simheap Simstats Work_stack Write_cache

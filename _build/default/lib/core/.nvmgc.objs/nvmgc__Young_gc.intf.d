@@ -1,0 +1,1 @@
+lib/core/young_gc.mli: Gc_config Gc_stats Header_map Memsim Simheap

@@ -1,0 +1,642 @@
+(** The copy-and-traverse engine shared by the G1 and PS young collections.
+
+    Implements the four-step loop of paper §3.1 over the simulated heap:
+
+    1. pop a reference from the thread-local stack and locate its referent
+       (random read);
+    2. copy the referent to a survivor destination (sequential read+write) —
+       through the DRAM write cache when enabled;
+    3. install the forwarding pointer — in the header map when enabled,
+       otherwise twice into the old copy's header (random NVM writes);
+    4. update the reference with the new address (random write) and push
+       the referent's references (sequential read), prefetching their
+       targets.
+
+    Simulated GC threads run under a deterministic min-clock scheduler:
+    each step executes one unit of work for the thread with the smallest
+    simulated clock and charges its memory costs against {!Memsim.Memory}.
+    Work stealing only targets stacks with at least two items, so
+    pointer-chain-shaped graphs serialize naturally — reproducing the
+    load imbalance the paper observes for akka-uct. *)
+
+module R = Simheap.Region
+module O = Simheap.Objmodel
+
+(* Fixed CPU-side costs (ns) of bookkeeping that is not a memory access. *)
+let ref_cpu_ns = 55.0
+let alloc_cpu_ns = 20.0
+let steal_cost_ns = 260.0
+let region_refill_ns = 420.0
+let lab_refill_ns = 120.0
+let idle_spin_ns = 1_000.0
+let header_probe_bytes = Header_map.entry_bytes
+
+exception Evacuation_failure of string
+
+(** Where a GC thread's time goes — the simulator's version of the paper's
+    §3.1 step-by-step memory-behaviour analysis. *)
+type category =
+  | Cat_locate  (** step 1: find the referent (random read) *)
+  | Cat_copy_read  (** step 2: read the object body *)
+  | Cat_copy_write  (** step 2: write the new copy *)
+  | Cat_forward  (** step 3: install the forwarding pointer *)
+  | Cat_ref_update  (** step 4: write the new address into the slot *)
+  | Cat_scan  (** step 4: scan the copied object's fields *)
+  | Cat_header_map  (** header-map probes (get/put reads) *)
+  | Cat_flush  (** write-cache region flushes *)
+  | Cat_cleanup  (** header-map clearing, bookkeeping *)
+  | Cat_cpu  (** fixed CPU costs, allocation, stealing, spinning *)
+
+let category_count = 10
+
+let category_index = function
+  | Cat_locate -> 0
+  | Cat_copy_read -> 1
+  | Cat_copy_write -> 2
+  | Cat_forward -> 3
+  | Cat_ref_update -> 4
+  | Cat_scan -> 5
+  | Cat_header_map -> 6
+  | Cat_flush -> 7
+  | Cat_cleanup -> 8
+  | Cat_cpu -> 9
+
+let category_name = function
+  | Cat_locate -> "locate"
+  | Cat_copy_read -> "copy-read"
+  | Cat_copy_write -> "copy-write"
+  | Cat_forward -> "forward"
+  | Cat_ref_update -> "ref-update"
+  | Cat_scan -> "field-scan"
+  | Cat_header_map -> "header-map"
+  | Cat_flush -> "flush"
+  | Cat_cleanup -> "cleanup"
+  | Cat_cpu -> "cpu"
+
+let all_categories =
+  [
+    Cat_locate; Cat_copy_read; Cat_copy_write; Cat_forward; Cat_ref_update;
+    Cat_scan; Cat_header_map; Cat_flush; Cat_cleanup; Cat_cpu;
+  ]
+
+type thread = {
+  tid : int;
+  stack : Work_stack.t;
+  mutable clock : float;
+  mutable terminated : bool;
+  mutable pair : Write_cache.pair option;
+  mutable survivor : R.t option;
+  mutable lab_remaining : int;
+  (* counters *)
+  mutable refs_processed : int;
+  mutable objects_copied : int;
+  mutable bytes_copied : int;
+  mutable bytes_cached : int;
+  mutable bytes_direct : int;
+  mutable hm_installs : int;
+  mutable hm_hits : int;
+  mutable hm_fallbacks : int;
+  mutable steals : int;
+  mutable async_flushes : int;
+  mutable spin_ns : float;
+      (** time spent in the termination protocol waiting for stealable
+          work — the visible face of load imbalance *)
+  breakdown : float array;  (** time by {!category} *)
+}
+
+type t = {
+  heap : Simheap.Heap.t;
+  memory : Memsim.Memory.t;
+  config : Gc_config.t;
+  header_map : Header_map.t option;  (** [Some] iff active this pause *)
+  write_cache : Write_cache.t option;
+  threads : thread array;
+  pair_of_cache_region : (int, Write_cache.pair) Hashtbl.t;
+  old_addrs : int Simstats.Vec.t;
+      (** pre-copy addresses of evacuated objects; their address-table
+          bindings must survive the pause (forwarding lookups) and be
+          dropped afterwards *)
+  mutable busy : int;  (** threads with a non-empty stack *)
+  start_ns : float;
+}
+
+let make_thread ~start_ns tid =
+  {
+    tid;
+    stack = Work_stack.create ();
+    clock = start_ns;
+    terminated = false;
+    pair = None;
+    survivor = None;
+    lab_remaining = 0;
+    refs_processed = 0;
+    objects_copied = 0;
+    bytes_copied = 0;
+    bytes_cached = 0;
+    bytes_direct = 0;
+    hm_installs = 0;
+    hm_hits = 0;
+    hm_fallbacks = 0;
+    steals = 0;
+    async_flushes = 0;
+    spin_ns = 0.0;
+    breakdown = Array.make category_count 0.0;
+  }
+
+let create ~heap ~memory ~(config : Gc_config.t) ~header_map ~write_cache
+    ~start_ns =
+  {
+    heap;
+    memory;
+    config;
+    header_map;
+    write_cache;
+    threads = Array.init config.Gc_config.threads (make_thread ~start_ns);
+    pair_of_cache_region = Hashtbl.create 64;
+    old_addrs = Simstats.Vec.create 0;
+    busy = 0;
+    start_ns;
+  }
+
+let old_addrs t = t.old_addrs
+
+let threads t = t.threads
+
+(* ------------------------------------------------------------------ *)
+(* Cost charging                                                       *)
+
+let charge ?force_device t th ~cat ~addr ~space ~kind ~pattern ~bytes =
+  let access = Memsim.Access.v ~space ~kind ~pattern bytes in
+  let d =
+    Memsim.Memory.access ?force_device t.memory ~now_ns:th.clock ~addr access
+  in
+  th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. d;
+  th.clock <- th.clock +. d
+
+let charge_cpu th ns =
+  th.breakdown.(category_index Cat_cpu) <-
+    th.breakdown.(category_index Cat_cpu) +. ns;
+  th.clock <- th.clock +. ns
+
+let add_breakdown th cat ns =
+  th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. ns
+
+(* Device space a slot's own storage lives on. *)
+let slot_space t (slot : O.slot) =
+  match slot with
+  | O.Root _ -> Memsim.Access.Dram
+  | O.Field (holder, _) ->
+      if holder.O.cached then Memsim.Access.Dram
+      else (Simheap.Heap.region_of_addr t.heap holder.O.addr).R.space
+
+(* ------------------------------------------------------------------ *)
+(* Region flushing                                                     *)
+
+(** Write one cache region back to NVM: sequential DRAM read plus a
+    sequential (non-temporal when enabled) NVM write of the used bytes. *)
+let flush_pair t th (pair : Write_cache.pair) =
+  let used = R.used_bytes pair.Write_cache.cache in
+  if used > 0 then begin
+    charge t th ~cat:Cat_flush ~addr:pair.Write_cache.cache.R.base
+      ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
+      ~pattern:Memsim.Access.Sequential ~bytes:used;
+    let kind =
+      if t.config.Gc_config.nt_flush then Memsim.Access.Nt_write
+      else Memsim.Access.Write
+    in
+    charge t th ~cat:Cat_flush ~addr:pair.Write_cache.shadow.R.base
+      ~space:pair.Write_cache.shadow.R.space ~kind
+      ~pattern:Memsim.Access.Sequential ~bytes:used
+  end;
+  Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
+  match t.write_cache with
+  | Some wc -> Write_cache.complete_flush wc pair
+  | None -> assert false
+
+let async_mode t = t.config.Gc_config.flush_mode = Gc_config.Async
+
+let async_flush t th pair =
+  if async_mode t && not pair.Write_cache.flushed then begin
+    th.async_flushes <- th.async_flushes + 1;
+    flush_pair t th pair
+  end
+
+let maybe_async_flush t th = function
+  | Flush_tracker.Keep -> ()
+  | Flush_tracker.Ready pair -> async_flush t th pair
+
+(* ------------------------------------------------------------------ *)
+(* Destination allocation                                              *)
+
+(* Copy destination: either through the DRAM write cache (official NVM
+   address known via the region mapping) or directly into an NVM survivor
+   region. *)
+type destination = {
+  dest_addr : int;  (** official (post-GC) address *)
+  dest_phys : int;  (** where the bytes are written now *)
+  dest_space : Memsim.Access.space;
+  dest_region : R.t;  (** region owning the official address *)
+  dest_pair : Write_cache.pair option;
+}
+
+let rec alloc_cached t th size =
+  match th.pair with
+  | Some pair -> begin
+      match Write_cache.alloc_in_pair pair size with
+      | Some (dram_addr, nvm_addr) ->
+          Some
+            {
+              dest_addr = nvm_addr;
+              dest_phys = dram_addr;
+              dest_space = Memsim.Access.Dram;
+              dest_region = pair.Write_cache.shadow;
+              dest_pair = Some pair;
+            }
+      | None ->
+          (* Pair filled.  If its tracker already drained, it can be
+             flushed right away in async mode; otherwise the Figure-4
+             protocol (or the final write-only sub-phase) picks it up. *)
+          Write_cache.mark_filled pair;
+          th.pair <- None;
+          if Flush_tracker.ready_on_fill pair then async_flush t th pair;
+          alloc_cached t th size
+    end
+  | None -> begin
+      match t.write_cache with
+      | None -> None
+      | Some wc -> begin
+          match Write_cache.new_pair wc with
+          | None -> None
+          | Some pair ->
+              charge_cpu th region_refill_ns;
+              Hashtbl.replace t.pair_of_cache_region
+                pair.Write_cache.cache.R.idx pair;
+              th.pair <- Some pair;
+              alloc_cached t th size
+        end
+    end
+
+let rec alloc_direct t th size =
+  match th.survivor with
+  | Some region -> begin
+      match R.alloc region size with
+      | Some addr ->
+          {
+            dest_addr = addr;
+            dest_phys = addr;
+            dest_space = region.R.space;
+            dest_region = region;
+            dest_pair = None;
+          }
+      | None ->
+          th.survivor <- None;
+          alloc_direct t th size
+    end
+  | None -> begin
+      match Simheap.Heap.alloc_region t.heap R.Survivor with
+      | None -> raise (Evacuation_failure "survivor space exhausted")
+      | Some region ->
+          charge_cpu th region_refill_ns;
+          th.survivor <- Some region;
+          alloc_direct t th size
+    end
+
+(* PS refills thread-local allocation buffers inside its survivor space;
+   each refill is a CAS on the shared top (paper §4.4). *)
+let charge_lab t th size =
+  if t.config.Gc_config.lab_bytes <> max_int then begin
+    th.lab_remaining <- th.lab_remaining - size;
+    if th.lab_remaining < 0 then begin
+      charge_cpu th lab_refill_ns;
+      th.lab_remaining <- t.config.Gc_config.lab_bytes
+    end
+  end
+
+let alloc_destination t th size =
+  charge_cpu th alloc_cpu_ns;
+  charge_lab t th size;
+  let cacheable = size <= t.config.Gc_config.direct_copy_threshold in
+  let cached = if cacheable then alloc_cached t th size else None in
+  match cached with
+  | Some d -> d
+  | None ->
+      let d = alloc_direct t th size in
+      (match t.write_cache with
+      | Some wc -> Write_cache.record_direct_copy wc size
+      | None -> ());
+      d
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding                                                          *)
+
+(* Look up whether [obj] (at old address [old_addr]) was already copied.
+   Charges header-map probe reads; the NVM header itself was read as part
+   of locating the referent. *)
+let lookup_forward t th ~old_addr (obj : O.t) =
+  match t.header_map with
+  | Some map -> begin
+      let result, probes = Header_map.get map ~key:old_addr in
+      charge t th ~cat:Cat_header_map
+        ~addr:(Header_map.probe_addr map ~key:old_addr)
+        ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
+        ~pattern:Memsim.Access.Random
+        ~bytes:(probes * header_probe_bytes);
+      match result with
+      | Some fwd ->
+          th.hm_hits <- th.hm_hits + 1;
+          Some fwd
+      | None ->
+          (* Not in the map: the header on NVM is authoritative (it may
+             hold a fallback install). *)
+          if obj.O.forward <> Simheap.Layout.null then Some obj.O.forward
+          else None
+    end
+  | None -> if obj.O.forward <> Simheap.Layout.null then Some obj.O.forward else None
+
+(* Install the forwarding pointer for a just-copied object. *)
+let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
+  let install_in_header () =
+    (* The header is written twice on the old copy: the CAS claiming the
+       object and the final forwarding value (paper §3.1).  Both are
+       atomic and reach the device uncoalesced. *)
+    charge ~force_device:true t th ~cat:Cat_forward ~addr:old_addr
+      ~space:old_space ~kind:Memsim.Access.Write
+      ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
+    charge t th ~cat:Cat_forward ~addr:old_addr ~space:old_space
+      ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
+      ~bytes:Simheap.Layout.ref_bytes;
+    obj.O.forward <- new_addr
+  in
+  match t.header_map with
+  | Some map -> begin
+      let result, probes = Header_map.put map ~key:old_addr ~value:new_addr in
+      (* probe reads + the claiming CAS + the value store, all DRAM *)
+      charge t th ~cat:Cat_header_map
+        ~addr:(Header_map.probe_addr map ~key:old_addr)
+        ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
+        ~pattern:Memsim.Access.Random
+        ~bytes:(probes * header_probe_bytes);
+      match result with
+      | Header_map.Installed ->
+          th.hm_installs <- th.hm_installs + 1;
+          charge t th ~cat:Cat_header_map
+            ~addr:(Header_map.probe_addr map ~key:old_addr)
+            ~space:Memsim.Access.Dram ~kind:Memsim.Access.Write
+            ~pattern:Memsim.Access.Random ~bytes:header_probe_bytes
+      | Header_map.Found _ ->
+          (* Only reachable with racing installers; the simulator is
+             single-installer per object, so treat as a hit. *)
+          th.hm_hits <- th.hm_hits + 1
+      | Header_map.Full ->
+          th.hm_fallbacks <- th.hm_fallbacks + 1;
+          install_in_header ()
+    end
+  | None -> install_in_header ()
+
+(* ------------------------------------------------------------------ *)
+(* Copy-and-traverse                                                   *)
+
+let push_item t th item =
+  if Work_stack.is_empty th.stack then t.busy <- t.busy + 1;
+  Work_stack.push th.stack ~clock:th.clock item
+
+let copy_object t th ~old_addr ~old_space (obj : O.t) =
+  let dest = alloc_destination t th obj.O.size in
+  (* Read the object body from the collection set, write it to the
+     destination (step 2: sequential read + write). *)
+  charge t th ~cat:Cat_copy_read ~addr:old_addr ~space:old_space
+    ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Sequential
+    ~bytes:obj.O.size;
+  charge t th ~cat:Cat_copy_write ~addr:dest.dest_phys ~space:dest.dest_space
+    ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
+    ~bytes:obj.O.size;
+  install_forward t th ~old_addr ~new_addr:dest.dest_addr ~old_space obj;
+  (* Re-home the object. *)
+  Simstats.Vec.push t.old_addrs old_addr;
+  obj.O.addr <- dest.dest_addr;
+  obj.O.phys <- dest.dest_phys;
+  obj.O.cached <- dest.dest_pair <> None;
+  obj.O.age <- obj.O.age + 1;
+  Simheap.Heap.bind t.heap dest.dest_addr obj;
+  Simstats.Vec.push dest.dest_region.R.objs obj;
+  (match dest.dest_pair with
+  | Some pair -> Simstats.Vec.push pair.Write_cache.cache.R.objs obj
+  | None -> ());
+  th.objects_copied <- th.objects_copied + 1;
+  th.bytes_copied <- th.bytes_copied + obj.O.size;
+  if dest.dest_pair <> None then
+    th.bytes_cached <- th.bytes_cached + obj.O.size
+  else th.bytes_direct <- th.bytes_direct + obj.O.size;
+  (* Step 4 second half: scan the copied object's reference fields and
+     push them (sequential read of the fresh copy — cache-hot). *)
+  let nfields = O.nfields obj in
+  let first_item = ref None in
+  if nfields > 0 then begin
+    charge t th ~cat:Cat_scan ~addr:(O.field_phys_addr obj 0)
+      ~space:dest.dest_space ~kind:Memsim.Access.Read
+      ~pattern:Memsim.Access.Sequential
+      ~bytes:(nfields * Simheap.Layout.ref_bytes);
+    let home =
+      match dest.dest_pair with
+      | Some pair -> Some pair.Write_cache.cache
+      | None -> None
+    in
+    for i = 0 to nfields - 1 do
+      let target = obj.O.fields.(i) in
+      if target <> Simheap.Layout.null then begin
+        let item = { Work_stack.slot = O.Field (obj, i); home } in
+        if !first_item = None then first_item := Some item;
+        push_item t th item;
+        if t.config.Gc_config.prefetch then begin
+          (* Prefetch the referent's header (vanilla G1 already does
+             this) and, with the header map on, its probe line (§4.3). *)
+          let space =
+            if Simheap.Heap.in_heap_range t.heap target then
+              (Simheap.Heap.region_of_addr t.heap target).R.space
+            else Memsim.Access.Dram
+          in
+          charge_cpu th
+            (Memsim.Memory.prefetch t.memory ~now_ns:th.clock ~addr:target
+               space);
+          match t.header_map with
+          | Some map ->
+              charge_cpu th
+                (Memsim.Memory.prefetch t.memory ~now_ns:th.clock
+                   ~addr:(Header_map.probe_addr map ~key:target)
+                   Memsim.Access.Dram)
+          | None -> ()
+        end
+      end
+    done
+  end;
+  (* Arm the async-flush tracker for the destination pair (Figure 4a). *)
+  (match dest.dest_pair with
+  | Some pair -> Flush_tracker.on_copy pair ~first_item:!first_item
+  | None -> ());
+  (dest.dest_addr, !first_item)
+
+(* Process a single popped work item: the §3.1 four-step loop. *)
+let process_item t th (item : Work_stack.item) =
+  charge_cpu th ref_cpu_ns;
+  th.refs_processed <- th.refs_processed + 1;
+  let slot = item.Work_stack.slot in
+  let ref_addr = O.slot_referent slot in
+  let home_pair =
+    match item.Work_stack.home with
+    | Some region -> Hashtbl.find_opt t.pair_of_cache_region region.R.idx
+    | None -> None
+  in
+  let finish ~referent_first_item =
+    match home_pair with
+    | Some pair ->
+        maybe_async_flush t th
+          (Flush_tracker.on_processed pair ~item ~referent_first_item)
+    | None -> ()
+  in
+  if ref_addr = Simheap.Layout.null
+     || not (Simheap.Heap.in_heap_range t.heap ref_addr)
+  then finish ~referent_first_item:None
+  else begin
+    let region = Simheap.Heap.region_of_addr t.heap ref_addr in
+    (* Step 1: locate the referent — random read of its header. *)
+    charge t th ~cat:Cat_locate ~addr:ref_addr ~space:region.R.space
+      ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Random
+      ~bytes:Simheap.Layout.header_bytes;
+    if not region.R.in_cset then
+      (* Outside the collection set: nothing to copy or update. *)
+      finish ~referent_first_item:None
+    else begin
+      let obj = Simheap.Heap.lookup_exn t.heap ref_addr in
+      let update_slot new_addr =
+        if new_addr <> ref_addr then begin
+          (* Step 4 first half: write the new address into the slot
+             (random write wherever the slot physically lives). *)
+          charge t th ~cat:Cat_ref_update ~addr:(O.slot_addr slot)
+            ~space:(slot_space t slot) ~kind:Memsim.Access.Write
+            ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
+          O.slot_write slot new_addr
+        end
+      in
+      match lookup_forward t th ~old_addr:ref_addr obj with
+      | Some fwd ->
+          update_slot fwd;
+          finish ~referent_first_item:None
+      | None ->
+          let new_addr, first_item =
+            copy_object t th ~old_addr:ref_addr ~old_space:region.R.space obj
+          in
+          update_slot new_addr;
+          finish ~referent_first_item:first_item
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+let min_clock_thread t =
+  let best = ref None in
+  Array.iter
+    (fun th ->
+      if not th.terminated then
+        match !best with
+        | Some b when b.clock <= th.clock -> ()
+        | _ -> best := Some th)
+    t.threads;
+  !best
+
+(* Steal from the victim with the largest stack, but only if it has at
+   least two items: single-item stacks (pointer chains) stay with their
+   owner, which is what makes chain-shaped graphs serialize. *)
+let try_steal t thief =
+  let victim = ref None in
+  Array.iter
+    (fun th ->
+      if th.tid <> thief.tid && Work_stack.length th.stack >= 2 then
+        match !victim with
+        | Some v when Work_stack.length v.stack >= Work_stack.length th.stack
+          ->
+            ()
+        | _ -> victim := Some th)
+    t.threads;
+  match !victim with
+  | None -> false
+  | Some victim ->
+      charge_cpu thief steal_cost_ns;
+      let chunk =
+        max 1
+          (min t.config.Gc_config.steal_chunk
+             (Work_stack.length victim.stack / 2))
+      in
+      let stolen = Work_stack.steal victim.stack ~chunk in
+      if Work_stack.length victim.stack = 0 then t.busy <- t.busy - 1;
+      thief.clock <-
+        Float.max thief.clock (Work_stack.last_push_clock victim.stack);
+      thief.steals <- thief.steals + 1;
+      List.iter (push_item t thief) stolen;
+      stolen <> []
+
+let all_stacks_empty t =
+  Array.for_all (fun th -> Work_stack.is_empty th.stack) t.threads
+
+(** Seed an initial work item onto a thread's stack (before [run]). *)
+let seed t ~tid item = push_item t t.threads.(tid) item
+
+(** Charge a thread for scanning its share of remembered sets ([bytes] of
+    sequential metadata reads). *)
+let charge_remset_scan t ~tid ~bytes =
+  let th = t.threads.(tid) in
+  charge t th ~cat:Cat_scan ~addr:(Simheap.Layout.root_base - bytes)
+    ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
+    ~pattern:Memsim.Access.Sequential ~bytes
+
+(** Run copy-and-traverse to global termination.  Returns the simulated
+    instant the last thread finished. *)
+let run t =
+  let continue_ = ref true in
+  while !continue_ do
+    match min_clock_thread t with
+    | None -> continue_ := false
+    | Some th -> begin
+        match Work_stack.pop th.stack with
+        | Some item ->
+            if Work_stack.is_empty th.stack then t.busy <- t.busy - 1
+            else ();
+            (* popping may empty the stack; pushes during processing
+               re-mark it busy *)
+            process_item t th item
+        | None ->
+            if not (try_steal t th) then begin
+              if all_stacks_empty t then th.terminated <- true
+              else begin
+                (* Someone still holds unstealable work (e.g. a chain):
+                   spin in the termination protocol and retry. *)
+                th.spin_ns <- th.spin_ns +. idle_spin_ns;
+                charge_cpu th idle_spin_ns
+              end
+            end
+      end
+  done;
+  Array.fold_left (fun acc th -> Float.max acc th.clock) t.start_ns t.threads
+
+(** Synchronous write-only sub-phase: flush every remaining cache region,
+    distributed round-robin over threads starting at the barrier. *)
+let flush_remaining t ~barrier_ns =
+  match t.write_cache with
+  | None -> (barrier_ns, 0)
+  | Some wc ->
+      let pairs = Write_cache.unflushed_pairs wc in
+      Array.iter (fun th -> th.clock <- Float.max th.clock barrier_ns) t.threads;
+      let n = Array.length t.threads in
+      (* only threads that actually got a region contend for bandwidth *)
+      t.busy <- min n (List.length pairs);
+      List.iteri
+        (fun i pair ->
+          let th = t.threads.(i mod n) in
+          flush_pair t th pair)
+        pairs;
+      t.busy <- 0;
+      let finish =
+        Array.fold_left (fun acc th -> Float.max acc th.clock) barrier_ns
+          t.threads
+      in
+      (finish, List.length pairs)

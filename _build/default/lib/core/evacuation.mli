@@ -1,0 +1,81 @@
+(** The copy-and-traverse engine shared by the G1 and PS young
+    collections: per-thread work stacks with stealing, destination
+    allocation (write cache or direct survivor regions), forwarding
+    installation (header map or NVM header), asynchronous flushing, and a
+    deterministic min-clock scheduler.  See the implementation header for
+    the mapping onto the paper's §3.1 four-step loop. *)
+
+exception Evacuation_failure of string
+(** Raised when survivor space is exhausted mid-evacuation. *)
+
+(** Where a GC thread's time goes — the §3.1 step analysis. *)
+type category =
+  | Cat_locate
+  | Cat_copy_read
+  | Cat_copy_write
+  | Cat_forward
+  | Cat_ref_update
+  | Cat_scan
+  | Cat_header_map
+  | Cat_flush
+  | Cat_cleanup
+  | Cat_cpu
+
+val category_count : int
+val category_index : category -> int
+val category_name : category -> string
+val all_categories : category list
+
+type thread = {
+  tid : int;
+  stack : Work_stack.t;
+  mutable clock : float;
+  mutable terminated : bool;
+  mutable pair : Write_cache.pair option;
+  mutable survivor : Simheap.Region.t option;
+  mutable lab_remaining : int;
+  mutable refs_processed : int;
+  mutable objects_copied : int;
+  mutable bytes_copied : int;
+  mutable bytes_cached : int;
+  mutable bytes_direct : int;
+  mutable hm_installs : int;
+  mutable hm_hits : int;
+  mutable hm_fallbacks : int;
+  mutable steals : int;
+  mutable async_flushes : int;
+  mutable spin_ns : float;
+  breakdown : float array;
+}
+
+type t
+
+val create :
+  heap:Simheap.Heap.t ->
+  memory:Memsim.Memory.t ->
+  config:Gc_config.t ->
+  header_map:Header_map.t option ->
+  write_cache:Write_cache.t option ->
+  start_ns:float ->
+  t
+
+val threads : t -> thread array
+val old_addrs : t -> int Simstats.Vec.t
+(** Pre-copy addresses of evacuated objects, for post-pause unbinding. *)
+
+val add_breakdown : thread -> category -> float -> unit
+
+val seed : t -> tid:int -> Work_stack.item -> unit
+(** Place an initial work item on a thread's stack (before {!run}). *)
+
+val charge_remset_scan : t -> tid:int -> bytes:int -> unit
+(** Charge a thread for scanning its share of remembered-set metadata. *)
+
+val run : t -> float
+(** Copy-and-traverse to global termination; returns the simulated
+    instant the last thread finished. *)
+
+val flush_remaining : t -> barrier_ns:float -> float * int
+(** Synchronous write-only sub-phase: flush every remaining cache region,
+    round-robin over threads from the barrier.  Returns the finish
+    instant and the number of regions flushed. *)

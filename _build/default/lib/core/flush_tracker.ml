@@ -1,0 +1,68 @@
+(** Readiness tracking for asynchronous region flushing (paper §4.2,
+    Figure 4).
+
+    A cache region may only be flushed once no pending reference update can
+    still target it.  Tracking every outstanding reference per region would
+    be exact but costly, so the paper exploits the LIFO processing order of
+    the DFS traversal: the {e first} reference pushed among those belonging
+    to a region's objects is (absent stealing) the {e last} to be popped.
+
+    Protocol, mirroring Figure 4:
+    - when the first object with references is copied into a fresh pair,
+      memorize its leftmost (first-pushed) reference in [pair.last];
+    - when the memorized reference is popped and the pair is already
+      filled, every reference targeting the pair has been processed — the
+      pair is ready to flush;
+    - when it is popped but the pair is still open, re-arm [last] with the
+      leftmost reference of the popped reference's referent (Figure 4c);
+      if the referent contributes no trackable reference the pair is
+      re-armed by the next object copied into it;
+    - work stealing breaks the LIFO order, so stolen items mark their home
+      region [stolen_from] and such pairs are never flushed early (the
+      write-only sub-phase at the end of the pause picks them up).
+
+    The heuristic is deliberately conservative in the simulator exactly
+    where the paper's is: a pair whose tracking is lost simply waits for
+    the final sub-phase. *)
+
+type decision =
+  | Keep  (** nothing to do *)
+  | Ready of Write_cache.pair
+      (** the pair may be flushed asynchronously right now *)
+
+(** Called when [obj] (with a first pushed field item [first_item], if any)
+    has been copied into [pair]. *)
+let on_copy (pair : Write_cache.pair) ~first_item =
+  match pair.Write_cache.last, first_item with
+  | None, Some item -> pair.Write_cache.last <- Some item
+  | (Some _ | None), _ -> ()
+
+(** Called after an item has been fully processed.  [pair] is the pair
+    holding the item's holder object (its home), and [referent_first_item]
+    is the first field item pushed for the item's referent during this
+    processing step (if the referent was copied just now). *)
+let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
+  match pair.Write_cache.last with
+  | Some memorized when memorized == item ->
+      if pair.Write_cache.filled
+         && not pair.Write_cache.cache.Simheap.Region.stolen_from
+      then begin
+        pair.Write_cache.last <- None;
+        Ready pair
+      end
+      else begin
+        (* Figure 4c: the region is still open; memorize the leftmost
+           reference of the referent instead. *)
+        pair.Write_cache.last <- referent_first_item;
+        Keep
+      end
+  | Some _ | None -> Keep
+
+(** A filled pair whose [last] was already consumed (e.g. all trackable
+    references processed before it filled) is also ready; the evacuation
+    loop polls this when it fills a pair. *)
+let ready_on_fill (pair : Write_cache.pair) =
+  pair.Write_cache.filled
+  && pair.Write_cache.last = None
+  && (not pair.Write_cache.flushed)
+  && not pair.Write_cache.cache.Simheap.Region.stolen_from

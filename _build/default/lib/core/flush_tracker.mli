@@ -1,0 +1,24 @@
+(** Readiness tracking for asynchronous region flushing: the LIFO
+    "last-reference" protocol of paper §4.2, Figure 4. *)
+
+type decision =
+  | Keep
+  | Ready of Write_cache.pair
+      (** the pair may be flushed asynchronously right now *)
+
+val on_copy : Write_cache.pair -> first_item:Work_stack.item option -> unit
+(** Arm the pair's [last] field with the first (leftmost) reference
+    pushed for an object copied into it (Figure 4a). *)
+
+val on_processed :
+  Write_cache.pair ->
+  item:Work_stack.item ->
+  referent_first_item:Work_stack.item option ->
+  decision
+(** Called after a work item whose holder lives in the pair has been
+    processed: if it was the memorized last reference, the pair is ready
+    (when filled) or re-armed with the referent's leftmost reference
+    (Figure 4c/4d).  Stolen-from pairs are never marked ready. *)
+
+val ready_on_fill : Write_cache.pair -> bool
+(** A pair whose tracking already drained when it fills is also ready. *)

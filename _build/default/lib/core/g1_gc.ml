@@ -1,0 +1,14 @@
+(** The Garbage-First young collection (paper §2.1) with the NVM-aware
+    optimizations.  G1 evacuates region-granular survivor space, so LABs
+    are effectively region-sized and every object is cacheable. *)
+
+type t = Young_gc.t
+
+let create ~heap ~memory (config : Gc_config.t) =
+  if config.Gc_config.collector <> Gc_config.G1 then
+    invalid_arg "G1_gc.create: config is not a G1 configuration";
+  Young_gc.create ~heap ~memory config
+
+let collect = Young_gc.collect
+let totals = Young_gc.totals
+let header_map = Young_gc.header_map

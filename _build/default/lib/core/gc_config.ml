@@ -1,0 +1,96 @@
+(** GC configuration: which collector, which NVM-aware optimizations, and
+    their sizing knobs.  The presets mirror the configurations the paper
+    evaluates ("vanilla", "+writecache", "+all", Figure 5/13 legends). *)
+
+type flush_mode =
+  | Sync  (** write cache regions flushed in a write-only sub-phase at the
+              end of the pause (paper §3.2) *)
+  | Async  (** regions flushed as soon as the Figure-4 tracker marks them
+               ready (paper §4.2); requires non-temporal stores to pay off *)
+
+type collector = G1 | Parallel_scavenge
+
+type t = {
+  collector : collector;
+  threads : int;
+  (* Write cache (§3.2). *)
+  write_cache : bool;
+  write_cache_limit_bytes : int option;
+      (** [None] = unlimited (Figure 11 "sync-unlimited") *)
+  flush_mode : flush_mode;
+  nt_flush : bool;  (** use non-temporal stores for write-back (§4.1) *)
+  (* Header map (§3.3). *)
+  header_map : bool;
+  header_map_bytes : int;
+  header_map_min_threads : int;
+      (** the map is only consulted at or above this thread count (the
+          paper enables it from 8 threads) *)
+  search_bound : int;  (** Algorithm 1 probe bound *)
+  (* Software prefetching (§4.3). *)
+  prefetch : bool;
+  (* Work distribution. *)
+  steal_chunk : int;
+  pause_overhead_ns : float;
+      (** fixed serial safepoint + VM-root-scan cost per pause,
+          device-independent *)
+  (* Parallel Scavenge specifics (§4.4): objects larger than this bypass
+     LABs and are copied directly (uncacheable); [max_int] for G1. *)
+  lab_bytes : int;
+  direct_copy_threshold : int;
+}
+
+let header_map_entry_bytes = 16
+
+(** Paper defaults for the Renaissance configuration (16 GB heap, 512 MB
+    header map, heap/32 write cache), scaled by [scale] (e.g. [scale=64]
+    simulates a 64x smaller heap). *)
+let vanilla ?(collector = G1) ~threads ~scale () =
+  {
+    collector;
+    threads;
+    write_cache = false;
+    write_cache_limit_bytes = Some (512 * 1024 * 1024 / scale);
+    flush_mode = Sync;
+    nt_flush = false;
+    header_map = false;
+    header_map_bytes = 512 * 1024 * 1024 / scale;
+    header_map_min_threads = 8;
+    search_bound = 16;
+    prefetch = collector = G1;
+    (* vanilla G1 already prefetches on push (paper §4.3); vanilla PS
+       does not (§4.4) *)
+    steal_chunk = 16;
+    pause_overhead_ns = 60_000.0;
+    lab_bytes =
+      (match collector with G1 -> max_int | Parallel_scavenge -> 16 * 1024);
+    direct_copy_threshold =
+      (match collector with G1 -> max_int | Parallel_scavenge -> 4 * 1024);
+  }
+
+let with_write_cache ?collector ~threads ~scale () =
+  { (vanilla ?collector ~threads ~scale ()) with write_cache = true; nt_flush = true }
+
+(** "+all": write cache + header map + non-temporal flush + prefetching. *)
+let all_opts ?collector ~threads ~scale () =
+  {
+    (with_write_cache ?collector ~threads ~scale ()) with
+    header_map = true;
+    prefetch = true;
+  }
+
+let header_map_entries t = max 64 (t.header_map_bytes / header_map_entry_bytes)
+
+let header_map_active t = t.header_map && t.threads >= t.header_map_min_threads
+
+let flush_mode_name = function Sync -> "sync" | Async -> "async"
+
+let collector_name = function G1 -> "g1" | Parallel_scavenge -> "ps"
+
+let describe t =
+  Printf.sprintf "%s/%dT%s%s%s%s"
+    (collector_name t.collector)
+    t.threads
+    (if t.write_cache then "+wc" else "")
+    (if t.header_map then "+hm" else "")
+    (if t.prefetch then "+pf" else "")
+    (match t.flush_mode with Async -> "+async" | Sync -> "")

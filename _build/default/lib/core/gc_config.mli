@@ -1,0 +1,50 @@
+(** GC configuration: collector choice, NVM-aware optimizations, sizing.
+    Presets mirror the paper's evaluated configurations. *)
+
+type flush_mode =
+  | Sync  (** flush cache regions in a write-only sub-phase (paper §3.2) *)
+  | Async  (** flush regions when the Figure-4 tracker marks them ready *)
+
+type collector = G1 | Parallel_scavenge
+
+type t = {
+  collector : collector;
+  threads : int;
+  write_cache : bool;
+  write_cache_limit_bytes : int option;  (** [None] = unlimited *)
+  flush_mode : flush_mode;
+  nt_flush : bool;  (** non-temporal write-back (§4.1) *)
+  header_map : bool;
+  header_map_bytes : int;
+  header_map_min_threads : int;
+      (** the map is only consulted at or above this thread count *)
+  search_bound : int;  (** Algorithm 1 probe bound *)
+  prefetch : bool;
+  steal_chunk : int;
+  pause_overhead_ns : float;
+      (** fixed serial safepoint + VM-root-scan cost per pause *)
+  lab_bytes : int;  (** PS thread-local allocation buffer; [max_int] for G1 *)
+  direct_copy_threshold : int;
+      (** objects above this size bypass the write cache (PS) *)
+}
+
+val header_map_entry_bytes : int
+
+val vanilla : ?collector:collector -> threads:int -> scale:int -> unit -> t
+(** Unmodified collector.  [scale] divides the paper-scale sizes
+    (512 MB header map, 512 MB write cache). *)
+
+val with_write_cache : ?collector:collector -> threads:int -> scale:int -> unit -> t
+(** "+writecache": DRAM staging + non-temporal write-back. *)
+
+val all_opts : ?collector:collector -> threads:int -> scale:int -> unit -> t
+(** "+all": write cache + header map + non-temporal flush + prefetching. *)
+
+val header_map_entries : t -> int
+val header_map_active : t -> bool
+(** True when the header map is enabled {e and} the thread count reaches
+    [header_map_min_threads] (the paper's gating). *)
+
+val flush_mode_name : flush_mode -> string
+val collector_name : collector -> string
+val describe : t -> string

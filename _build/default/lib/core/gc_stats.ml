@@ -1,0 +1,102 @@
+(** Per-pause and accumulated GC statistics.
+
+    The experiments read everything they report from here: pause durations
+    and sub-phase breakdown (read-mostly vs write-only), copy volumes,
+    header-map behaviour, flush counts, stealing, idleness, and the memory
+    traffic the pause generated (from {!Memsim.Memory} snapshots). *)
+
+type pause = {
+  pause_ns : float;  (** full stop-the-world duration *)
+  traverse_ns : float;  (** copy-and-traverse (read-mostly) sub-phase *)
+  flush_ns : float;  (** write-only sub-phase (0 without write cache) *)
+  cleanup_ns : float;  (** header-map clearing + region bookkeeping *)
+  objects_copied : int;
+  bytes_copied : int;
+  bytes_cached : int;  (** copied via DRAM write cache *)
+  bytes_direct : int;  (** copied straight to NVM (cache full/disabled) *)
+  refs_processed : int;
+  header_map_installs : int;
+  header_map_hits : int;
+  header_map_fallbacks : int;  (** puts that overflowed to the NVM header *)
+  header_map_occupancy : float;
+  async_flushes : int;
+  sync_flushes : int;
+  steals : int;
+  idle_ns : float;  (** summed over threads: pause end minus own finish *)
+  traffic : Memsim.Memory.snapshot;  (** bytes moved during the pause *)
+  breakdown : float array;
+      (** summed thread time by {!Evacuation.category} (indexed by
+          [Evacuation.category_index]) — the §3.1 step analysis *)
+}
+
+let pause_ms p = p.pause_ns /. 1e6
+
+(** Average NVM bandwidth consumed during the pause, MB/s. *)
+let nvm_bandwidth_mbps p =
+  if p.pause_ns <= 0.0 then 0.0
+  else begin
+    let bytes =
+      p.traffic.Memsim.Memory.nvm_read_bytes
+      +. p.traffic.Memsim.Memory.nvm_write_bytes
+    in
+    bytes /. 1e6 /. (p.pause_ns /. 1e9)
+  end
+
+let nvm_read_bandwidth_mbps p =
+  if p.pause_ns <= 0.0 then 0.0
+  else p.traffic.Memsim.Memory.nvm_read_bytes /. 1e6 /. (p.pause_ns /. 1e9)
+
+let nvm_write_bandwidth_mbps p =
+  if p.pause_ns <= 0.0 then 0.0
+  else p.traffic.Memsim.Memory.nvm_write_bytes /. 1e6 /. (p.pause_ns /. 1e9)
+
+(** Accumulated statistics over a run (a sequence of pauses). *)
+type totals = {
+  mutable pauses : int;
+  mutable total_pause_ns : float;
+  mutable max_pause_ns : float;
+  mutable total_traverse_ns : float;
+  mutable total_flush_ns : float;
+  mutable objects_copied : int;
+  mutable bytes_copied : int;
+  mutable nvm_bytes : float;
+  mutable weighted_bw_mbps : float;  (** pause-time-weighted NVM bandwidth *)
+  reservoir : Simstats.Percentile.reservoir;
+}
+
+let create_totals () =
+  {
+    pauses = 0;
+    total_pause_ns = 0.0;
+    max_pause_ns = 0.0;
+    total_traverse_ns = 0.0;
+    total_flush_ns = 0.0;
+    objects_copied = 0;
+    bytes_copied = 0;
+    nvm_bytes = 0.0;
+    weighted_bw_mbps = 0.0;
+    reservoir = Simstats.Percentile.create_reservoir ();
+  }
+
+let add totals p =
+  totals.pauses <- totals.pauses + 1;
+  totals.total_pause_ns <- totals.total_pause_ns +. p.pause_ns;
+  totals.max_pause_ns <- Float.max totals.max_pause_ns p.pause_ns;
+  totals.total_traverse_ns <- totals.total_traverse_ns +. p.traverse_ns;
+  totals.total_flush_ns <- totals.total_flush_ns +. p.flush_ns;
+  totals.objects_copied <- totals.objects_copied + p.objects_copied;
+  totals.bytes_copied <- totals.bytes_copied + p.bytes_copied;
+  totals.nvm_bytes <-
+    totals.nvm_bytes
+    +. p.traffic.Memsim.Memory.nvm_read_bytes
+    +. p.traffic.Memsim.Memory.nvm_write_bytes;
+  totals.weighted_bw_mbps <-
+    totals.weighted_bw_mbps +. (nvm_bandwidth_mbps p *. p.pause_ns);
+  Simstats.Percentile.add totals.reservoir p.pause_ns
+
+let total_pause_s totals = totals.total_pause_ns /. 1e9
+
+(** Pause-time-weighted average NVM bandwidth across pauses, MB/s. *)
+let avg_nvm_bandwidth_mbps totals =
+  if totals.total_pause_ns <= 0.0 then 0.0
+  else totals.weighted_bw_mbps /. totals.total_pause_ns

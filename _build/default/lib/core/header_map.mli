@@ -1,0 +1,34 @@
+(** Lock-free bounded closed-hashing forwarding-pointer table in DRAM
+    (paper §3.3, Algorithm 1). *)
+
+type t
+
+val entry_bytes : int
+val entry_addr : int -> int
+(** Simulated DRAM address of an entry, for cost accounting. *)
+
+val create : entries:int -> search_bound:int -> t
+(** Capacity is rounded up to a power of two (>= 64). *)
+
+val size : t -> int
+val occupancy : t -> float
+
+val probe_addr : t -> key:int -> int
+(** Simulated DRAM address of the first entry probed for [key]. *)
+
+type put_result =
+  | Installed
+  | Found of int  (** racing installer won; its forwarding pointer *)
+  | Full  (** probe bound exhausted; fall back to the NVM header *)
+
+val put : t -> key:int -> value:int -> put_result * int
+(** Install [value] as the forwarding pointer for old address [key].
+    Returns the outcome and the probe count.  Keys and values must be
+    non-zero. *)
+
+val get : t -> key:int -> int option * int
+(** Look up a forwarding pointer; [None] means the caller must check the
+    object header on NVM.  Returns the probe count. *)
+
+val clear_range : t -> lo:int -> hi:int -> unit
+val clear : t -> unit

@@ -1,0 +1,19 @@
+(** The Parallel Scavenge young collection (paper §4.4).
+
+    PS shares the copy-and-traverse pause with G1 but manages survivor
+    memory in small thread-local allocation buffers (LABs) and copies
+    large objects directly, bypassing buffers — so the write cache can only
+    stage contiguous LAB-backed copies and absorbs fewer NVM writes.
+    Vanilla PS also issues no software prefetches; the "+all" configuration
+    adds them (including for the header map). *)
+
+type t = Young_gc.t
+
+let create ~heap ~memory (config : Gc_config.t) =
+  if config.Gc_config.collector <> Gc_config.Parallel_scavenge then
+    invalid_arg "Ps_gc.create: config is not a PS configuration";
+  Young_gc.create ~heap ~memory config
+
+let collect = Young_gc.collect
+let totals = Young_gc.totals
+let header_map = Young_gc.header_map

@@ -1,0 +1,70 @@
+(** Per-GC-thread working stacks with work stealing.
+
+    Copy-and-traverse is a stack-based DFS (paper §2.1): each GC thread
+    pushes the reference slots of objects it copies and pops them LIFO.
+    Idle threads steal a chunk from the *bottom* of a victim's stack — the
+    end opposite the owner — which is also the event that breaks the LIFO
+    order the asynchronous-flush tracker relies on, so stolen items' home
+    regions are marked [stolen_from] (paper §4.2). *)
+
+type item = {
+  slot : Simheap.Objmodel.slot;
+  home : Simheap.Region.t option;
+      (** survivor/cache region holding the slot's holder object; [None]
+          for roots and remembered-set slots *)
+}
+
+let dummy_item = { slot = Simheap.Region.dummy_slot; home = None }
+
+type t = {
+  items : item Simstats.Vec.t;
+  mutable last_push_clock : float;
+      (** simulated instant of the most recent push; a thief's clock is
+          advanced to at least this, keeping steals causal *)
+  mutable pushes : int;
+  mutable pops : int;
+  mutable stolen_from_count : int;
+}
+
+let create () =
+  {
+    items = Simstats.Vec.create dummy_item;
+    last_push_clock = 0.0;
+    pushes = 0;
+    pops = 0;
+    stolen_from_count = 0;
+  }
+
+let length t = Simstats.Vec.length t.items
+let is_empty t = Simstats.Vec.is_empty t.items
+
+let push t ~clock item =
+  Simstats.Vec.push t.items item;
+  t.last_push_clock <- Float.max t.last_push_clock clock;
+  t.pushes <- t.pushes + 1
+
+let pop t =
+  match Simstats.Vec.pop t.items with
+  | None -> None
+  | Some item ->
+      t.pops <- t.pops + 1;
+      Some item
+
+(** [steal victim ~chunk] takes up to [chunk] items from the bottom of the
+    victim's stack and marks each item's home region as stolen-from
+    (disabling asynchronous flushing for it). *)
+let steal victim ~chunk =
+  let stolen = Simstats.Vec.take_front victim.items chunk in
+  victim.stolen_from_count <- victim.stolen_from_count + List.length stolen;
+  List.iter
+    (fun item ->
+      match item.home with
+      | Some region -> region.Simheap.Region.stolen_from <- true
+      | None -> ())
+    stolen;
+  stolen
+
+let pushes t = t.pushes
+let pops t = t.pops
+let stolen_from_count t = t.stolen_from_count
+let last_push_clock t = t.last_push_clock

@@ -1,0 +1,35 @@
+(** Per-GC-thread working stacks with work stealing (paper §2.1, §4.2).
+
+    LIFO for the owner; thieves take a chunk from the opposite end, which
+    breaks the LIFO order the asynchronous-flush tracker relies on — so
+    stolen items' home regions are marked [stolen_from]. *)
+
+type item = {
+  slot : Simheap.Objmodel.slot;
+  home : Simheap.Region.t option;
+      (** cache region holding the slot's holder object, for flush
+          tracking; [None] for roots and remembered-set slots *)
+}
+
+val dummy_item : item
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> clock:float -> item -> unit
+(** [clock] is the simulated push instant; thieves synchronize to it. *)
+
+val pop : t -> item option
+(** Owner end (LIFO). *)
+
+val steal : t -> chunk:int -> item list
+(** Take up to [chunk] items from the bottom, marking their home regions
+    stolen-from. *)
+
+val pushes : t -> int
+val pops : t -> int
+val stolen_from_count : t -> int
+val last_push_clock : t -> float

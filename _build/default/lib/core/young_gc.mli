@@ -1,0 +1,20 @@
+(** A complete stop-the-world young collection over the simulated heap:
+    seeding from remembered sets and roots, copy-and-traverse, the
+    write-only sub-phase, header-map cleanup, and region reclamation.
+    Collector-specific behaviour (G1 vs PS) comes from {!Gc_config}. *)
+
+type t
+
+val create :
+  heap:Simheap.Heap.t -> memory:Memsim.Memory.t -> Gc_config.t -> t
+(** The header map (when active for this configuration) is allocated once
+    and reused across pauses, as in the paper. *)
+
+val totals : t -> Gc_stats.totals
+val header_map : t -> Header_map.t option
+
+val collect : t -> now_ns:float -> Gc_stats.pause
+(** Run one young collection starting at simulated instant [now_ns];
+    returns its statistics (also folded into [totals]).
+
+    @raise Evacuation.Evacuation_failure when survivor space runs out. *)

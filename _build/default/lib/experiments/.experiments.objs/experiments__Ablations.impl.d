@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Float List Memsim Nvmgc Printf Runner Simstats Workloads

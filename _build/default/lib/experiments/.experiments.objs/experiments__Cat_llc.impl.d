@@ -1,0 +1,1 @@
+lib/experiments/cat_llc.ml: List Printf Runner Simstats Workloads

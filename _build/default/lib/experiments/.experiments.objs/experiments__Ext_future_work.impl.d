@@ -1,0 +1,1 @@
+lib/experiments/ext_future_work.ml: List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig10_header_map_size.ml: Array List Nvmgc Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig11_write_cache.ml: Array List Nvmgc Printf Runner Simstats Workloads

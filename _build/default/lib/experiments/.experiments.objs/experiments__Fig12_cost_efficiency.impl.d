@@ -1,0 +1,1 @@
+lib/experiments/fig12_cost_efficiency.ml: List Memsim Printf Runner Simstats Workloads

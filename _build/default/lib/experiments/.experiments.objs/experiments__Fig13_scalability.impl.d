@@ -1,0 +1,1 @@
+lib/experiments/fig13_scalability.ml: Array List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig14_ps.ml: Array Float List Nvmgc Printf Runner Simstats Workloads

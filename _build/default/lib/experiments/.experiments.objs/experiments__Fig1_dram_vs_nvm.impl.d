@@ -1,0 +1,1 @@
+lib/experiments/fig1_dram_vs_nvm.ml: Array List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig2_bandwidth_pagerank.ml: List Memsim Nvmgc Runner Simstats Trace_util Workloads

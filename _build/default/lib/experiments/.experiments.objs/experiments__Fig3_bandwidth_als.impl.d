@@ -1,0 +1,1 @@
+lib/experiments/fig3_bandwidth_als.ml: Memsim Runner Trace_util Workloads

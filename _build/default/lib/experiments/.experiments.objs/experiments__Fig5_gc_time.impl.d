@@ -1,0 +1,1 @@
+lib/experiments/fig5_gc_time.ml: Array Float List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig6_gc_bandwidth.ml: Array List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig7_split_bandwidth.ml: List Memsim Printf Runner Trace_util Workloads

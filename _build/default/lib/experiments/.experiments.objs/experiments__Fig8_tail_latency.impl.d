@@ -1,0 +1,1 @@
+lib/experiments/fig8_tail_latency.ml: List Printf Runner Simstats Workloads

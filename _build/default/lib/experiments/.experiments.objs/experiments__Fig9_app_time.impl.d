@@ -1,0 +1,1 @@
+lib/experiments/fig9_app_time.ml: List Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Float Memsim Nvmgc Option Workloads

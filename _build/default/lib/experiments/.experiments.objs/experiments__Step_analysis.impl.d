@@ -1,0 +1,1 @@
+lib/experiments/step_analysis.ml: Array List Nvmgc Printf Runner Simstats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tab_prefetch.ml: List Printf Runner Simstats Workloads

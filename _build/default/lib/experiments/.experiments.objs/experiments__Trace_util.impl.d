@@ -1,0 +1,1 @@
+lib/experiments/trace_util.ml: Array Float List Memsim Nvmgc Printf Runner Simstats Workloads

@@ -1,0 +1,113 @@
+(** Ablation benches for the design choices DESIGN.md calls out:
+
+    - the header map's probe bound (Algorithm 1's SEARCH_BOUND);
+    - the thread-count gate below which the header map stays off (§3.3:
+      "only enabled when the number of GC threads exceeds a threshold, 8
+      by default");
+    - the work-stealing chunk size (§4.2 interacts with async flushing:
+      stolen regions are never flushed early);
+    - the split pause itself: write cache with vs without non-temporal
+      write-back (§4.1's claim that nt stores make the write-only
+      sub-phase cheap). *)
+
+module T = Simstats.Table
+
+let default_apps = [ Workloads.Apps.page_rank; Workloads.Apps.reactors ]
+
+let sweep ~title ~col_name ~values ~tweak ?(apps = default_apps)
+    ?(setup = Runner.All_opts) options =
+  let table =
+    T.create ~title
+      (T.col ~align:T.Left "app"
+      :: List.map (fun v -> T.col (col_name v)) values)
+  in
+  List.iter
+    (fun app ->
+      T.add_row table
+        (app.Workloads.App_profile.name
+        :: List.map
+             (fun v ->
+               let run =
+                 Runner.execute ~config_tweak:(tweak v) options app setup
+               in
+               T.fs3 (Runner.gc_seconds run *. 1e3))
+             values))
+    apps;
+  T.print table
+
+let rec print ?apps options =
+  sweep ?apps options
+    ~title:"Ablation: header-map probe bound (GC ms, +all)"
+    ~col_name:(fun b -> Printf.sprintf "bound=%d" b)
+    ~values:[ 2; 4; 8; 16; 32; 64 ]
+    ~tweak:(fun b c -> { c with Nvmgc.Gc_config.search_bound = b });
+  sweep ?apps options
+    ~title:"Ablation: header-map thread gate (GC ms at default threads, +all)"
+    ~col_name:(fun g -> Printf.sprintf "gate=%d" g)
+    ~values:[ 1; 8; 16; 64 ]
+    ~tweak:(fun g c ->
+      { c with Nvmgc.Gc_config.header_map_min_threads = g });
+  sweep ?apps options
+    ~title:"Ablation: work-stealing chunk size (GC ms, +all)"
+    ~col_name:(fun k -> Printf.sprintf "chunk=%d" k)
+    ~values:[ 1; 4; 16; 64 ]
+    ~tweak:(fun k c -> { c with Nvmgc.Gc_config.steal_chunk = k });
+  sweep ?apps options
+    ~title:"Ablation: write-back store kind (GC ms, +writecache)"
+    ~setup:Runner.Write_cache_only
+    ~col_name:(fun nt -> if nt then "non-temporal" else "cached-stores")
+    ~values:[ true; false ]
+    ~tweak:(fun nt c -> { c with Nvmgc.Gc_config.nt_flush = nt });
+  device_sensitivity ?apps options;
+  print_newline ()
+
+(* Device-parameter sensitivity: the headline conclusion (+all beats
+   vanilla) must be robust to the calibration constants, not an artifact
+   of one parameter choice.  Sweep the two most influential Optane
+   parameters and report the improvement under each variant. *)
+and device_sensitivity ?(apps = default_apps) options =
+  let variants =
+    [
+      ("calibrated", Memsim.Device.optane);
+      ( "latency x1.5",
+        {
+          Memsim.Device.optane with
+          Memsim.Device.read_latency_random_ns =
+            Memsim.Device.optane.Memsim.Device.read_latency_random_ns *. 1.5;
+        } );
+      ( "interference x1.5",
+        {
+          Memsim.Device.optane with
+          Memsim.Device.write_interference =
+            Float.min 0.9
+              (Memsim.Device.optane.Memsim.Device.write_interference *. 1.5);
+        } );
+      ( "write bw x0.5",
+        {
+          Memsim.Device.optane with
+          Memsim.Device.bw_write_random =
+            Memsim.Device.optane.Memsim.Device.bw_write_random /. 2.0;
+          bw_write_seq = Memsim.Device.optane.Memsim.Device.bw_write_seq /. 2.0;
+        } );
+    ]
+  in
+  let table =
+    T.create
+      ~title:
+        "Ablation: +all improvement under perturbed NVM device parameters"
+      (T.col ~align:T.Left "app"
+      :: List.map (fun (name, _) -> T.col name) variants)
+  in
+  List.iter
+    (fun app ->
+      T.add_row table
+        (app.Workloads.App_profile.name
+        :: List.map
+             (fun (_, nvm) ->
+               let g setup =
+                 Runner.gc_seconds (Runner.execute ~nvm options app setup)
+               in
+               T.fx (g Runner.Vanilla /. g Runner.All_opts))
+             variants))
+    apps;
+  T.print table

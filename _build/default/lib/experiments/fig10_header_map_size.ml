@@ -1,0 +1,100 @@
+(** Figure 10: GC time when varying the maximum header-map size
+    (512 MB / 1 GB / 2 GB at paper scale; scaled here like the heaps).
+
+    Paper shapes: larger maps help most applications; going from 512 MB
+    to 2 GB adds only ~3.3 % for Renaissance (512 MB suffices for a 16 GB
+    heap) but 21.1 % for Spark, whose occupancy at 2 GB approaches 100 %. *)
+
+module T = Simstats.Table
+
+type row = {
+  app : string;
+  suite : Workloads.App_profile.suite;
+  gc_s : float array;  (** one entry per size factor *)
+  occupancy : float array;
+}
+
+(* Multipliers on each profile's default header-map size: the paper's
+   512M/1G/2G for Renaissance; Spark's default is already 2G, so its
+   sweep covers 512M..2G via factors 1/4..1. *)
+let factors (suite : Workloads.App_profile.suite) =
+  match suite with
+  | Workloads.App_profile.Spark -> [| 0.25; 0.5; 1.0 |]
+  | Workloads.App_profile.Renaissance | Workloads.App_profile.Daemon ->
+      [| 1.0; 2.0; 4.0 |]
+
+let size_labels = [| "512M"; "1G"; "2G" |]
+
+let compute ?(apps = Workloads.Apps.all) options =
+  List.map
+    (fun (app : Workloads.App_profile.t) ->
+      let facs = factors app.Workloads.App_profile.suite in
+      let runs =
+        Array.map
+          (fun f ->
+            let tweak c =
+              {
+                c with
+                Nvmgc.Gc_config.header_map_bytes =
+                  int_of_float
+                    (f *. float_of_int c.Nvmgc.Gc_config.header_map_bytes);
+              }
+            in
+            Runner.execute ~config_tweak:tweak options app Runner.All_opts)
+          facs
+      in
+      {
+        app = app.Workloads.App_profile.name;
+        suite = app.Workloads.App_profile.suite;
+        gc_s = Array.map Runner.gc_seconds runs;
+        occupancy =
+          Array.map
+            (fun run ->
+              match
+                List.rev run.Runner.result.Workloads.Mutator.pauses
+              with
+              | last :: _ ->
+                  last.Workloads.Mutator.pause
+                    .Nvmgc.Gc_stats.header_map_occupancy
+              | [] -> 0.0)
+            runs;
+      })
+    apps
+
+let print ?apps options =
+  let rows = compute ?apps options in
+  let table =
+    T.create ~title:"Figure 10: GC time (ms) vs header-map size"
+      [
+        T.col ~align:T.Left "app";
+        T.col size_labels.(0); T.col size_labels.(1); T.col size_labels.(2);
+        T.col "imp(512M->2G)"; T.col "occupancy@2G";
+      ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row table
+        [
+          r.app;
+          T.fs3 (r.gc_s.(0) *. 1e3); T.fs3 (r.gc_s.(1) *. 1e3); T.fs3 (r.gc_s.(2) *. 1e3);
+          T.fpercent (100. *. ((r.gc_s.(0) -. r.gc_s.(2)) /. r.gc_s.(0)));
+          T.fpercent (100. *. r.occupancy.(2));
+        ])
+    rows;
+  T.print table;
+  let mean_imp pred =
+    let xs =
+      List.filter_map
+        (fun r ->
+          if pred r then Some ((r.gc_s.(0) -. r.gc_s.(2)) /. r.gc_s.(0))
+          else None)
+        rows
+    in
+    if xs = [] then nan
+    else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Printf.printf
+    "summary: 512M->2G improvement Renaissance %.1f%% (paper 3.3%%), Spark \
+     %.1f%% (paper 21.1%%)\n\n"
+    (100. *. mean_imp (fun r -> r.suite = Workloads.App_profile.Renaissance))
+    (100. *. mean_imp (fun r -> r.suite = Workloads.App_profile.Spark))

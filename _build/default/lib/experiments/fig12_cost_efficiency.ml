@@ -1,0 +1,87 @@
+(** Figure 12: cost-efficiency analysis — GC-improvement-per-dollar.
+
+    The metric: seconds of GC time saved per extra dollar of DRAM, against
+    a baseline whose whole heap is NVM.  Our optimizations buy only the
+    header map and the write cache in DRAM; the alternative buys DRAM for
+    the entire heap.  Per-GB prices: DRAM $7.81, NVM $3.01 (paper §5.5).
+
+    Paper shapes: the optimizations are more cost-effective for most
+    applications; for Spark, 9.58x better GC-improvement-per-dollar on
+    average. *)
+
+module T = Simstats.Table
+
+type row = {
+  app : string;
+  suite : Workloads.App_profile.suite;
+  opt_gain_s : float;  (** GC seconds saved by +all *)
+  opt_dollars : float;  (** extra DRAM bought by +all *)
+  dram_gain_s : float;  (** GC seconds saved by a full DRAM heap *)
+  dram_dollars : float;  (** extra cost of the full DRAM heap *)
+}
+
+let opt_ipd r = r.opt_gain_s /. r.opt_dollars
+let dram_ipd r = r.dram_gain_s /. r.dram_dollars
+
+(* Dollar figures use the paper-scale sizes (simulated bytes x scale). *)
+let dollars_of_bytes ~scale ~price_per_gb bytes =
+  float_of_int bytes *. float_of_int scale /. 1e9 *. price_per_gb
+
+let compute ?(apps = Workloads.Apps.all) options =
+  let dram_price = Memsim.Device.dram.Memsim.Device.price_per_gb in
+  let nvm_price = Memsim.Device.optane.Memsim.Device.price_per_gb in
+  List.map
+    (fun (app : Workloads.App_profile.t) ->
+      let g setup = Runner.gc_seconds (Runner.execute options app setup) in
+      let vanilla = g Runner.Vanilla in
+      let scale = app.Workloads.App_profile.scale in
+      {
+        app = app.Workloads.App_profile.name;
+        suite = app.Workloads.App_profile.suite;
+        opt_gain_s = vanilla -. g Runner.All_opts;
+        opt_dollars =
+          dollars_of_bytes ~scale ~price_per_gb:dram_price
+            (app.Workloads.App_profile.header_map_bytes
+            + app.Workloads.App_profile.write_cache_bytes);
+        dram_gain_s = vanilla -. g Runner.Vanilla_dram;
+        dram_dollars =
+          dollars_of_bytes ~scale
+            ~price_per_gb:(dram_price -. nvm_price)
+            app.Workloads.App_profile.heap_bytes;
+      })
+    apps
+
+let print ?apps options =
+  let rows = compute ?apps options in
+  let table =
+    T.create
+      ~title:"Figure 12: GC-improvement-per-dollar (s saved per extra $)"
+      [
+        T.col ~align:T.Left "app";
+        T.col "opt-gain(ms)"; T.col "opt-cost($)"; T.col "opt-s/$";
+        T.col "dram-gain(ms)"; T.col "dram-cost($)"; T.col "dram-s/$";
+        T.col "ratio";
+      ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row table
+        [
+          r.app;
+          T.fs3 (r.opt_gain_s *. 1e3); T.fs r.opt_dollars;
+          Printf.sprintf "%.5f" (opt_ipd r);
+          T.fs3 (r.dram_gain_s *. 1e3); T.fs r.dram_dollars;
+          Printf.sprintf "%.5f" (dram_ipd r);
+          T.fx (opt_ipd r /. dram_ipd r);
+        ])
+    rows;
+  T.print table;
+  let spark = List.filter (fun r -> r.suite = Workloads.App_profile.Spark) rows in
+  let mean xs =
+    if xs = [] then nan
+    else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Printf.printf
+    "summary: Spark GC-improvement-per-dollar ratio (opts vs full DRAM) \
+     %.2fx (paper 9.58x)\n\n"
+    (mean (List.map (fun r -> opt_ipd r /. dram_ipd r) spark))

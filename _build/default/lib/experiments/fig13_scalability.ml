@@ -1,0 +1,76 @@
+(** Figure 13: GC scalability — accumulated GC time vs GC thread count
+    (1, 2, 4, 8, 20, 28, 56) for every application under vanilla,
+    +writecache and +all.
+
+    Paper shapes: vanilla performs well below ~8 threads and then stops
+    scaling (sometimes degrading) as NVM bandwidth saturates; +writecache
+    scales to ~20; +all scales furthest (to 56 logical cores for most
+    applications). *)
+
+module T = Simstats.Table
+
+let thread_counts = [ 1; 2; 4; 8; 20; 28; 56 ]
+
+type row = {
+  app : string;
+  setup : Runner.setup;
+  gc_s : float array;  (** indexed like [thread_counts] *)
+}
+
+(* thread count minimizing GC time (the scaling knee). *)
+let best_threads r =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < r.gc_s.(!best) then best := i) r.gc_s;
+  List.nth thread_counts !best
+
+let setups = [ Runner.Vanilla; Runner.Write_cache_only; Runner.All_opts ]
+
+let compute ?(apps = Workloads.Apps.all) options =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun setup ->
+          {
+            app = app.Workloads.App_profile.name;
+            setup;
+            gc_s =
+              Array.of_list
+                (List.map
+                   (fun threads ->
+                     Runner.gc_seconds
+                       (Runner.execute ~threads options app setup))
+                   thread_counts);
+          })
+        setups)
+    apps
+
+let print ?apps options =
+  let rows = compute ?apps options in
+  let table =
+    T.create ~title:"Figure 13: GC time (ms) vs GC threads"
+      ([ T.col ~align:T.Left "app"; T.col ~align:T.Left "config" ]
+      @ List.map (fun n -> T.col (string_of_int n ^ "T")) thread_counts
+      @ [ T.col "best@" ])
+  in
+  List.iter
+    (fun r ->
+      T.add_row table
+        ([ r.app; Runner.setup_name r.setup ]
+        @ Array.to_list (Array.map (fun s -> T.fs3 (s *. 1e3)) r.gc_s)
+        @ [ T.fint (best_threads r) ]))
+    rows;
+  T.print table;
+  let mean_knee setup =
+    let ks =
+      List.filter_map
+        (fun r -> if r.setup = setup then Some (float_of_int (best_threads r)) else None)
+        rows
+    in
+    List.fold_left ( +. ) 0.0 ks /. float_of_int (List.length ks)
+  in
+  Printf.printf
+    "summary: mean best thread count — vanilla %.1f, +writecache %.1f, \
+     +all %.1f (paper: ~8 / ~20 / up to 56)\n\n"
+    (mean_knee Runner.Vanilla)
+    (mean_knee Runner.Write_cache_only)
+    (mean_knee Runner.All_opts)

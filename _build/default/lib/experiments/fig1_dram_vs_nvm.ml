@@ -1,0 +1,68 @@
+(** Figure 1: application and GC time when replacing DRAM with NVM.
+
+    Six applications (als, kmeans, log-regression, movie-lens, page-rank,
+    scala-stm-bench7), vanilla G1, heap entirely on DRAM vs entirely on
+    NVM.  Paper shapes: GC pause time grows 2.02x–8.25x (mean 6.53x);
+    application time without GC grows 2.68x on average, with movie-lens
+    nearly unchanged; GC's share of execution grows from ~3 % to ~6.3 %
+    (page-rank up to 17.6 %). *)
+
+module T = Simstats.Table
+
+type row = {
+  app : string;
+  dram_app_s : float;
+  dram_gc_s : float;
+  nvm_app_s : float;
+  nvm_gc_s : float;
+}
+
+let gc_slowdown r = r.nvm_gc_s /. r.dram_gc_s
+let app_slowdown r = r.nvm_app_s /. r.dram_app_s
+let nvm_gc_share r = r.nvm_gc_s /. (r.nvm_gc_s +. r.nvm_app_s)
+let dram_gc_share r = r.dram_gc_s /. (r.dram_gc_s +. r.dram_app_s)
+
+let compute options =
+  List.map
+    (fun app ->
+      let dram = Runner.execute options app Runner.Vanilla_dram in
+      let nvm = Runner.execute options app Runner.Vanilla in
+      {
+        app = app.Workloads.App_profile.name;
+        dram_app_s = Runner.app_seconds dram;
+        dram_gc_s = Runner.gc_seconds dram;
+        nvm_app_s = Runner.app_seconds nvm;
+        nvm_gc_s = Runner.gc_seconds nvm;
+      })
+    Workloads.Apps.figure1_apps
+
+let print options =
+  let rows = compute options in
+  let table =
+    T.create ~title:"Figure 1: application and GC time in ms, DRAM vs NVM (vanilla G1)"
+      [
+        T.col ~align:T.Left "app";
+        T.col "dram-app"; T.col "dram-gc";
+        T.col "nvm-app"; T.col "nvm-gc";
+        T.col "gc-slowdown"; T.col "app-slowdown";
+        T.col "gc-share-dram"; T.col "gc-share-nvm";
+      ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row table
+        [
+          r.app;
+          T.fs3 (r.dram_app_s *. 1e3); T.fs3 (r.dram_gc_s *. 1e3);
+          T.fs3 (r.nvm_app_s *. 1e3); T.fs3 (r.nvm_gc_s *. 1e3);
+          T.fx (gc_slowdown r); T.fx (app_slowdown r);
+          T.fpercent (100. *. dram_gc_share r);
+          T.fpercent (100. *. nvm_gc_share r);
+        ])
+    rows;
+  T.print table;
+  let mean f = Simstats.Moments.geomean (Array.of_list (List.map f rows)) in
+  Printf.printf
+    "summary: mean GC slowdown %.2fx (paper 6.53x, range 2.02-8.25); mean \
+     app slowdown %.2fx (paper 2.68x)\n\n"
+    (mean gc_slowdown) (mean app_slowdown)

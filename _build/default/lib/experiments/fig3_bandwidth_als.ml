@@ -1,0 +1,18 @@
+(** Figure 3: bandwidth statistics for als, DRAM vs NVM.
+
+    Paper shape: als consumes more NVM bandwidth during GC than during
+    application execution (the DRAM-like pattern survives), so the app
+    phases are not bandwidth-starved — which is why als's application
+    time is much less affected than page-rank's. *)
+
+let print options =
+  let dram =
+    Trace_util.run_traced options Workloads.Apps.als Runner.Vanilla_dram
+  in
+  Trace_util.print_window
+    ~title:"Figure 3a: als bandwidth atop DRAM (vanilla G1)"
+    ~space:Memsim.Access.Dram dram;
+  let nvm = Trace_util.run_traced options Workloads.Apps.als Runner.Vanilla in
+  Trace_util.print_window
+    ~title:"Figure 3b: als bandwidth atop NVM (vanilla G1)"
+    ~space:Memsim.Access.Nvm nvm

@@ -1,0 +1,33 @@
+(** Figure 7: split read/write NVM bandwidth during GC for three
+    applications with different behaviours, optimized vs vanilla.
+
+    Paper shapes:
+    - page-rank: optimized version trades write for read bandwidth during
+      traversal; the write-back burst at the end reaches near-peak write
+      bandwidth;
+    - naive-bayes: large primitive-array copies give high sequential read
+      bandwidth (up to ~26.5 GB/s in the paper) and a longer write-only
+      sub-phase;
+    - akka-uct: load imbalance leaves bandwidth moderate even when
+      optimized; the write-only phase is short. *)
+
+let apps =
+  [
+    Workloads.Apps.page_rank;
+    Workloads.Apps.naive_bayes;
+    Workloads.Apps.akka_uct;
+  ]
+
+let print options =
+  List.iter
+    (fun (app : Workloads.App_profile.t) ->
+      List.iter
+        (fun (label, setup) ->
+          let traced = Trace_util.run_traced ~threads:56 options app setup in
+          Trace_util.print_window
+            ~title:
+              (Printf.sprintf "Figure 7: %s (%s) split NVM bandwidth"
+                 app.Workloads.App_profile.name label)
+            ~space:Memsim.Access.Nvm traced)
+        [ ("optimized", Runner.All_opts); ("vanilla", Runner.Vanilla) ])
+    apps

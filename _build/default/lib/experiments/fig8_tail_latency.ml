@@ -1,0 +1,57 @@
+(** Figure 8: Cassandra tail latency vs throughput, NVM-aware GC vs
+    vanilla, for a read-only and a write-only phase.
+
+    Paper shapes: p95/p99 improve across throughputs; at the largest
+    setting (130 kQPS) reads improve 5.09x (p95) / 4.88x (p99) and writes
+    2.74x / 2.54x. *)
+
+module T = Simstats.Table
+
+let print options =
+  List.iter
+    (fun (phase_label, write_phase) ->
+      let table =
+        T.create
+          ~title:
+            (Printf.sprintf "Figure 8: Cassandra %s-phase tail latency (ms)"
+               phase_label)
+          [
+            T.col "kQPS";
+            T.col "Opt-p95"; T.col "Opt-p99";
+            T.col "Vanilla-p95"; T.col "Vanilla-p99";
+            T.col "p95-imp"; T.col "p99-imp";
+          ]
+      in
+      let last = ref None in
+      List.iter
+        (fun thr ->
+          let point optimized =
+            Workloads.Cassandra.simulate ~write_phase ~optimized
+              ~threads:options.Runner.threads ~throughput_kqps:thr
+              ~seed:options.Runner.seed ()
+          in
+          let opt = point true and van = point false in
+          let p95i = van.Workloads.Cassandra.p95_ms /. opt.Workloads.Cassandra.p95_ms in
+          let p99i = van.Workloads.Cassandra.p99_ms /. opt.Workloads.Cassandra.p99_ms in
+          last := Some (thr, p95i, p99i);
+          T.add_row table
+            [
+              T.fs1 thr;
+              T.fs3 opt.Workloads.Cassandra.p95_ms;
+              T.fs3 opt.Workloads.Cassandra.p99_ms;
+              T.fs3 van.Workloads.Cassandra.p95_ms;
+              T.fs3 van.Workloads.Cassandra.p99_ms;
+              T.fx p95i; T.fx p99i;
+            ])
+        Workloads.Cassandra.default_throughputs;
+      T.print table;
+      match !last with
+      | Some (thr, p95i, p99i) ->
+          let paper =
+            if write_phase then "paper 2.74x/2.54x" else "paper 5.09x/4.88x"
+          in
+          Printf.printf
+            "summary: at %.0f kQPS %s p95 %.2fx, p99 %.2fx (%s)\n\n" thr
+            phase_label p95i p99i paper
+      | None -> ())
+    [ ("read", false); ("write", true) ]

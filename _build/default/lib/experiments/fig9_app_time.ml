@@ -1,0 +1,54 @@
+(** Figure 9: application completion time, optimized vs vanilla.
+
+    Paper shapes: most Renaissance applications change little (GC is a
+    small share); GC-intensive ones (scala-stm-bench7) improve visibly;
+    every Spark application improves, 3.2 % (cc) to 6.9 % (sssp). *)
+
+module T = Simstats.Table
+
+type row = {
+  app : string;
+  suite : Workloads.App_profile.suite;
+  vanilla_s : float;
+  opt_s : float;
+}
+
+let reduction r = (r.vanilla_s -. r.opt_s) /. r.vanilla_s
+
+let compute ?(apps = Workloads.Apps.all) options =
+  List.map
+    (fun app ->
+      let total setup = Runner.total_seconds (Runner.execute options app setup) in
+      {
+        app = app.Workloads.App_profile.name;
+        suite = app.Workloads.App_profile.suite;
+        vanilla_s = total Runner.Vanilla;
+        opt_s = total Runner.All_opts;
+      })
+    apps
+
+let print ?apps options =
+  let rows = compute ?apps options in
+  let table =
+    T.create ~title:"Figure 9: application completion time (ms)"
+      [
+        T.col ~align:T.Left "app";
+        T.col "G1-Vanilla"; T.col "G1-Opt"; T.col "reduction";
+      ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row table
+        [ r.app; T.fs3 (r.vanilla_s *. 1e3); T.fs3 (r.opt_s *. 1e3);
+          T.fpercent (100. *. reduction r) ])
+    rows;
+  T.print table;
+  let spark =
+    List.filter (fun r -> r.suite = Workloads.App_profile.Spark) rows
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "summary: %s completion reduced %.1f%%\n" r.app
+        (100. *. reduction r))
+    spark;
+  Printf.printf "(paper: Spark reductions 3.2%%..6.9%%)\n\n"

@@ -1,0 +1,107 @@
+(** Registry of all reproducible artefacts, used by the CLI and the bench
+    harness to dispatch by id. *)
+
+type entry = {
+  id : string;
+  description : string;
+  run : Runner.options -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig1";
+      description = "application and GC time, DRAM vs NVM (6 apps)";
+      run = Fig1_dram_vs_nvm.print;
+    };
+    {
+      id = "fig2";
+      description = "page-rank bandwidth traces and thread scalability";
+      run = Fig2_bandwidth_pagerank.print;
+    };
+    {
+      id = "fig3";
+      description = "als bandwidth traces, DRAM vs NVM";
+      run = Fig3_bandwidth_als.print;
+    };
+    {
+      id = "tab-prefetch";
+      description = "Sec. 4.3 prefetching micro-benchmark table";
+      run = Tab_prefetch.print;
+    };
+    {
+      id = "fig5";
+      description = "GC time, 26 apps x 5 configurations";
+      run = (fun o -> Fig5_gc_time.print o);
+    };
+    {
+      id = "fig6";
+      description = "NVM bandwidth during GC, optimized vs vanilla, 56T";
+      run = (fun o -> Fig6_gc_bandwidth.print o);
+    };
+    {
+      id = "fig7";
+      description = "split read/write bandwidth: page-rank, naive-bayes, akka-uct";
+      run = Fig7_split_bandwidth.print;
+    };
+    {
+      id = "fig8";
+      description = "Cassandra tail latency vs throughput";
+      run = Fig8_tail_latency.print;
+    };
+    {
+      id = "fig9";
+      description = "application completion time, optimized vs vanilla";
+      run = (fun o -> Fig9_app_time.print o);
+    };
+    {
+      id = "fig10";
+      description = "header-map size sweep";
+      run = (fun o -> Fig10_header_map_size.print o);
+    };
+    {
+      id = "fig11";
+      description = "write-cache settings (sync/unlimited/async/dram)";
+      run = (fun o -> Fig11_write_cache.print o);
+    };
+    {
+      id = "fig12";
+      description = "cost-efficiency: GC-improvement-per-dollar";
+      run = (fun o -> Fig12_cost_efficiency.print o);
+    };
+    {
+      id = "fig13";
+      description = "GC scalability: 26 apps x 7 thread counts x 3 configs";
+      run = (fun o -> Fig13_scalability.print o);
+    };
+    {
+      id = "fig14";
+      description = "Parallel Scavenge: vanilla / +all / no-prefetch";
+      run = (fun o -> Fig14_ps.print o);
+    };
+    {
+      id = "step-analysis";
+      description = "Sec. 3.1 per-step GC time breakdown (extra)";
+      run = (fun o -> Step_analysis.print o);
+    };
+    {
+      id = "ext-future-work";
+      description =
+        "paper Sec. 5.2 future work: DRAM young gen + optimizations (extra)";
+      run = (fun o -> Ext_future_work.print o);
+    };
+    {
+      id = "ablations";
+      description = "design-choice ablations: probe bound, thread gate, steal chunk, nt stores (extra)";
+      run = (fun o -> Ablations.print o);
+    };
+    {
+      id = "cat-llc";
+      description = "Sec. 4.3 CAT experiment: GC time vs LLC share (extra)";
+      run = (fun o -> Cat_llc.print o);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,95 @@
+(** Shared experiment plumbing: scaling knobs, standard configurations, and
+    the one-shot "run app X under configuration Y" helpers every
+    figure/table harness builds on. *)
+
+module P = Workloads.App_profile
+
+(** Global knobs for experiment runs. *)
+type options = {
+  seed : int;
+  threads : int;  (** default GC thread count (the paper pins one CPU:
+                      28 physical cores) *)
+  gc_scale : float;
+      (** multiplier on the number of GCs per run; < 1 shortens runs *)
+  verbose : bool;
+}
+
+let default_options = { seed = 42; threads = 28; gc_scale = 1.0; verbose = false }
+
+let gcs_for options (profile : P.t) =
+  max 1
+    (int_of_float
+       (Float.round (float_of_int profile.P.gcs_per_run *. options.gc_scale)))
+
+(** The named configurations of Figures 5/13. *)
+type setup =
+  | Vanilla  (** unmodified G1, heap on NVM *)
+  | Write_cache_only  (** "+writecache" *)
+  | All_opts  (** "+all": write cache + header map + nt + prefetch *)
+  | Vanilla_dram  (** unmodified G1, whole heap on DRAM *)
+  | Young_gen_dram  (** unmodified G1, young gen on DRAM, rest on NVM *)
+  | Young_dram_plus_opts
+      (** the paper's stated future work (§5.2): DRAM for both allocation
+          and GC — young gen on DRAM *and* the NVM-aware optimizations *)
+
+let setup_name = function
+  | Vanilla -> "vanilla"
+  | Write_cache_only -> "+writecache"
+  | All_opts -> "+all"
+  | Vanilla_dram -> "vanilla-dram"
+  | Young_gen_dram -> "young-gen-dram"
+  | Young_dram_plus_opts -> "young-dram+all"
+
+type run = {
+  result : Workloads.Mutator.result;
+  gc : Nvmgc.Young_gc.t;
+  memory : Memsim.Memory.t;
+}
+
+(** Execute one application under a setup.  [threads] overrides the option
+    default; [config_tweak] lets sweeps adjust sizes. *)
+let execute ?threads ?gcs ?(trace = false) ?(llc_scale = 1.0) ?nvm ?dram
+    ?(config_tweak = fun c -> c) options (profile : P.t) setup =
+  let threads = Option.value threads ~default:options.threads in
+  let gcs = Option.value gcs ~default:(gcs_for options profile) in
+  let preset =
+    match setup with
+    | Vanilla | Vanilla_dram | Young_gen_dram -> `Vanilla
+    | Write_cache_only -> `Write_cache
+    | All_opts | Young_dram_plus_opts -> `All
+  in
+  let config =
+    config_tweak (Workloads.Apps.gc_config profile ~preset ~threads)
+  in
+  let config =
+    match setup with
+    | Young_dram_plus_opts ->
+        (* With the young generation already on DRAM there is nothing for
+           the write cache to stage; the header map still absorbs the
+           forwarding installs of old-space-bound survivors. *)
+        { config with Nvmgc.Gc_config.write_cache = false }
+    | Vanilla | Write_cache_only | All_opts | Vanilla_dram | Young_gen_dram ->
+        config
+  in
+  let heap_space, young_space =
+    match setup with
+    | Vanilla | Write_cache_only | All_opts -> (Memsim.Access.Nvm, None)
+    | Vanilla_dram -> (Memsim.Access.Dram, None)
+    | Young_gen_dram | Young_dram_plus_opts ->
+        (Memsim.Access.Nvm, Some Memsim.Access.Dram)
+  in
+  let result, gc, memory, _heap =
+    Workloads.Mutator.run_fresh ~heap_space ?young_space ~trace ~llc_scale
+      ?nvm ?dram ~gcs ~profile ~seed:options.seed config
+  in
+  { result; gc; memory }
+
+let gc_seconds run =
+  Nvmgc.Gc_stats.total_pause_s (Nvmgc.Young_gc.totals run.gc)
+
+let app_seconds run = run.result.Workloads.Mutator.app_ns /. 1e9
+
+let total_seconds run = run.result.Workloads.Mutator.end_ns /. 1e9
+
+let avg_nvm_bandwidth run =
+  Nvmgc.Gc_stats.avg_nvm_bandwidth_mbps (Nvmgc.Young_gc.totals run.gc)

@@ -1,0 +1,31 @@
+(** §4.3 micro-benchmark table: random array access with and without
+    software prefetching, DRAM vs NVM.
+
+    Paper: DRAM 1.513 -> 0.958 s (1.58x), NVM 4.171 -> 1.369 s (3.05x);
+    the improvement atop NVM is markedly larger. *)
+
+module T = Simstats.Table
+
+let print (_options : Runner.options) =
+  let results = Workloads.Prefetch_micro.run () in
+  let table =
+    T.create ~title:"Sec. 4.3 table: prefetching micro-benchmark"
+      [ T.col ~align:T.Left "configuration"; T.col "accesses"; T.col "time(ms)" ]
+  in
+  List.iter
+    (fun (r : Workloads.Prefetch_micro.result) ->
+      T.add_row table
+        [
+          r.Workloads.Prefetch_micro.config_name;
+          T.fint r.Workloads.Prefetch_micro.accesses;
+          T.fs r.Workloads.Prefetch_micro.simulated_ms;
+        ])
+    results;
+  T.print table;
+  Printf.printf
+    "summary: DRAM improvement %.2fx (paper 1.58x); NVM improvement %.2fx \
+     (paper 3.05x)\n\n"
+    (Workloads.Prefetch_micro.improvement results ~base:"DRAM-noprefetch"
+       ~opt:"DRAM-prefetch")
+    (Workloads.Prefetch_micro.improvement results ~base:"NVM-noprefetch"
+       ~opt:"NVM-prefetch")

@@ -1,0 +1,94 @@
+(** Shared helpers for the bandwidth-trace figures (2, 3 and 7): run one
+    traced GC cycle of an application and render the read/write NVM (or
+    DRAM) bandwidth as compact series. *)
+
+module T = Simstats.Table
+
+type traced = {
+  memory : Memsim.Memory.t;
+  pause : Nvmgc.Gc_stats.pause;
+  gc_start_ns : float;
+  gc_end_ns : float;
+}
+
+(** Run [cycles] mutation/GC cycles with tracing on and return the last
+    pause's window plus the memory system holding the traces. *)
+let run_traced ?(cycles = 1) ?threads options (profile : Workloads.App_profile.t)
+    setup =
+  let run = Runner.execute ?threads ~gcs:cycles ~trace:true options profile setup in
+  let last =
+    match List.rev run.Runner.result.Workloads.Mutator.pauses with
+    | last :: _ -> last
+    | [] -> invalid_arg "Trace_util.run_traced: no pauses"
+  in
+  let gc_start_ns = last.Workloads.Mutator.start_ns in
+  {
+    memory = run.Runner.memory;
+    pause = last.Workloads.Mutator.pause;
+    gc_start_ns;
+    gc_end_ns = gc_start_ns +. last.Workloads.Mutator.pause.Nvmgc.Gc_stats.pause_ns;
+  }
+
+(* Average MB/s of a series over [lo_ns, hi_ns). *)
+let window_mbps series ~lo_ns ~hi_ns =
+  let bucket = Simstats.Timeseries.bucket_ns series in
+  let lo = int_of_float (lo_ns /. bucket)
+  and hi = int_of_float (hi_ns /. bucket) in
+  let hi = min hi (Simstats.Timeseries.length series - 1) in
+  if hi < lo then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = lo to hi do
+      acc := !acc +. Simstats.Timeseries.get series i
+    done;
+    !acc /. 1e6 /. ((float_of_int (hi - lo + 1) *. bucket) /. 1e9)
+  end
+
+(** Print a bandwidth table for the window around the last GC of a traced
+    run: [points] rows of (time, read, write, total MB/s), the GC interval
+    marked, plus sparklines. *)
+let print_window ~title ~space ?(points = 24) t =
+  let read = Memsim.Memory.read_trace t.memory space in
+  let write = Memsim.Memory.write_trace t.memory space in
+  let bucket = Simstats.Timeseries.bucket_ns read in
+  (* window: half a pause of lead-in, the pause, and a tail *)
+  let pause = t.gc_end_ns -. t.gc_start_ns in
+  let lead = Float.max (0.6 *. pause) (8.0 *. bucket) in
+  let lo_ns = Float.max 0.0 (t.gc_start_ns -. lead) in
+  let hi_ns = t.gc_end_ns +. Float.max (0.4 *. pause) (4.0 *. bucket) in
+  let table =
+    T.create ~title
+      [
+        T.col "t(ms)"; T.col "read(MB/s)"; T.col "write(MB/s)";
+        T.col "total(MB/s)"; T.col ~align:T.Left "phase";
+      ]
+  in
+  let reads = ref [] and writes = ref [] in
+  let step = Float.max bucket ((hi_ns -. lo_ns) /. float_of_int points) in
+  let t_cursor = ref lo_ns in
+  while !t_cursor < hi_ns do
+    let next = !t_cursor +. step in
+    let r = window_mbps read ~lo_ns:!t_cursor ~hi_ns:next in
+    let w = window_mbps write ~lo_ns:!t_cursor ~hi_ns:next in
+    let mid = (!t_cursor +. next) /. 2.0 in
+    let phase =
+      if mid >= t.gc_start_ns && mid <= t.gc_end_ns then "GC" else "app"
+    in
+    T.add_row table
+      [
+        T.fs ((!t_cursor -. lo_ns) /. 1e6); T.fs1 r; T.fs1 w; T.fs1 (r +. w);
+        phase;
+      ];
+    reads := r :: !reads;
+    writes := w :: !writes;
+    t_cursor := next
+  done;
+  T.print table;
+  Printf.printf "  read : %s\n  write: %s\n"
+    (T.sparkline (Array.of_list (List.rev !reads)))
+    (T.sparkline (Array.of_list (List.rev !writes)));
+  Printf.printf
+    "  GC window: read %.0f MB/s, write %.0f MB/s (pause %.2f ms)\n\n"
+    (window_mbps read ~lo_ns:t.gc_start_ns ~hi_ns:t.gc_end_ns)
+    (window_mbps write ~lo_ns:t.gc_start_ns ~hi_ns:t.gc_end_ns)
+    (pause /. 1e6)

@@ -1,0 +1,1 @@
+lib/memsim/bandwidth.ml: Access Device Float

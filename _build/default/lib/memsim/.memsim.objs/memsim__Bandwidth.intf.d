@@ -1,0 +1,1 @@
+lib/memsim/bandwidth.mli: Access Device

@@ -1,0 +1,1 @@
+lib/memsim/memory.ml: Access Array Bandwidth Device Float Llc Simstats

@@ -1,0 +1,101 @@
+(** Memory-device parameter sets.
+
+    The constants below are calibrated against published measurements of
+    Intel Optane DC Persistent Memory (Izraelevitz et al., "Basic
+    Performance Measurements of the Intel Optane DC Persistent Memory
+    Module"; Yang et al., FAST'20) for a single socket with six interleaved
+    128 GB DIMMs, and ordinary six-channel DDR4-2666 DRAM — the evaluation
+    platform of the paper.  Three properties drive every result in the
+    paper and must survive in the model:
+
+    - asymmetric bandwidth: NVM peak read bandwidth far exceeds peak write;
+    - write interference: mixing writes into a read stream collapses total
+      NVM bandwidth well below the harmonic mean of the two peaks;
+    - early saturation: a handful of threads saturates NVM, while DRAM
+      keeps scaling. *)
+
+type t = {
+  name : string;
+  read_latency_random_ns : float;
+  read_latency_seq_ns : float;  (** first line of a detected stream *)
+  write_latency_ns : float;  (** store visible cost; drain is bandwidth *)
+  (* Device-level bandwidth caps, GB/s. *)
+  bw_read_seq : float;
+  bw_read_random : float;
+  bw_write_seq : float;
+  bw_write_random : float;
+  bw_nt_write : float;
+  (* Single-thread achievable bandwidth, GB/s (limited by MLP / fill
+     buffers rather than the device). *)
+  thread_bw_read_seq : float;
+  thread_bw_read_random : float;
+  thread_bw_write_seq : float;
+  thread_bw_write_random : float;
+  thread_bw_nt_write : float;
+  write_interference : float;
+      (** 0 = reads and writes share bandwidth gracefully; near 1 = a mixed
+          read/write stream collapses far below the harmonic-mean mix. *)
+  price_per_gb : float;  (** dollars; used by the Fig. 12 analysis *)
+}
+
+let dram =
+  {
+    name = "DRAM (6ch DDR4-2666)";
+    read_latency_random_ns = 81.0;
+    read_latency_seq_ns = 14.0;
+    write_latency_ns = 12.0;
+    bw_read_seq = 105.0;
+    bw_read_random = 38.0;
+    bw_write_seq = 83.0;
+    bw_write_random = 30.0;
+    bw_nt_write = 60.0;
+    thread_bw_read_seq = 12.0;
+    thread_bw_read_random = 6.3;
+    thread_bw_write_seq = 10.0;
+    thread_bw_write_random = 5.2;
+    thread_bw_nt_write = 9.0;
+    write_interference = 0.15;
+    price_per_gb = 7.81;
+  }
+
+let optane =
+  {
+    name = "Intel Optane DC PM (6x128GB)";
+    read_latency_random_ns = 305.0;
+    read_latency_seq_ns = 55.0;
+    write_latency_ns = 62.0;
+    bw_read_seq = 39.0;
+    bw_read_random = 11.5;
+    bw_write_seq = 11.5;
+    bw_write_random = 7.0;
+    bw_nt_write = 13.9;
+    thread_bw_read_seq = 7.5;
+    thread_bw_read_random = 1.7;
+    thread_bw_write_seq = 2.6;
+    thread_bw_write_random = 0.9;
+    thread_bw_nt_write = 4.6;
+    write_interference = 0.42;
+    price_per_gb = 3.01;
+  }
+
+let device_bw t (kind : Access.kind) (pattern : Access.pattern) =
+  match kind, pattern with
+  | Access.Read, Access.Sequential -> t.bw_read_seq
+  | Access.Read, Access.Random -> t.bw_read_random
+  | Access.Write, Access.Sequential -> t.bw_write_seq
+  | Access.Write, Access.Random -> t.bw_write_random
+  | Access.Nt_write, _ -> t.bw_nt_write
+
+let thread_bw t (kind : Access.kind) (pattern : Access.pattern) =
+  match kind, pattern with
+  | Access.Read, Access.Sequential -> t.thread_bw_read_seq
+  | Access.Read, Access.Random -> t.thread_bw_read_random
+  | Access.Write, Access.Sequential -> t.thread_bw_write_seq
+  | Access.Write, Access.Random -> t.thread_bw_write_random
+  | Access.Nt_write, _ -> t.thread_bw_nt_write
+
+let latency_ns t (kind : Access.kind) (pattern : Access.pattern) =
+  match kind, pattern with
+  | Access.Read, Access.Random -> t.read_latency_random_ns
+  | Access.Read, Access.Sequential -> t.read_latency_seq_ns
+  | (Access.Write | Access.Nt_write), _ -> t.write_latency_ns

@@ -1,0 +1,37 @@
+(** Memory-device parameter sets, calibrated to published Optane DC PM and
+    DDR4 measurements (see the implementation header for sources). *)
+
+type t = {
+  name : string;
+  read_latency_random_ns : float;
+  read_latency_seq_ns : float;
+  write_latency_ns : float;
+  bw_read_seq : float;
+  bw_read_random : float;
+  bw_write_seq : float;
+  bw_write_random : float;
+  bw_nt_write : float;
+  thread_bw_read_seq : float;
+  thread_bw_read_random : float;
+  thread_bw_write_seq : float;
+  thread_bw_write_random : float;
+  thread_bw_nt_write : float;
+  write_interference : float;
+  price_per_gb : float;
+}
+
+val dram : t
+(** Six-channel DDR4-2666, one socket. *)
+
+val optane : t
+(** Six interleaved 128 GB Optane DC PM DIMMs, one socket — the paper's
+    evaluation platform. *)
+
+val device_bw : t -> Access.kind -> Access.pattern -> float
+(** Device-level bandwidth cap in GB/s for an access class. *)
+
+val thread_bw : t -> Access.kind -> Access.pattern -> float
+(** Single-thread achievable bandwidth in GB/s for an access class. *)
+
+val latency_ns : t -> Access.kind -> Access.pattern -> float
+(** First-touch latency (LLC-miss penalty) for an access class. *)

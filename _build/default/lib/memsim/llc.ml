@@ -1,0 +1,197 @@
+(** Last-level cache model.
+
+    A set-associative cache with LRU replacement over 64-byte lines.  The
+    GC's copy-and-traverse phase has poor locality (paper §2.2), so what
+    matters is (a) whether an access misses, (b) whether a software
+    prefetch hid part of the miss latency (§4.3), and (c) where dirty
+    lines go when they are evicted: a write that hits in cache still costs
+    the device a write-back later, which is how the random header and
+    reference updates of vanilla G1 turn into the NVM write traffic the
+    paper measures.
+
+    Prefetched lines carry a flag: the first demand access to such a line
+    is charged only a residual fraction of the miss latency.
+
+    The paper's Intel CAT experiment (restricting GC to 1/16 of the LLC)
+    maps onto the [capacity_bytes] knob. *)
+
+let line_bytes = 64
+
+type set = {
+  tags : int array;  (** line ids; -1 = invalid *)
+  mutable prefetched : int;  (** bitmask over ways *)
+  mutable dirty : int;  (** bitmask over ways *)
+  mutable nvm : int;  (** bitmask: line belongs to the NVM space *)
+  mutable seqw : int;
+      (** bitmask: line was dirtied by a sequential (streaming) write, so
+          its eventual write-back drains at the sequential rate *)
+  lru : int array;  (** lru.(i) = age rank of way i; 0 = most recent *)
+}
+
+type t = {
+  nsets : int;
+  ways : int;
+  sets : set array;
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_issued : int;
+  mutable writebacks : int;
+}
+
+let create ~capacity_bytes ~ways =
+  let ways = max 1 ways in
+  let lines = max ways (capacity_bytes / line_bytes) in
+  let nsets_raw = max 1 (lines / ways) in
+  (* round set count down to a power of two for cheap indexing *)
+  let rec pow2 acc = if acc * 2 > nsets_raw then acc else pow2 (acc * 2) in
+  let nsets = pow2 1 in
+  {
+    nsets;
+    ways;
+    sets =
+      Array.init nsets (fun _ ->
+          {
+            tags = Array.make ways (-1);
+            prefetched = 0;
+            dirty = 0;
+            nvm = 0;
+            seqw = 0;
+            lru = Array.init ways (fun i -> i);
+          });
+    hits = 0;
+    misses = 0;
+    prefetch_hits = 0;
+    prefetch_issued = 0;
+    writebacks = 0;
+  }
+
+let capacity_bytes t = t.nsets * t.ways * line_bytes
+
+(* Mix the line id so that strided heap layouts spread over sets. *)
+let set_of t line = (line * 0x9E3779B1) land max_int mod t.nsets
+
+let touch set way =
+  let old_rank = set.lru.(way) in
+  for i = 0 to Array.length set.lru - 1 do
+    if set.lru.(i) < old_rank then set.lru.(i) <- set.lru.(i) + 1
+  done;
+  set.lru.(way) <- 0
+
+let find_way set line =
+  let n = Array.length set.tags in
+  let rec loop i =
+    if i >= n then None else if set.tags.(i) = line then Some i else loop (i + 1)
+  in
+  loop 0
+
+let victim_way set =
+  let n = Array.length set.lru in
+  let rec loop i best =
+    if i >= n then best
+    else if set.lru.(i) > set.lru.(best) then loop (i + 1) i
+    else loop (i + 1) best
+  in
+  loop 1 0
+
+type outcome = Hit | Miss | Prefetched_hit
+
+(** Eviction of a dirty line: its address and whether it belonged to the
+    NVM space — the caller charges the device write-back. *)
+type writeback = { wb_addr : int; wb_nvm : bool; wb_seq : bool }
+
+(* Install [line] in [set], evicting the LRU way.  Returns the way used
+   and the write-back the eviction causes, if any. *)
+let install t set line ~write ~seq ~nvm =
+  let way = victim_way set in
+  let bit = 1 lsl way in
+  let evicted =
+    if set.dirty land bit <> 0 && set.tags.(way) >= 0 then begin
+      t.writebacks <- t.writebacks + 1;
+      Some
+        {
+          wb_addr = set.tags.(way) * line_bytes;
+          wb_nvm = set.nvm land bit <> 0;
+          wb_seq = set.seqw land bit <> 0;
+        }
+    end
+    else None
+  in
+  set.tags.(way) <- line;
+  set.prefetched <- set.prefetched land lnot bit;
+  set.dirty <- (if write then set.dirty lor bit else set.dirty land lnot bit);
+  set.seqw <-
+    (if write && seq then set.seqw lor bit else set.seqw land lnot bit);
+  set.nvm <- (if nvm then set.nvm lor bit else set.nvm land lnot bit);
+  touch set way;
+  (way, evicted)
+
+(** [access t addr ~write ~nvm] looks up (and on miss, fills) the line
+    containing [addr].  Returns the outcome and, when the fill evicted a
+    dirty line, the write-back it caused. *)
+let access t addr ~write ~seq ~nvm =
+  let line = addr / line_bytes in
+  let set = t.sets.(set_of t line) in
+  match find_way set line with
+  | Some way ->
+      touch set way;
+      let bit = 1 lsl way in
+      if write then begin
+        set.dirty <- set.dirty lor bit;
+        if seq then set.seqw <- set.seqw lor bit
+      end;
+      if set.prefetched land bit <> 0 then begin
+        set.prefetched <- set.prefetched land lnot bit;
+        t.prefetch_hits <- t.prefetch_hits + 1;
+        (Prefetched_hit, None)
+      end
+      else begin
+        t.hits <- t.hits + 1;
+        (Hit, None)
+      end
+  | None ->
+      t.misses <- t.misses + 1;
+      let _, wb = install t set line ~write ~seq ~nvm in
+      (Miss, wb)
+
+(** Insert a line ahead of use; the next demand access reports
+    [Prefetched_hit].  Idempotent on resident lines.  Returns
+    [(fetched, writeback)]: [fetched] is false when the line was already
+    resident (no device traffic); the write-back is any dirty eviction the
+    insertion forced. *)
+let prefetch t addr ~nvm =
+  let line = addr / line_bytes in
+  let set = t.sets.(set_of t line) in
+  t.prefetch_issued <- t.prefetch_issued + 1;
+  match find_way set line with
+  | Some way ->
+      (* Already resident: re-mark so the consumer still sees the cheap
+         path (prefetching a resident line costs nothing extra). *)
+      set.prefetched <- set.prefetched lor (1 lsl way);
+      (false, None)
+  | None ->
+      let way, wb = install t set line ~write:false ~seq:false ~nvm in
+      set.prefetched <- set.prefetched lor (1 lsl way);
+      (true, wb)
+
+(** Invalidate everything (used between independent simulation phases);
+    dirty contents are discarded, not written back. *)
+let clear t =
+  Array.iter
+    (fun set ->
+      Array.fill set.tags 0 (Array.length set.tags) (-1);
+      set.prefetched <- 0;
+      set.dirty <- 0;
+      set.nvm <- 0;
+      set.seqw <- 0)
+    t.sets
+
+let hits t = t.hits
+let misses t = t.misses
+let prefetch_hits t = t.prefetch_hits
+let prefetch_issued t = t.prefetch_issued
+let writebacks t = t.writebacks
+
+let miss_rate t =
+  let total = t.hits + t.misses + t.prefetch_hits in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total

@@ -1,0 +1,36 @@
+(** Set-associative last-level cache model with software-prefetch support
+    and dirty-line write-back tracking. *)
+
+val line_bytes : int
+
+type t
+
+type outcome = Hit | Miss | Prefetched_hit
+
+type writeback = { wb_addr : int; wb_nvm : bool; wb_seq : bool }
+(** A dirty line evicted by a fill; the caller charges the device.
+    [wb_seq] marks lines dirtied by streaming writes (drain sequentially). *)
+
+val create : capacity_bytes:int -> ways:int -> t
+(** Set count is rounded down to a power of two. *)
+
+val capacity_bytes : t -> int
+
+val access :
+  t -> int -> write:bool -> seq:bool -> nvm:bool -> outcome * writeback option
+(** Demand access to the line containing the address; fills on miss,
+    marking the line dirty on writes and tagging its backing space. *)
+
+val prefetch : t -> int -> nvm:bool -> bool * writeback option
+(** Software prefetch: inserts (or marks) the line so the next demand
+    access reports [Prefetched_hit].  Returns whether the line was
+    actually fetched (false = already resident, no device traffic). *)
+
+val clear : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val prefetch_hits : t -> int
+val prefetch_issued : t -> int
+val writebacks : t -> int
+val miss_rate : t -> float

@@ -1,0 +1,425 @@
+(** The composed memory system: two devices (DRAM + NVM), a shared LLC,
+    per-device traffic-mix tracking, bandwidth accounting and traces.
+
+    This is the substrate standing in for the paper's evaluation machine.
+    All simulated components (heap, GC, mutator) charge their memory
+    operations here; [access] returns the simulated duration of the
+    operation, which callers add to their simulated clock.
+
+    Contention is modelled structurally, not by thread counting: each
+    device is a pipe whose service credit accrues at wall rate, and every
+    access that reaches the device consumes its (interference-penalized)
+    service time from it.  When concurrent simulated threads out-demand
+    the device, the backlog grows and every access queues — the hard
+    bandwidth ceiling that makes NVM GC saturate at a handful of threads
+    while DRAM keeps scaling (paper §2.3, Figure 2).  Exponentially
+    decaying per-class byte counters track the recent read/write mix (for
+    the interference penalty) and double as a consumed-bandwidth
+    estimate for diagnostics. *)
+
+type config = {
+  dram : Device.t;
+  nvm : Device.t;
+  llc_capacity_bytes : int;
+  llc_ways : int;
+  llc_hit_ns : float;
+  prefetch_residual : float;
+      (** fraction of the miss latency still paid when hitting a
+          software-prefetched line (the rest was overlapped) *)
+  mix_tau_ns : float;  (** time constant of the traffic-mix EMA *)
+  trace_bucket_ns : float;
+  trace_enabled : bool;
+}
+
+let default_config =
+  {
+    dram = Device.dram;
+    nvm = Device.optane;
+    (* LLC sized at 1/64 of the real 38.5 MB to match the default heap
+       scale-down. *)
+    llc_capacity_bytes = 38_500_000 / 64;
+    llc_ways = 11;
+    llc_hit_ns = 20.0;
+    prefetch_residual = 0.15;
+    mix_tau_ns = 25_000.0;
+    trace_bucket_ns = 1_000_000.0;
+    trace_enabled = false;
+  }
+
+(* Exponentially decaying byte counters per access class.  With decay
+   time-constant tau, a steady traffic rate r settles at ema = r * tau, so
+   ema / tau estimates the recent consumed bandwidth. *)
+type mix = {
+  mutable read_rand : float;
+  mutable read_seq : float;
+  mutable write_rand : float;
+  mutable write_seq : float;  (** includes non-temporal writes *)
+  mutable last_ns : float;
+}
+
+type totals = {
+  mutable read_bytes : float;
+  mutable write_bytes : float;
+  mutable read_ns : float;
+  mutable write_ns : float;
+}
+
+type t = {
+  config : config;
+  llc : Llc.t;
+  mixes : mix array;  (** indexed by space *)
+  totals : totals array;
+  (* Device-pipe credit bucket, per space: service-time credit accrues at
+     wall rate (1 ns per ns) up to a small burst, and every access that
+     reaches the device consumes its service time from it.  Aggregate
+     service is therefore hard-capped at the device rate, while the burst
+     tolerates the micro-reordering inherent in simulating one multi-access
+     work item at a time per thread. *)
+  pipe_credit_ns : float array;
+  pipe_last_ns : float array;
+  pipe_service_ns : float array;  (** summed reserved service time *)
+  pipe_wait_ns : float array;  (** summed queueing waits *)
+  service_by_class : float array array;
+      (** [space].[class]: service ns by (read-rand, read-seq, write-rand,
+          write-seq, nt, writeback) — diagnostic *)
+  trace_read : Simstats.Timeseries.t array;
+  trace_write : Simstats.Timeseries.t array;
+}
+
+let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
+
+let class_idx (kind : Access.kind) (pattern : Access.pattern) =
+  match kind, pattern with
+  | Access.Read, Access.Random -> 0
+  | Access.Read, Access.Sequential -> 1
+  | Access.Write, Access.Random -> 2
+  | Access.Write, Access.Sequential -> 3
+  | Access.Nt_write, _ -> 4
+
+let pipe_burst_ns = 4_000.0
+
+(* Consume [service_ns] of device-pipe credit at [now_ns]; returns the
+   queueing wait (the backlog ahead of this access).  Credit accrues at
+   wall rate up to a small burst and goes negative under overload — the
+   negative part is the backlog every new arrival waits behind, which is
+   what pins aggregate throughput at the device rate.  Arrivals slightly
+   in the past (clock skew between simulated threads) accrue no credit
+   but still join the queue. *)
+let pipe_consume t idx ~now_ns ~service_ns =
+  let dt = Float.max 0.0 (now_ns -. t.pipe_last_ns.(idx)) in
+  t.pipe_last_ns.(idx) <- Float.max t.pipe_last_ns.(idx) now_ns;
+  let credit = Float.min pipe_burst_ns (t.pipe_credit_ns.(idx) +. dt) in
+  t.pipe_service_ns.(idx) <- t.pipe_service_ns.(idx) +. service_ns;
+  let wait = Float.max 0.0 (-.credit) in
+  t.pipe_credit_ns.(idx) <- credit -. service_ns;
+  t.pipe_wait_ns.(idx) <- t.pipe_wait_ns.(idx) +. wait;
+  wait
+
+(* Random accesses cost the device a full line regardless of useful
+   bytes. *)
+let service_bytes (a : Access.t) =
+  match a.Access.pattern with
+  | Access.Random ->
+      Llc.line_bytes * ((a.Access.bytes + Llc.line_bytes - 1) / Llc.line_bytes)
+  | Access.Sequential -> a.Access.bytes
+
+let device t : Access.space -> Device.t = function
+  | Access.Dram -> t.config.dram
+  | Access.Nvm -> t.config.nvm
+
+let create config =
+  {
+    config;
+    llc = Llc.create ~capacity_bytes:config.llc_capacity_bytes ~ways:config.llc_ways;
+    mixes =
+      Array.init 2 (fun _ ->
+          {
+            read_rand = 0.0;
+            read_seq = 0.0;
+            write_rand = 0.0;
+            write_seq = 0.0;
+            last_ns = 0.0;
+          });
+    totals =
+      Array.init 2 (fun _ ->
+          { read_bytes = 0.0; write_bytes = 0.0; read_ns = 0.0; write_ns = 0.0 });
+    pipe_credit_ns = Array.make 2 pipe_burst_ns;
+    pipe_last_ns = Array.make 2 0.0;
+    pipe_service_ns = Array.make 2 0.0;
+    pipe_wait_ns = Array.make 2 0.0;
+    service_by_class = Array.init 2 (fun _ -> Array.make 6 0.0);
+    trace_read =
+      Array.init 2 (fun _ ->
+          Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
+    trace_write =
+      Array.init 2 (fun _ ->
+          Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
+  }
+
+let llc t = t.llc
+
+let decay_mix t mix ~now_ns =
+  let dt = now_ns -. mix.last_ns in
+  if dt > 0.0 then begin
+    let f = exp (-.dt /. t.config.mix_tau_ns) in
+    mix.read_rand <- mix.read_rand *. f;
+    mix.read_seq <- mix.read_seq *. f;
+    mix.write_rand <- mix.write_rand *. f;
+    mix.write_seq <- mix.write_seq *. f;
+    mix.last_ns <- now_ns
+  end
+
+let mix_total mix = mix.read_rand +. mix.read_seq +. mix.write_rand +. mix.write_seq
+
+(** Current write fraction of recent traffic to a space, in [0, 1]. *)
+let write_frac t space ~now_ns =
+  let mix = t.mixes.(space_index space) in
+  decay_mix t mix ~now_ns;
+  let total = mix_total mix in
+  if total <= 0.0 then 0.0 else (mix.write_rand +. mix.write_seq) /. total
+
+(** Recent consumed bandwidth on a space, GB/s (= bytes/ns). *)
+let consumed_gbps t space ~now_ns =
+  let mix = t.mixes.(space_index space) in
+  decay_mix t mix ~now_ns;
+  mix_total mix /. t.config.mix_tau_ns
+
+(** Utilization of a space under the current class mix. *)
+let utilization t space ~now_ns =
+  let mix = t.mixes.(space_index space) in
+  decay_mix t mix ~now_ns;
+  let total = mix_total mix in
+  if total <= 0.0 then 0.0
+  else begin
+    let w = (mix.write_rand +. mix.write_seq) /. total in
+    let cap =
+      Bandwidth.total_cap (device t space) ~write_frac:w
+        ~shares:(mix.read_rand, mix.read_seq, mix.write_rand, mix.write_seq)
+    in
+    total /. t.config.mix_tau_ns /. cap
+  end
+
+let record_mix t space ~now_ns ~bytes (kind : Access.kind)
+    (pattern : Access.pattern) =
+  let mix = t.mixes.(space_index space) in
+  decay_mix t mix ~now_ns;
+  let b = float_of_int bytes in
+  match kind, pattern with
+  | Access.Read, Access.Random -> mix.read_rand <- mix.read_rand +. b
+  | Access.Read, Access.Sequential -> mix.read_seq <- mix.read_seq +. b
+  | Access.Write, Access.Random -> mix.write_rand <- mix.write_rand +. b
+  | Access.Write, Access.Sequential | Access.Nt_write, _ ->
+      mix.write_seq <- mix.write_seq +. b
+
+(* Charge an evicted dirty line: a posted 64-byte random write to its
+   backing device.  The evicting thread does not stall on it, but it
+   consumes device-pipe bandwidth and counts as write traffic — this is
+   how cached random header/reference updates become the NVM writes the
+   paper measures. *)
+let charge_writeback t ~now_ns (wb : Llc.writeback) =
+  let space = if wb.Llc.wb_nvm then Access.Nvm else Access.Dram in
+  let pattern = if wb.Llc.wb_seq then Access.Sequential else Access.Random in
+  let idx = space_index space in
+  let w = write_frac t space ~now_ns in
+  record_mix t space ~now_ns ~bytes:Llc.line_bytes Access.Write pattern;
+  let rate =
+    Bandwidth.service_gbps (device t space) Access.Write pattern ~write_frac:w
+  in
+  let svc = Bandwidth.transfer_ns ~bytes:Llc.line_bytes ~gbps:rate in
+  ignore (pipe_consume t idx ~now_ns ~service_ns:svc);
+  t.service_by_class.(idx).(5) <- t.service_by_class.(idx).(5) +. svc;
+  t.totals.(idx).write_bytes <-
+    t.totals.(idx).write_bytes +. float_of_int Llc.line_bytes;
+  if t.config.trace_enabled then
+    Simstats.Timeseries.add t.trace_write.(idx) ~time_ns:now_ns
+      (float_of_int Llc.line_bytes)
+
+(* Touch every line of a multi-line access so the cache model reflects the
+   pollution of bulk copies.  Only the first line's outcome decides the
+   latency charge; subsequent lines ride the stream.  Dirty evictions are
+   charged as posted write-backs. *)
+let llc_touch_lines t ~now_ns ~write ~seq ~nvm addr bytes =
+  let charge_wb = function
+    | Some wb -> charge_writeback t ~now_ns wb
+    | None -> ()
+  in
+  let first, wb = Llc.access t.llc addr ~write ~seq ~nvm in
+  charge_wb wb;
+  let lines = (bytes + Llc.line_bytes - 1) / Llc.line_bytes in
+  for i = 1 to lines - 1 do
+    let _, wb = Llc.access t.llc (addr + (i * Llc.line_bytes)) ~write ~seq ~nvm in
+    charge_wb wb
+  done;
+  first
+
+(** [access t ~now_ns ~addr a] charges access [a] at address [addr] and
+    returns its simulated duration in nanoseconds.
+
+    Duration = queue wait + (LLC/device) latency + transfer at the issuing
+    thread's rate.  The access also occupies the space's device pipe for
+    [bytes / service-rate]; when concurrent simulated threads out-demand
+    the device, the pipe backlog grows and every subsequent access queues —
+    the hard bandwidth ceiling that makes NVM GC non-scalable (§2.3). *)
+let access ?(force_device = false) t ~now_ns ~addr (a : Access.t) =
+  let dev = device t a.Access.space in
+  let is_write = Access.is_write a in
+  (* Mix is read before this access is recorded, so a single large
+     transfer does not interfere with itself. *)
+  let w = write_frac t a.Access.space ~now_ns in
+  record_mix t a.Access.space ~now_ns ~bytes:a.Access.bytes a.Access.kind
+    a.Access.pattern;
+  let latency =
+    match a.Access.kind with
+    | Access.Nt_write ->
+        (* Non-temporal stores bypass the cache hierarchy entirely. *)
+        dev.Device.write_latency_ns
+    | (Access.Read | Access.Write) when force_device ->
+        (* Atomic/uncoalesced operations (forwarding-pointer CAS): always
+           reach the device, regardless of cache residency. *)
+        Device.latency_ns dev a.Access.kind a.Access.pattern
+    | Access.Read | Access.Write -> begin
+        match
+          llc_touch_lines t ~now_ns ~write:is_write
+            ~seq:(a.Access.pattern = Access.Sequential)
+            ~nvm:(a.Access.space = Access.Nvm) addr a.Access.bytes
+        with
+        | Llc.Hit -> t.config.llc_hit_ns
+        | Llc.Prefetched_hit ->
+            t.config.llc_hit_ns
+            +. (t.config.prefetch_residual
+               *. Device.latency_ns dev a.Access.kind a.Access.pattern)
+        | Llc.Miss -> Device.latency_ns dev a.Access.kind a.Access.pattern
+      end
+  in
+  let hit = latency <= t.config.llc_hit_ns in
+  let idx_pipe = space_index a.Access.space in
+  let queue_wait, service =
+    if hit then (0.0, 0.0)
+    else begin
+      (* LLC hits never reach the device pipe. *)
+      let rate =
+        Bandwidth.service_gbps dev a.Access.kind a.Access.pattern ~write_frac:w
+      in
+      let sbytes = service_bytes a in
+      let sbytes =
+        (* Uncoalesced RMWs on Optane touch a full 256-byte internal
+           block (the XPLine). *)
+        if force_device && a.Access.space = Access.Nvm then max sbytes 128
+        else sbytes
+      in
+      let service = Bandwidth.transfer_ns ~bytes:sbytes ~gbps:rate in
+      let wait = pipe_consume t idx_pipe ~now_ns ~service_ns:service in
+      t.service_by_class.(idx_pipe).(class_idx a.Access.kind a.Access.pattern) <-
+        t.service_by_class.(idx_pipe).(class_idx a.Access.kind a.Access.pattern)
+        +. service;
+      (wait, service)
+    end
+  in
+  let gbps =
+    Bandwidth.effective_gbps dev a.Access.kind a.Access.pattern ~write_frac:w
+  in
+  let transfer =
+    Float.max service (Bandwidth.transfer_ns ~bytes:a.Access.bytes ~gbps)
+  in
+  let llc_gbps = 64.0 in
+  let duration =
+    if hit then latency +. Bandwidth.transfer_ns ~bytes:a.Access.bytes ~gbps:llc_gbps
+    else queue_wait +. latency +. transfer
+  in
+  let idx = space_index a.Access.space in
+  let tot = t.totals.(idx) in
+  let b = float_of_int a.Access.bytes in
+  if is_write then begin
+    tot.write_bytes <- tot.write_bytes +. b;
+    tot.write_ns <- tot.write_ns +. duration
+  end
+  else begin
+    tot.read_bytes <- tot.read_bytes +. b;
+    tot.read_ns <- tot.read_ns +. duration
+  end;
+  if t.config.trace_enabled then begin
+    let series = if is_write then t.trace_write.(idx) else t.trace_read.(idx) in
+    Simstats.Timeseries.add_spread series ~from_ns:now_ns
+      ~until_ns:(now_ns +. duration) b
+  end;
+  duration
+
+(** Issue a software prefetch for the line at [addr]: marks the LLC and
+    consumes read bandwidth.  Returns the (small) issue cost. *)
+let prefetch t ~now_ns ~addr space =
+  let fetched, wb = Llc.prefetch t.llc addr ~nvm:(space = Access.Nvm) in
+  (match wb with
+  | Some wb -> charge_writeback t ~now_ns wb
+  | None -> ());
+  if fetched then begin
+    (* the prefetched line occupies the device pipe like any other read *)
+    record_mix t space ~now_ns ~bytes:Llc.line_bytes Access.Read Access.Random;
+    let idx = space_index space in
+    let rate =
+      Bandwidth.service_gbps (device t space) Access.Read Access.Random
+        ~write_frac:(write_frac t space ~now_ns)
+    in
+    let svc = Bandwidth.transfer_ns ~bytes:Llc.line_bytes ~gbps:rate in
+    ignore (pipe_consume t idx ~now_ns ~service_ns:svc);
+    t.service_by_class.(idx).(0) <- t.service_by_class.(idx).(0) +. svc;
+    t.totals.(idx).read_bytes <-
+      t.totals.(idx).read_bytes +. float_of_int Llc.line_bytes;
+    if t.config.trace_enabled then
+      Simstats.Timeseries.add t.trace_read.(idx) ~time_ns:now_ns
+        (float_of_int Llc.line_bytes)
+  end;
+  1.5
+
+(** Account bulk traffic whose duration was computed analytically by the
+    caller (the mutator's non-GC phases): updates totals, the mix EMA and
+    the traces, without deriving a cost. *)
+let record_background t ~from_ns ~until_ns ~space ~read_bytes ~write_bytes =
+  let idx = space_index space in
+  let tot = t.totals.(idx) in
+  tot.read_bytes <- tot.read_bytes +. read_bytes;
+  tot.write_bytes <- tot.write_bytes +. write_bytes;
+  record_mix t space ~now_ns:until_ns ~bytes:(int_of_float read_bytes)
+    Access.Read Access.Random;
+  record_mix t space ~now_ns:until_ns ~bytes:(int_of_float write_bytes)
+    Access.Write Access.Random;
+  if t.config.trace_enabled then begin
+    if read_bytes > 0.0 then
+      Simstats.Timeseries.add_spread t.trace_read.(idx) ~from_ns ~until_ns
+        read_bytes;
+    if write_bytes > 0.0 then
+      Simstats.Timeseries.add_spread t.trace_write.(idx) ~from_ns ~until_ns
+        write_bytes
+  end
+
+type snapshot = {
+  dram_read_bytes : float;
+  dram_write_bytes : float;
+  nvm_read_bytes : float;
+  nvm_write_bytes : float;
+}
+
+let snapshot t =
+  {
+    dram_read_bytes = t.totals.(0).read_bytes;
+    dram_write_bytes = t.totals.(0).write_bytes;
+    nvm_read_bytes = t.totals.(1).read_bytes;
+    nvm_write_bytes = t.totals.(1).write_bytes;
+  }
+
+(** Bytes moved between two snapshots. *)
+let diff ~before ~after =
+  {
+    dram_read_bytes = after.dram_read_bytes -. before.dram_read_bytes;
+    dram_write_bytes = after.dram_write_bytes -. before.dram_write_bytes;
+    nvm_read_bytes = after.nvm_read_bytes -. before.nvm_read_bytes;
+    nvm_write_bytes = after.nvm_write_bytes -. before.nvm_write_bytes;
+  }
+
+let pipe_stats t space =
+  let i = space_index space in
+  (t.pipe_service_ns.(i), t.pipe_wait_ns.(i))
+
+let service_by_class t space = t.service_by_class.(space_index space)
+
+let read_trace t space = t.trace_read.(space_index space)
+let write_trace t space = t.trace_write.(space_index space)

@@ -1,0 +1,72 @@
+(** The composed memory system (DRAM + NVM + shared LLC) that all simulated
+    components charge their operations against.  Contention is modelled by
+    utilization feedback: recent consumed bandwidth vs the mix-interfered
+    device capacity throttles transfers and inflates miss latency. *)
+
+type config = {
+  dram : Device.t;
+  nvm : Device.t;
+  llc_capacity_bytes : int;
+  llc_ways : int;
+  llc_hit_ns : float;
+  prefetch_residual : float;
+  mix_tau_ns : float;
+  trace_bucket_ns : float;
+  trace_enabled : bool;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+val llc : t -> Llc.t
+val device : t -> Access.space -> Device.t
+
+val write_frac : t -> Access.space -> now_ns:float -> float
+(** Write fraction of recent traffic to the space (EMA-windowed). *)
+
+val consumed_gbps : t -> Access.space -> now_ns:float -> float
+(** Recent consumed bandwidth estimate, GB/s. *)
+
+val utilization : t -> Access.space -> now_ns:float -> float
+(** Consumed bandwidth over current interfered capacity (can exceed 1). *)
+
+val access : ?force_device:bool -> t -> now_ns:float -> addr:int -> Access.t -> float
+(** Charge an access; returns its simulated duration in nanoseconds.
+    [force_device] models atomic/uncoalesced operations that always reach
+    the device regardless of cache residency (forwarding-pointer CAS). *)
+
+val prefetch : t -> now_ns:float -> addr:int -> Access.space -> float
+(** Software prefetch of one line; returns the issue cost in nanoseconds. *)
+
+val record_background :
+  t ->
+  from_ns:float ->
+  until_ns:float ->
+  space:Access.space ->
+  read_bytes:float ->
+  write_bytes:float ->
+  unit
+(** Account bulk traffic whose duration the caller computed analytically
+    (the mutator's non-GC phases): totals, mix EMA and traces only. *)
+
+type snapshot = {
+  dram_read_bytes : float;
+  dram_write_bytes : float;
+  nvm_read_bytes : float;
+  nvm_write_bytes : float;
+}
+
+val snapshot : t -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+val pipe_stats : t -> Access.space -> float * float
+(** (summed service ns, summed queue-wait ns) for a space's device pipe. *)
+
+val service_by_class : t -> Access.space -> float array
+(** Diagnostic: service ns by class (read-rand, read-seq, write-rand,
+    write-seq, nt-write, write-back). *)
+
+val read_trace : t -> Access.space -> Simstats.Timeseries.t
+val write_trace : t -> Access.space -> Simstats.Timeseries.t

@@ -1,0 +1,1 @@
+lib/simheap/heap.ml: Array Hashtbl Layout List Memsim Objmodel Region Simstats

@@ -1,0 +1,1 @@
+lib/simheap/objmodel.ml: Array Layout

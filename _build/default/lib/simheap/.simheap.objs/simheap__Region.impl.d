@@ -1,0 +1,1 @@
+lib/simheap/region.ml: Layout Memsim Objmodel Simstats

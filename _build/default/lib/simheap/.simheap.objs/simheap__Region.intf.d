@@ -1,0 +1,1 @@
+lib/simheap/region.mli: Memsim Objmodel Simstats

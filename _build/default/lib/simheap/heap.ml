@@ -1,0 +1,191 @@
+(** The simulated Java heap: a pool of regions plus object bookkeeping.
+
+    The heap is pure data structure — it never charges memory costs; the
+    GC and the mutator account their own accesses against {!Memsim.Memory}.
+    This mirrors the paper's separation between the heap layout (regions,
+    remembered sets) and the device behaviour underneath it.
+
+    Placement: normally every heap region lives on [heap_space] (NVM when
+    reproducing the paper's main configuration).  The [young_space]
+    override implements the "young-gen-dram" comparison configuration of
+    Figure 5, where DRAM serves allocation regions. *)
+
+type config = {
+  region_bytes : int;
+  heap_regions : int;
+  dram_scratch_regions : int;
+      (** ceiling on simultaneously live DRAM cache regions *)
+  heap_space : Memsim.Access.space;
+  young_space : Memsim.Access.space option;
+}
+
+let default_config =
+  {
+    region_bytes = 1 lsl 20;
+    heap_regions = 256;
+    dram_scratch_regions = 64;
+    heap_space = Memsim.Access.Nvm;
+    young_space = None;
+  }
+
+type t = {
+  config : config;
+  regions : Region.t array;
+  free : int Simstats.Vec.t;  (** indices of free heap regions *)
+  scratch : Region.t array;
+  scratch_free : int Simstats.Vec.t;
+  addr_map : (int, Objmodel.t) Hashtbl.t;
+  roots : Objmodel.root Simstats.Vec.t;
+  mutable next_obj_id : int;
+  mutable next_root_id : int;
+}
+
+let dummy_root : Objmodel.root = { root_id = -1; target = Layout.null }
+
+let create config =
+  let region i =
+    Region.create ~idx:i
+      ~base:(Layout.heap_base + (i * config.region_bytes))
+      ~bytes:config.region_bytes ~space:config.heap_space ~kind:Region.Free
+  in
+  let scratch i =
+    Region.create ~idx:i
+      ~base:(Layout.dram_scratch_base + (i * config.region_bytes))
+      ~bytes:config.region_bytes ~space:Memsim.Access.Dram ~kind:Region.Free
+  in
+  let t =
+    {
+      config;
+      regions = Array.init config.heap_regions region;
+      free = Simstats.Vec.create (-1);
+      scratch = Array.init config.dram_scratch_regions scratch;
+      scratch_free = Simstats.Vec.create (-1);
+      addr_map = Hashtbl.create 4096;
+      roots = Simstats.Vec.create dummy_root;
+      next_obj_id = 0;
+      next_root_id = 0;
+    }
+  in
+  for i = config.heap_regions - 1 downto 0 do
+    Simstats.Vec.push t.free i
+  done;
+  for i = config.dram_scratch_regions - 1 downto 0 do
+    Simstats.Vec.push t.scratch_free i
+  done;
+  t
+
+let region_bytes t = t.config.region_bytes
+
+(** Device space old (tenured) regions are placed on. *)
+let old_space t = t.config.heap_space
+
+(** Device space young (eden/survivor) regions are placed on. *)
+let young_space t =
+  match t.config.young_space with
+  | Some s -> s
+  | None -> t.config.heap_space
+
+let space_for t (kind : Region.kind) =
+  match kind with
+  | Region.Eden | Region.Survivor ->
+      (* Both young spaces follow the young placement: in the paper's
+         "young-gen-dram" comparison the extra DRAM serves the whole
+         young generation, so survivors stay on DRAM until tenuring.
+         (The write cache is a separate DRAM staging area, not a
+         placement change — with the default NVM placement survivors are
+         NVM regions.) *)
+      young_space t
+  | Region.Old -> t.config.heap_space
+  | Region.Cache -> Memsim.Access.Dram
+  | Region.Free -> t.config.heap_space
+
+(** Take a free heap region and assign it a role.  [None] when the heap is
+    exhausted. *)
+let alloc_region t kind =
+  match Simstats.Vec.pop t.free with
+  | None -> None
+  | Some idx ->
+      let r = t.regions.(idx) in
+      assert (r.Region.kind = Region.Free);
+      r.Region.kind <- kind;
+      r.Region.space <- space_for t kind;
+      Some r
+
+(** Take a DRAM scratch region for the GC write cache. *)
+let alloc_cache_region t =
+  match Simstats.Vec.pop t.scratch_free with
+  | None -> None
+  | Some idx ->
+      let r = t.scratch.(idx) in
+      r.Region.kind <- Region.Cache;
+      Some r
+
+let release_region t (r : Region.t) =
+  Region.reset r;
+  Simstats.Vec.push t.free r.Region.idx
+
+let release_cache_region t (r : Region.t) =
+  Region.reset r;
+  Simstats.Vec.push t.scratch_free r.Region.idx
+
+let free_regions t = Simstats.Vec.length t.free
+let free_cache_regions t = Simstats.Vec.length t.scratch_free
+
+let in_heap_range t addr =
+  addr >= Layout.heap_base
+  && addr < Layout.heap_base + (t.config.heap_regions * t.config.region_bytes)
+
+let region_of_addr t addr =
+  if not (in_heap_range t addr) then
+    invalid_arg "Heap.region_of_addr: address outside heap";
+  t.regions.((addr - Layout.heap_base) / t.config.region_bytes)
+
+let lookup t addr = Hashtbl.find_opt t.addr_map addr
+
+let lookup_exn t addr =
+  match lookup t addr with
+  | Some o -> o
+  | None -> invalid_arg "Heap.lookup_exn: unmapped address"
+
+let bind t addr obj = Hashtbl.replace t.addr_map addr obj
+let unbind t addr = Hashtbl.remove t.addr_map addr
+
+(** Allocate an object of [size] bytes with [nfields] (null) reference
+    fields inside [region].  [None] when the region is full. *)
+let new_object t region ~size ~nfields =
+  match Region.alloc region size with
+  | None -> None
+  | Some addr ->
+      let obj =
+        Objmodel.make ~id:t.next_obj_id ~addr ~size
+          ~fields:(Array.make nfields Layout.null)
+      in
+      t.next_obj_id <- t.next_obj_id + 1;
+      Simstats.Vec.push region.Region.objs obj;
+      bind t addr obj;
+      Some obj
+
+let new_root t target =
+  let root : Objmodel.root = { root_id = t.next_root_id; target } in
+  t.next_root_id <- t.next_root_id + 1;
+  Simstats.Vec.push t.roots root;
+  root
+
+let roots t = t.roots
+
+let clear_roots t = Simstats.Vec.clear t.roots
+
+let iter_regions f t = Array.iter f t.regions
+
+let regions_of_kind t kind =
+  Array.to_list t.regions
+  |> List.filter (fun (r : Region.t) -> r.Region.kind = kind)
+
+let young_regions t =
+  Array.to_list t.regions
+  |> List.filter (fun (r : Region.t) ->
+         match r.Region.kind with
+         | Region.Eden | Region.Survivor -> true
+         | Region.Free | Region.Old | Region.Cache -> false)
+
+let live_objects t = Hashtbl.length t.addr_map

@@ -1,0 +1,52 @@
+(** The simulated Java heap: region pool, object table, roots.
+
+    Pure bookkeeping — memory costs are charged by the GC/mutator against
+    {!Memsim.Memory}, not here. *)
+
+type config = {
+  region_bytes : int;
+  heap_regions : int;
+  dram_scratch_regions : int;
+  heap_space : Memsim.Access.space;
+  young_space : Memsim.Access.space option;
+      (** placement override for eden regions ("young-gen-dram") *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+val region_bytes : t -> int
+val young_space : t -> Memsim.Access.space
+val old_space : t -> Memsim.Access.space
+
+val alloc_region : t -> Region.kind -> Region.t option
+(** Assign a free heap region a role (and the space the placement policy
+    dictates); [None] when the heap is exhausted. *)
+
+val alloc_cache_region : t -> Region.t option
+(** Take a DRAM scratch region for the write cache. *)
+
+val release_region : t -> Region.t -> unit
+val release_cache_region : t -> Region.t -> unit
+val free_regions : t -> int
+val free_cache_regions : t -> int
+
+val in_heap_range : t -> int -> bool
+val region_of_addr : t -> int -> Region.t
+
+val lookup : t -> int -> Objmodel.t option
+val lookup_exn : t -> int -> Objmodel.t
+val bind : t -> int -> Objmodel.t -> unit
+val unbind : t -> int -> unit
+
+val new_object : t -> Region.t -> size:int -> nfields:int -> Objmodel.t option
+val new_root : t -> int -> Objmodel.root
+val roots : t -> Objmodel.root Simstats.Vec.t
+val clear_roots : t -> unit
+
+val iter_regions : (Region.t -> unit) -> t -> unit
+val regions_of_kind : t -> Region.kind -> Region.t list
+val young_regions : t -> Region.t list
+val live_objects : t -> int

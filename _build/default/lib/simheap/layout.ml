@@ -1,0 +1,22 @@
+(** Simulated address-space layout.
+
+    Addresses are plain ints.  Distinct backing areas live in disjoint
+    ranges so the LLC model never aliases them:
+
+    - the Java heap (regions) starts at 1 MiB;
+    - DRAM scratch regions (the GC write cache) start at 1 TiB;
+    - mutator root slots start at 2 TiB;
+    - the header-map table starts at 3 TiB. *)
+
+let null = 0
+let heap_base = 1 lsl 20
+let dram_scratch_base = 1 lsl 40
+let root_base = 2 * (1 lsl 40)
+let header_map_base = 3 * (1 lsl 40)
+
+let header_bytes = 16
+(** Per-object header: mark word + class word, as in HotSpot. *)
+
+let ref_bytes = 8
+
+let root_addr id = root_base + (id * ref_bytes)

@@ -1,0 +1,16 @@
+(** Simulated address-space layout: disjoint ranges for the heap, the
+    DRAM scratch (write-cache) area, mutator roots and the header map. *)
+
+val null : int
+val heap_base : int
+val dram_scratch_base : int
+val root_base : int
+val header_map_base : int
+
+val header_bytes : int
+(** Per-object header (mark word + class word). *)
+
+val ref_bytes : int
+
+val root_addr : int -> int
+(** Address of root slot [id]. *)

@@ -1,0 +1,69 @@
+(** Simulated Java objects, reference slots and roots.
+
+    An object is a header plus reference fields plus (implicitly) primitive
+    payload: [size] counts all of it, so [size - header - 8*nfields] bytes
+    are primitive data.  Objects with [fields = [||]] model primitive
+    arrays, which the paper calls out as the dominant shape in
+    naive-bayes. *)
+
+type t = {
+  id : int;
+  mutable addr : int;  (** current official heap address *)
+  mutable phys : int;
+      (** where the bytes physically are right now; differs from [addr]
+          while the object sits in a DRAM write-cache region *)
+  size : int;  (** total bytes including header and fields *)
+  fields : int array;  (** referent addresses; {!Layout.null} = null *)
+  mutable forward : int;
+      (** forwarding pointer as installed in the old copy's header;
+          {!Layout.null} when not forwarded.  The NVM-aware GC keeps this
+          in the header map instead (paper §3.3). *)
+  mutable cached : bool;
+      (** physical bytes currently live in a DRAM write-cache region *)
+  mutable age : int;  (** survived collections *)
+}
+
+let make ~id ~addr ~size ~fields =
+  assert (size >= Layout.header_bytes + (Array.length fields * Layout.ref_bytes));
+  { id; addr; phys = addr; size; fields; forward = Layout.null; cached = false; age = 0 }
+
+let nfields t = Array.length t.fields
+
+let is_array t = Array.length t.fields = 0 && t.size > Layout.header_bytes
+
+let primitive_bytes t =
+  t.size - Layout.header_bytes - (nfields t * Layout.ref_bytes)
+
+(** Address of field [i] within the object's official address. *)
+let field_addr t i = t.addr + Layout.header_bytes + (i * Layout.ref_bytes)
+
+(** Address of field [i] within the object's physical storage (the DRAM
+    cache copy while the object is cached). *)
+let field_phys_addr t i = t.phys + Layout.header_bytes + (i * Layout.ref_bytes)
+
+(** A mutator root: a slot outside the heap that points at a heap object.
+    Root slots live in the dedicated root address range (on DRAM). *)
+type root = { root_id : int; mutable target : int }
+
+let root_addr r = Layout.root_addr r.root_id
+
+(** A reference slot the GC must process: either field [i] of a holder
+    object, or a root.  Slots are what flow through the per-thread work
+    stacks during copy-and-traverse. *)
+type slot = Field of t * int | Root of root
+
+let slot_referent = function
+  | Field (holder, i) -> holder.fields.(i)
+  | Root r -> r.target
+
+let slot_write slot new_addr =
+  match slot with
+  | Field (holder, i) -> holder.fields.(i) <- new_addr
+  | Root r -> r.target <- new_addr
+
+(** Physical address of the slot itself (where the reference is stored),
+    for write accounting — fields of cached objects resolve to their DRAM
+    copy. *)
+let slot_addr = function
+  | Field (holder, i) -> field_phys_addr holder i
+  | Root r -> root_addr r

@@ -1,0 +1,44 @@
+(** Simulated Java objects, reference slots and roots. *)
+
+type t = {
+  id : int;
+  mutable addr : int;  (** current official heap address *)
+  mutable phys : int;
+      (** where the bytes physically are right now; differs from [addr]
+          while the object sits in a DRAM write-cache region *)
+  size : int;  (** total bytes including header and fields *)
+  fields : int array;  (** referent addresses; {!Layout.null} = null *)
+  mutable forward : int;
+      (** forwarding pointer installed in the old copy's header;
+          {!Layout.null} when not forwarded *)
+  mutable cached : bool;
+  mutable age : int;
+}
+
+val make : id:int -> addr:int -> size:int -> fields:int array -> t
+(** Requires [size >= header + 8 * nfields]. *)
+
+val nfields : t -> int
+val is_array : t -> bool
+(** No reference fields but a payload: a primitive array. *)
+
+val primitive_bytes : t -> int
+val field_addr : t -> int -> int
+(** Field address within the official address. *)
+
+val field_phys_addr : t -> int -> int
+(** Field address within the physical storage (DRAM while cached). *)
+
+(** A mutator root slot, living in the dedicated DRAM root range. *)
+type root = { root_id : int; mutable target : int }
+
+val root_addr : root -> int
+
+(** A reference slot the GC must process: field [i] of a holder object or
+    a root.  Slots flow through the per-thread work stacks. *)
+type slot = Field of t * int | Root of root
+
+val slot_referent : slot -> int
+val slot_write : slot -> int -> unit
+val slot_addr : slot -> int
+(** Physical address of the slot's own storage (for write accounting). *)

@@ -1,0 +1,78 @@
+(** Heap regions: the basic memory-management unit of G1 (paper §2.1).
+
+    A region is a fixed-size slab with a bump pointer.  Eden regions serve
+    mutator allocation; survivor regions receive evacuated objects; old
+    regions hold tenured data; cache regions are the DRAM staging area of
+    the write cache (paper §3.2). *)
+
+type kind = Free | Eden | Survivor | Old | Cache
+
+type t = {
+  idx : int;
+  base : int;  (** base simulated address *)
+  bytes : int;
+  mutable space : Memsim.Access.space;
+      (** backing device; reassigned with the kind by placement policy *)
+  mutable kind : kind;
+  mutable top : int;  (** bump offset from [base] *)
+  objs : Objmodel.t Simstats.Vec.t;
+      (** objects whose storage is (or originally was) in this region *)
+  remset : Objmodel.slot Simstats.Vec.t;
+      (** references from outside the young space into this region *)
+  mutable stolen_from : bool;
+      (** work-stealing touched references bound for this region, which
+          disables asynchronous flushing for it (paper §4.2) *)
+  mutable in_cset : bool;
+      (** member of the current collection set (young GC evacuates it) *)
+}
+
+let dummy_obj = Objmodel.make ~id:(-1) ~addr:0 ~size:Layout.header_bytes ~fields:[||]
+
+let dummy_slot = Objmodel.Field (dummy_obj, 0)
+
+let create ~idx ~base ~bytes ~space ~kind =
+  {
+    idx;
+    base;
+    bytes;
+    space;
+    kind;
+    top = 0;
+    objs = Simstats.Vec.create dummy_obj;
+    remset = Simstats.Vec.create dummy_slot;
+    stolen_from = false;
+    in_cset = false;
+  }
+
+let kind_name = function
+  | Free -> "free"
+  | Eden -> "eden"
+  | Survivor -> "survivor"
+  | Old -> "old"
+  | Cache -> "cache"
+
+let free_bytes t = t.bytes - t.top
+
+let used_bytes t = t.top
+
+let is_full t = free_bytes t <= 0
+
+(** Bump-allocate [size] bytes; [None] when the region cannot fit it. *)
+let alloc t size =
+  if size > free_bytes t then None
+  else begin
+    let addr = t.base + t.top in
+    t.top <- t.top + size;
+    Some addr
+  end
+
+let contains t addr = addr >= t.base && addr < t.base + t.bytes
+
+(** Reset to an empty free region (after reclamation). *)
+let reset t =
+  t.kind <- Free;
+  t.top <- 0;
+  t.stolen_from <- false;
+  t.in_cset <- false;
+  Simstats.Vec.clear t.objs;
+  Simstats.Vec.clear t.remset

@@ -1,0 +1,42 @@
+(** Heap regions: G1's basic memory-management unit (paper §2.1). *)
+
+type kind = Free | Eden | Survivor | Old | Cache
+
+type t = {
+  idx : int;
+  base : int;
+  bytes : int;
+  mutable space : Memsim.Access.space;
+  mutable kind : kind;
+  mutable top : int;
+  objs : Objmodel.t Simstats.Vec.t;
+      (** objects whose storage is (or originally was) in this region *)
+  remset : Objmodel.slot Simstats.Vec.t;
+      (** references from outside the young space into this region *)
+  mutable stolen_from : bool;
+      (** stealing touched references homed here: no asynchronous flush *)
+  mutable in_cset : bool;
+}
+
+val dummy_obj : Objmodel.t
+val dummy_slot : Objmodel.slot
+
+val create :
+  idx:int ->
+  base:int ->
+  bytes:int ->
+  space:Memsim.Access.space ->
+  kind:kind ->
+  t
+
+val kind_name : kind -> string
+val free_bytes : t -> int
+val used_bytes : t -> int
+val is_full : t -> bool
+
+val alloc : t -> int -> int option
+(** Bump-allocate; [None] when the region cannot fit the request. *)
+
+val contains : t -> int -> bool
+val reset : t -> unit
+(** Back to an empty free region. *)

@@ -1,0 +1,1 @@
+lib/stats/vec.ml: Array List

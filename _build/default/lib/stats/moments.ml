@@ -1,0 +1,36 @@
+(** Streaming mean / variance (Welford) and simple aggregates.
+
+    Used to report "average of five runs with standard deviation" the way the
+    paper's evaluation section does. *)
+
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t =
+  if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+    exp (acc /. float_of_int n)
+  end

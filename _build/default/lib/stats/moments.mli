@@ -1,0 +1,18 @@
+(** Streaming mean/variance (Welford's algorithm) and aggregates. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [nan] when no samples. *)
+
+val variance : t -> float
+(** Sample (n-1) variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val of_array : float array -> t
+
+val geomean : float array -> float
+(** Geometric mean; [nan] on empty input. *)

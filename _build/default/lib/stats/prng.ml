@@ -1,0 +1,88 @@
+(** Deterministic pseudo-random number generation.
+
+    All simulation randomness flows through this module so that every
+    experiment is reproducible bit-for-bit from its seed, independent of the
+    OCaml stdlib [Random] implementation.  The generator is splitmix64
+    (Steele et al.), which is fast, has a 64-bit state, and passes BigCrush
+    when used as here. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: state += golden gamma; output = mix (state). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Non-negative int with 62 random bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] is uniform in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod n
+
+(** [float t x] is uniform in [0, x). *)
+let float t x =
+  let f = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 random bits scaled into [0,1). *)
+  f /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [split t] derives an independent generator; the parent advances. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.logxor seed 0xD1B54A32D192ED03L }
+
+(** Standard normal via Box–Muller (one value per call; the twin is
+    discarded to keep the state trajectory simple and deterministic). *)
+let normal t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** Log-normal with given mean and coefficient of variation of the
+    *resulting* distribution.  Used for object-size distributions. *)
+let lognormal t ~mean ~cv =
+  if cv <= 0. then mean
+  else begin
+    let sigma2 = log (1. +. (cv *. cv)) in
+    let mu = log mean -. (sigma2 /. 2.) in
+    exp (mu +. (sqrt sigma2 *. normal t))
+  end
+
+(** Geometric-ish heavy-tail sample in [0, n): index drawn with probability
+    proportional to [(1-skew)^i]; [skew = 0] degenerates to uniform.  Used
+    to model load imbalance across GC roots. *)
+let skewed_index t ~skew n =
+  if n <= 0 then invalid_arg "Prng.skewed_index";
+  if skew <= 0. then int t n
+  else begin
+    let u = float t 1.0 in
+    (* Inverse CDF of truncated geometric with parameter p = skew. *)
+    let p = min skew 0.999 in
+    let q = 1. -. p in
+    let denom = 1. -. (q ** float_of_int n) in
+    let i = log (1. -. (u *. denom)) /. log q in
+    min (n - 1) (int_of_float i)
+  end
+
+(** Fisher–Yates shuffle in place. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every source of randomness in the simulator goes through this module so
+    results are reproducible from a seed regardless of stdlib changes. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+val bits : t -> int
+(** 62 uniform random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n).  Raises [Invalid_argument] if [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent child generator; the parent state advances. *)
+
+val normal : t -> float
+(** Standard normal deviate. *)
+
+val lognormal : t -> mean:float -> cv:float -> float
+(** Log-normal sample with the given mean and coefficient of variation. *)
+
+val skewed_index : t -> skew:float -> int -> int
+(** Heavy-tailed index in [0, n); [skew = 0.] is uniform, values toward 1.
+    concentrate mass on low indices.  Models GC-root load imbalance. *)
+
+val shuffle : t -> 'a array -> unit

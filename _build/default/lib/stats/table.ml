@@ -1,0 +1,93 @@
+(** Aligned ASCII tables for experiment output.
+
+    Every experiment harness prints its results through this module so the
+    bench output is uniform and machine-greppable: a title line, a header
+    row, a separator, then aligned data rows. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+type t = {
+  title : string;
+  columns : column list;
+  rows : string list Vec.t;
+}
+
+let create ~title columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; rows = Vec.create [] }
+
+let col ?(align = Right) header = { header; align }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  Vec.push t.rows cells
+
+(* Formatting helpers used by experiment code to build cells. *)
+let fs f = Printf.sprintf "%.2f" f
+let fs1 f = Printf.sprintf "%.1f" f
+let fs3 f = Printf.sprintf "%.3f" f
+let fx f = Printf.sprintf "%.2fx" f
+let fpercent f = Printf.sprintf "%.1f%%" f
+let fint i = string_of_int i
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map (fun c -> c.header) t.columns);
+  Vec.iter measure t.rows;
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else begin
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+    end
+  in
+  let emit_row cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let col = List.nth t.columns i in
+          pad col.align widths.(i) c)
+        cells
+    in
+    Buffer.add_string buf (String.concat "  " padded);
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("## " ^ t.title ^ "\n");
+  emit_row (List.map (fun c -> c.header) t.columns);
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Buffer.add_string buf (rule ^ "\n");
+  Vec.iter emit_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+(** Render a sparkline-style row of floats, for compact trace output. *)
+let sparkline values =
+  let glyphs = [| " "; "_"; "."; "-"; "="; "+"; "*"; "#" |] in
+  let hi = Array.fold_left max 0.0 values in
+  if hi <= 0.0 then String.concat "" (Array.to_list (Array.map (fun _ -> " ") values))
+  else begin
+    let buf = Buffer.create (Array.length values) in
+    Array.iter
+      (fun v ->
+        let idx =
+          min (Array.length glyphs - 1)
+            (int_of_float (v /. hi *. float_of_int (Array.length glyphs - 1)))
+        in
+        Buffer.add_string buf glyphs.(max 0 idx))
+      values;
+    Buffer.contents buf
+  end

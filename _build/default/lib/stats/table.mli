@@ -1,0 +1,32 @@
+(** Aligned ASCII tables for experiment output. *)
+
+type align = Left | Right
+type column
+type t
+
+val col : ?align:align -> string -> column
+(** Column with a header; numeric columns default to right alignment. *)
+
+val create : title:string -> column list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on column-count mismatch. *)
+
+val render : t -> string
+val print : t -> unit
+
+(** Cell formatting helpers. *)
+
+val fs : float -> string
+(** Two decimals. *)
+
+val fs1 : float -> string
+val fs3 : float -> string
+
+val fx : float -> string
+(** As a ratio, e.g. ["2.69x"]. *)
+
+val fpercent : float -> string
+val fint : int -> string
+
+val sparkline : float array -> string
+(** Compact glyph rendering of a numeric series. *)

@@ -1,0 +1,107 @@
+(** Resizable arrays.
+
+    OCaml 5.1 predates [Dynarray] in the standard library, so the simulator
+    carries its own minimal growable-array implementation.  Elements are
+    stored in a backing array that doubles on demand; [get]/[set] are
+    bounds-checked against the logical length. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;  (** filler for unused backing slots *)
+}
+
+let create ?(capacity = 8) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let clear t =
+  (* Release references so the OCaml GC can reclaim stored elements. *)
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let ensure_capacity t needed =
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let new_cap = max needed (cap * 2) in
+    let data = Array.make new_cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    let x = t.data.(t.len) in
+    t.data.(t.len) <- t.dummy;
+    Some x
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Vec.pop_exn: empty"
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- x
+
+(** [take_front t n] removes up to [n] elements from the bottom (oldest end)
+    of the vector and returns them in push order.  Used by work-stealing,
+    which steals from the opposite end to the owner's pops. *)
+let take_front t n =
+  let n = min n t.len in
+  if n = 0 then []
+  else begin
+    let stolen = Array.to_list (Array.sub t.data 0 n) in
+    Array.blit t.data n t.data 0 (t.len - n);
+    Array.fill t.data (t.len - n) n t.dummy;
+    t.len <- t.len - n;
+    stolen
+  end
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)

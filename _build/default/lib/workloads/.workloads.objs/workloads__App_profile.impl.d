@@ -1,0 +1,1 @@
+lib/workloads/app_profile.ml: Memsim Option Simheap

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: App_profile List Nvmgc Printf

@@ -1,0 +1,1 @@
+lib/workloads/cassandra.ml: App_profile Apps Array Float List Mutator Nvmgc Simstats

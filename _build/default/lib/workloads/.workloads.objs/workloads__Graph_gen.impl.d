@@ -1,0 +1,1 @@
+lib/workloads/graph_gen.ml: App_profile Array Float List Old_space Simheap Simstats

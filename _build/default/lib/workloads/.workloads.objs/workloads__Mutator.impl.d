@@ -1,0 +1,1 @@
+lib/workloads/mutator.ml: App_profile Graph_gen List Memsim Nvmgc Old_space Option Simheap Simstats

@@ -1,0 +1,1 @@
+lib/workloads/mutator.mli: App_profile Graph_gen Memsim Nvmgc Simheap

@@ -1,0 +1,1 @@
+lib/workloads/old_space.ml: Array List Simheap Simstats

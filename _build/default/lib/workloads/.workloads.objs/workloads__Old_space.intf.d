@@ -1,0 +1,1 @@
+lib/workloads/old_space.mli: Simheap Simstats

@@ -1,0 +1,1 @@
+lib/workloads/prefetch_micro.ml: Array List Memsim Simheap Simstats

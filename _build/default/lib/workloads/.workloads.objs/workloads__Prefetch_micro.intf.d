@@ -1,0 +1,1 @@
+lib/workloads/prefetch_micro.mli:

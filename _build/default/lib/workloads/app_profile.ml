@@ -1,0 +1,101 @@
+(** Application profiles.
+
+    A profile captures everything the GC "sees" of an application — object
+    demographics, graph shape, liveness, allocation cadence — plus the
+    coarse memory behaviour of its non-GC phases.  The 26 named profiles in
+    {!Apps} are calibrated so the *relative* behaviours the paper reports
+    emerge from the simulation (e.g. page-rank's many small RDD objects,
+    naive-bayes' primitive arrays, akka-uct's load imbalance).
+
+    Sizes are simulated sizes: the paper's heaps are scaled down by
+    [scale] (Renaissance 16 GB -> 16 MiB at scale 1024; Spark 256 GB ->
+    64 MiB at scale 4096) so a full experiment suite runs in minutes.  The
+    LLC is scaled by the same factor, preserving the cache-coverage ratio
+    that drives GC locality. *)
+
+type suite = Renaissance | Spark | Daemon
+
+type t = {
+  name : string;
+  suite : suite;
+  scale : int;  (** paper-size / simulated-size *)
+  (* Heap geometry (simulated bytes). *)
+  heap_bytes : int;
+  young_bytes : int;
+  region_bytes : int;
+  header_map_bytes : int;
+  write_cache_bytes : int;
+  (* Object demographics. *)
+  mean_obj_bytes : float;  (** mean size of pointer-bearing objects *)
+  obj_size_cv : float;
+  array_fraction : float;  (** fraction of live BYTES in primitive arrays *)
+  mean_array_bytes : float;
+  mean_fields : float;  (** reference fields per pointer-bearing object *)
+  (* Liveness and graph shape. *)
+  survival_ratio : float;  (** live/allocated bytes at a young GC *)
+  chain_fraction : float;
+      (** fraction of live pointer objects linked into long chains —
+          chains serialize traversal and starve GC threads *)
+  entry_fraction : float;
+      (** fraction of live objects that are roots of the live graph
+          (reached directly from remsets/roots) — the initial parallelism *)
+  remset_fraction : float;  (** entries reached via remset vs thread roots *)
+  old_target_fraction : float;
+      (** fraction of live-object fields pointing at old-space objects *)
+  (* Run cadence. *)
+  gcs_per_run : int;
+  app_ms_between_gcs : float;  (** app-phase duration on DRAM, simulated ms *)
+  app_mem_ratio : float;  (** fraction of the app phase stalled on memory *)
+  app_seq_fraction : float;  (** sequential share of app-phase accesses *)
+  app_write_fraction : float;
+  app_gbps_dram : float;  (** app-phase consumed bandwidth on DRAM, GB/s *)
+}
+
+let paper_llc_bytes = 38_500_000
+(** Xeon Gold 6238R last-level cache. *)
+
+let llc_bytes t = max 16_384 (paper_llc_bytes / t.scale)
+
+let heap_regions t = t.heap_bytes / t.region_bytes
+let young_regions t = t.young_bytes / t.region_bytes
+
+let heap_config ?(heap_space = Memsim.Access.Nvm) ?young_space t =
+  {
+    Simheap.Heap.region_bytes = t.region_bytes;
+    heap_regions = heap_regions t;
+    (* enough DRAM scratch to cover even an unlimited write cache *)
+    dram_scratch_regions = max 8 (young_regions t + 4);
+    heap_space;
+    young_space;
+  }
+
+let memory_config ?(trace = false) ?(llc_scale = 1.0) ?nvm ?dram t =
+  {
+    Memsim.Memory.default_config with
+    Memsim.Memory.nvm =
+      Option.value nvm ~default:Memsim.Memory.default_config.Memsim.Memory.nvm;
+    dram =
+      Option.value dram
+        ~default:Memsim.Memory.default_config.Memsim.Memory.dram;
+    llc_capacity_bytes =
+      max 4_096 (int_of_float (float_of_int (llc_bytes t) *. llc_scale));
+    trace_enabled = trace;
+    (* trace buckets sized so a pause spans tens of buckets, whatever the
+       heap scale *)
+    trace_bucket_ns = 100_000.0 *. (float_of_int t.young_bytes /. 16e6);
+  }
+
+(** Bytes of eden filled between two young GCs. *)
+let alloc_bytes_per_gc t =
+  (* leave headroom for survivor regions inside the young space *)
+  let usable = float_of_int t.young_bytes *. 0.85 in
+  int_of_float usable
+
+(** Expected live bytes per young GC. *)
+let live_bytes_per_gc t =
+  int_of_float (float_of_int (alloc_bytes_per_gc t) *. t.survival_ratio)
+
+let suite_name = function
+  | Renaissance -> "renaissance"
+  | Spark -> "spark"
+  | Daemon -> "daemon"

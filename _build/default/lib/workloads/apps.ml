@@ -1,0 +1,254 @@
+(** The 26 evaluated applications: 22 from Renaissance plus 4 Spark
+    workloads, matching Figure 5's x-axis.  Each profile encodes the
+    behaviour the paper attributes to the application:
+
+    - page-rank / kmeans: masses of small Spark-RDD objects, long GC
+      traversal, write cache capped by the default limit (Figure 11);
+    - naive-bayes: dominated by primitive-array copies — sequential NVM
+      reads, write-intensive pauses (Figure 7c/d);
+    - akka-uct: chain-shaped graphs that serialize traversal and leave
+      most GC threads idle (Figure 7e/f);
+    - movie-lens: barely memory-bound, so NVM hardly moves its app time
+      (Figure 1);
+    - rx-scrabble / scala-doku / philosophers: infrequent, short pauses —
+      the three applications the paper says do not benefit.
+
+    Absolute sizes are scaled down (see {!App_profile}); EXPERIMENTS.md
+    tracks which paper shapes each profile must reproduce. *)
+
+module P = App_profile
+
+let kib = 1024
+let mib = 1024 * 1024
+
+(* Renaissance base: 16 GB heap / 4 GB young at scale 1024. *)
+let renaissance ~name ?(survival = 0.20) ?(mean_obj = 80.0) ?(cv = 1.0)
+    ?(array_fraction = 0.25) ?(mean_array = 512.0) ?(fields = 2.8)
+    ?(chain = 0.15) ?(entry = 0.08) ?(remset = 0.75) ?(old_target = 0.15)
+    ?(gcs = 3) ?(app_ms = 14.0) ?(mem = 0.45) ?(seq = 0.45) ?(wf = 0.35)
+    ?(gbps = 9.0) () =
+  {
+    P.name;
+    suite = P.Renaissance;
+    scale = 1024;
+    heap_bytes = 16 * mib;
+    young_bytes = 4 * mib;
+    (* 2048 regions, G1's default (paper §5.1): 16 GB / 2048 = 8 MB
+       regions, scaled to 8 KiB *)
+    region_bytes = 8 * kib;
+    header_map_bytes = 512 * kib;
+    write_cache_bytes = 512 * kib;
+    mean_obj_bytes = mean_obj;
+    obj_size_cv = cv;
+    array_fraction;
+    mean_array_bytes = mean_array;
+    mean_fields = fields;
+    survival_ratio = survival;
+    chain_fraction = chain;
+    entry_fraction = entry;
+    remset_fraction = remset;
+    old_target_fraction = old_target;
+    gcs_per_run = gcs;
+    app_ms_between_gcs = app_ms;
+    app_mem_ratio = mem;
+    app_seq_fraction = seq;
+    app_write_fraction = wf;
+    app_gbps_dram = gbps;
+  }
+
+(* Spark base: 256 GB heap / 64 GB young at scale 4096; header map 2 GB,
+   write cache 8 GB per the paper's Spark setup. *)
+let spark ~name ?(survival = 0.30) ?(mean_obj = 52.0) ?(cv = 0.8)
+    ?(array_fraction = 0.20) ?(mean_array = 384.0) ?(fields = 2.2)
+    ?(chain = 0.30) ?(entry = 0.04) ?(remset = 0.85) ?(old_target = 0.20)
+    ?(gcs = 3) ?(app_ms = 30.0) ?(mem = 0.70) ?(seq = 0.35) ?(wf = 0.40)
+    ?(gbps = 14.0) () =
+  {
+    P.name;
+    suite = P.Spark;
+    scale = 4096;
+    heap_bytes = 64 * mib;
+    young_bytes = 16 * mib;
+    (* 2048 regions: 256 GB / 2048 = 128 MB regions, scaled to 32 KiB *)
+    region_bytes = 32 * kib;
+    header_map_bytes = 2048 * mib / 4096;
+    write_cache_bytes = 8192 * mib / 4096;
+    mean_obj_bytes = mean_obj;
+    obj_size_cv = cv;
+    array_fraction;
+    mean_array_bytes = mean_array;
+    mean_fields = fields;
+    survival_ratio = survival;
+    chain_fraction = chain;
+    entry_fraction = entry;
+    remset_fraction = remset;
+    old_target_fraction = old_target;
+    gcs_per_run = gcs;
+    app_ms_between_gcs = app_ms;
+    app_mem_ratio = mem;
+    app_seq_fraction = seq;
+    app_write_fraction = wf;
+    app_gbps_dram = gbps;
+  }
+
+(* ---- Renaissance ---- *)
+
+let akka_uct =
+  renaissance ~name:"akka-uct" ~survival:0.085 ~mean_obj:72.0
+    ~array_fraction:0.12 ~chain:0.78 ~entry:0.012 ~gcs:4 ~app_ms:4.20
+    ~mem:0.45 ~gbps:7.0 ()
+
+let als =
+  renaissance ~name:"als" ~survival:0.098 ~array_fraction:0.55
+    ~mean_array:768.0 ~mean_obj:88.0 ~chain:0.05 ~entry:0.12 ~gcs:3
+    ~app_ms:4.6 ~mem:0.60 ~seq:0.60 ~gbps:11.0 ()
+
+let chi_square =
+  renaissance ~name:"chi-square" ~survival:0.065 ~array_fraction:0.60
+    ~mean_array:896.0 ~entry:0.14 ~app_ms:4.20 ~mem:0.5 ~seq:0.65 ()
+
+let dec_tree =
+  renaissance ~name:"dec-tree" ~survival:0.078 ~mean_obj:96.0 ~fields:3.2
+    ~array_fraction:0.35 ~chain:0.10 ~entry:0.09 ~app_ms:4.55 ~mem:0.5 ()
+
+let dotty =
+  renaissance ~name:"dotty" ~survival:0.111 ~mean_obj:64.0 ~fields:3.8
+    ~chain:0.22 ~entry:0.06 ~gcs:4 ~app_ms:3.50 ~mem:0.35 ~gbps:6.0 ()
+
+let finagle_chirper =
+  renaissance ~name:"finagle-chirper" ~survival:0.046 ~mean_obj:72.0
+    ~chain:0.12 ~entry:0.10 ~gcs:4 ~app_ms:3.85 ~mem:0.40 ()
+
+let finagle_http =
+  renaissance ~name:"finagle-http" ~survival:0.019 ~mean_obj:72.0
+    ~chain:0.10 ~entry:0.12 ~gcs:2 ~app_ms:6.30 ~mem:0.35 ~gbps:5.0 ()
+
+let fj_kmeans =
+  renaissance ~name:"fj-kmeans" ~survival:0.104 ~mean_obj:56.0
+    ~array_fraction:0.30 ~entry:0.15 ~chain:0.08 ~app_ms:4.20 ~mem:0.55 ()
+
+let future_genetic =
+  renaissance ~name:"future-genetic" ~survival:0.072 ~mean_obj:64.0
+    ~chain:0.10 ~entry:0.11 ~app_ms:4.20 ~mem:0.40 ()
+
+let gauss_mix =
+  renaissance ~name:"gauss-mix" ~survival:0.078 ~array_fraction:0.50
+    ~mean_array:640.0 ~entry:0.12 ~app_ms:4.20 ~mem:0.5 ~seq:0.6 ()
+
+let log_regression =
+  renaissance ~name:"log-regression" ~survival:0.098 ~array_fraction:0.45
+    ~mean_array:640.0 ~mean_obj:72.0 ~entry:0.10 ~gcs:3 ~app_ms:4.5
+    ~mem:0.60 ~seq:0.55 ~gbps:10.0 ()
+
+let mnemonics =
+  renaissance ~name:"mnemonics" ~survival:0.058 ~mean_obj:48.0 ~fields:2.2
+    ~chain:0.32 ~entry:0.06 ~app_ms:3.85 ~mem:0.35 ()
+
+let movie_lens =
+  renaissance ~name:"movie-lens" ~survival:0.065 ~mean_obj:72.0
+    ~array_fraction:0.30 ~entry:0.10 ~gcs:2 ~app_ms:10.5 ~mem:0.06
+    ~gbps:2.5 ()
+
+let naive_bayes =
+  renaissance ~name:"naive-bayes" ~survival:0.117 ~array_fraction:0.85
+    ~mean_array:2048.0 ~mean_obj:80.0 ~entry:0.16 ~chain:0.03 ~gcs:3
+    ~app_ms:4.55 ~mem:0.55 ~seq:0.75 ~gbps:13.0 ()
+
+let neo4j_analytics =
+  renaissance ~name:"neo4j-analytics" ~survival:0.091 ~mean_obj:80.0
+    ~fields:3.5 ~chain:0.26 ~entry:0.045 ~gcs:4 ~app_ms:4.55 ~mem:0.5 ()
+
+let par_mnemonics =
+  renaissance ~name:"par-mnemonics" ~survival:0.058 ~mean_obj:48.0 ~fields:2.2
+    ~chain:0.22 ~entry:0.13 ~app_ms:3.85 ~mem:0.35 ()
+
+let philosophers =
+  renaissance ~name:"philosophers" ~survival:0.019 ~mean_obj:56.0 ~gcs:2
+    ~entry:0.15 ~app_ms:5.60 ~mem:0.20 ~gbps:3.0 ()
+
+let reactors =
+  renaissance ~name:"reactors" ~survival:0.111 ~mean_obj:64.0 ~fields:2.6
+    ~chain:0.10 ~entry:0.13 ~gcs:4 ~app_ms:3.50 ~mem:0.45 ~gbps:8.0 ()
+
+let rx_scrabble =
+  renaissance ~name:"rx-scrabble" ~survival:0.019 ~mean_obj:56.0 ~gcs:1
+    ~entry:0.12 ~app_ms:7.00 ~mem:0.30 ~gbps:4.0 ()
+
+let scala_doku =
+  renaissance ~name:"scala-doku" ~survival:0.016 ~mean_obj:56.0 ~gcs:1
+    ~entry:0.10 ~app_ms:7.70 ~mem:0.25 ~gbps:3.0 ()
+
+let scala_stm_bench7 =
+  renaissance ~name:"scala-stm-bench7" ~survival:0.104 ~mean_obj:72.0
+    ~fields:3.0 ~chain:0.12 ~entry:0.09 ~gcs:6 ~app_ms:1.55 ~mem:0.50
+    ~gbps:9.0 ()
+
+let scrabble =
+  renaissance ~name:"scrabble" ~survival:0.046 ~mean_obj:56.0 ~entry:0.11
+    ~gcs:2 ~app_ms:4.55 ~mem:0.35 ()
+
+(* ---- Spark ---- *)
+
+let page_rank =
+  spark ~name:"page-rank" ~survival:0.25 ~mean_obj:48.0 ~array_fraction:0.18
+    ~chain:0.32 ~entry:0.04 ~gcs:3 ~app_ms:4.7 ~mem:0.80 ~gbps:15.0 ()
+
+let kmeans =
+  spark ~name:"kmeans" ~survival:0.22 ~mean_obj:56.0 ~array_fraction:0.35
+    ~mean_array:512.0 ~chain:0.20 ~entry:0.06 ~gcs:3 ~app_ms:4.9 ~mem:0.70
+    ~seq:0.45 ~gbps:13.0 ()
+
+let cc =
+  spark ~name:"cc" ~survival:0.18 ~mean_obj:52.0 ~fields:2.5 ~chain:0.36
+    ~entry:0.03 ~gcs:3 ~app_ms:9.0 ~mem:0.65 ~gbps:12.0 ()
+
+let sssp =
+  spark ~name:"sssp" ~survival:0.20 ~mean_obj:52.0 ~fields:2.4 ~chain:0.40
+    ~entry:0.03 ~gcs:3 ~app_ms:7.0 ~mem:0.70 ~gbps:13.0 ()
+
+(* ---- Collections ---- *)
+
+let renaissance_apps =
+  [
+    akka_uct; als; chi_square; dec_tree; dotty; finagle_chirper; finagle_http;
+    fj_kmeans; future_genetic; gauss_mix; log_regression; mnemonics;
+    movie_lens; naive_bayes; neo4j_analytics; par_mnemonics; philosophers;
+    reactors; rx_scrabble; scala_doku; scala_stm_bench7; scrabble;
+  ]
+
+let spark_apps = [ page_rank; kmeans; cc; sssp ]
+
+(** All 26, in Figure 5's alphabetical order. *)
+let all =
+  List.sort
+    (fun (a : P.t) (b : P.t) -> compare a.P.name b.P.name)
+    (renaissance_apps @ spark_apps)
+
+(** The six applications of Figure 1. *)
+let figure1_apps =
+  [ als; kmeans; log_regression; movie_lens; page_rank; scala_stm_bench7 ]
+
+let find name =
+  match List.find_opt (fun (p : P.t) -> p.P.name = name) all with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Apps.find: unknown application %S" name)
+
+(** Build a GC configuration preset sized for this profile's heap. *)
+let gc_config (profile : P.t) ~preset ~threads =
+  let base =
+    match preset with
+    | `Vanilla -> Nvmgc.Gc_config.vanilla ~threads ~scale:1 ()
+    | `Write_cache -> Nvmgc.Gc_config.with_write_cache ~threads ~scale:1 ()
+    | `All -> Nvmgc.Gc_config.all_opts ~threads ~scale:1 ()
+    | `Vanilla_ps ->
+        Nvmgc.Gc_config.vanilla ~collector:Nvmgc.Gc_config.Parallel_scavenge
+          ~threads ~scale:1 ()
+    | `All_ps ->
+        Nvmgc.Gc_config.all_opts ~collector:Nvmgc.Gc_config.Parallel_scavenge
+          ~threads ~scale:1 ()
+  in
+  {
+    base with
+    Nvmgc.Gc_config.header_map_bytes = profile.P.header_map_bytes;
+    write_cache_limit_bytes = Some profile.P.write_cache_bytes;
+  }

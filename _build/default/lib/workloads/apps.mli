@@ -1,0 +1,115 @@
+(** The 26 evaluated applications (22 Renaissance + 4 Spark), matching
+    Figure 5's x-axis, plus profile constructors and GC-configuration
+    presets sized per profile. *)
+
+val renaissance :
+  name:string ->
+  ?survival:float ->
+  ?mean_obj:float ->
+  ?cv:float ->
+  ?array_fraction:float ->
+  ?mean_array:float ->
+  ?fields:float ->
+  ?chain:float ->
+  ?entry:float ->
+  ?remset:float ->
+  ?old_target:float ->
+  ?gcs:int ->
+  ?app_ms:float ->
+  ?mem:float ->
+  ?seq:float ->
+  ?wf:float ->
+  ?gbps:float ->
+  unit ->
+  App_profile.t
+(** Renaissance-style profile: 16 GB heap / 4 GB young at scale 1024,
+    2048 regions, 512 MB header map and write cache. *)
+
+val spark :
+  name:string ->
+  ?survival:float ->
+  ?mean_obj:float ->
+  ?cv:float ->
+  ?array_fraction:float ->
+  ?mean_array:float ->
+  ?fields:float ->
+  ?chain:float ->
+  ?entry:float ->
+  ?remset:float ->
+  ?old_target:float ->
+  ?gcs:int ->
+  ?app_ms:float ->
+  ?mem:float ->
+  ?seq:float ->
+  ?wf:float ->
+  ?gbps:float ->
+  unit ->
+  App_profile.t
+(** Spark-style profile: 256 GB heap / 64 GB young at scale 4096, 2 GB
+    header map, 8 GB write cache (the paper's Spark setup). *)
+
+(** {2 Renaissance applications} *)
+
+val akka_uct : App_profile.t
+(** Chain-heavy actor benchmark: serializing traversal, idle GC threads
+    (Figure 7e/f). *)
+
+val als : App_profile.t
+val chi_square : App_profile.t
+val dec_tree : App_profile.t
+val dotty : App_profile.t
+val finagle_chirper : App_profile.t
+val finagle_http : App_profile.t
+val fj_kmeans : App_profile.t
+val future_genetic : App_profile.t
+val gauss_mix : App_profile.t
+val log_regression : App_profile.t
+val mnemonics : App_profile.t
+
+val movie_lens : App_profile.t
+(** Barely memory-bound: NVM hardly moves its app time (Figure 1). *)
+
+val naive_bayes : App_profile.t
+(** Dominated by primitive-array copies: sequential NVM reads,
+    write-intensive pauses (Figure 7c/d). *)
+
+val neo4j_analytics : App_profile.t
+val par_mnemonics : App_profile.t
+val philosophers : App_profile.t
+val reactors : App_profile.t
+val rx_scrabble : App_profile.t
+val scala_doku : App_profile.t
+val scala_stm_bench7 : App_profile.t
+val scrabble : App_profile.t
+
+(** {2 Spark applications} *)
+
+val page_rank : App_profile.t
+(** Masses of small RDD objects; the write cache's default bound binds
+    (Figure 11). *)
+
+val kmeans : App_profile.t
+val cc : App_profile.t
+val sssp : App_profile.t
+
+(** {2 Collections} *)
+
+val renaissance_apps : App_profile.t list
+val spark_apps : App_profile.t list
+
+val all : App_profile.t list
+(** All 26, in Figure 5's alphabetical order. *)
+
+val figure1_apps : App_profile.t list
+(** The six applications of Figure 1. *)
+
+val find : string -> App_profile.t
+(** @raise Invalid_argument on an unknown name. *)
+
+val gc_config :
+  App_profile.t ->
+  preset:[ `Vanilla | `Write_cache | `All | `Vanilla_ps | `All_ps ] ->
+  threads:int ->
+  Nvmgc.Gc_config.t
+(** A configuration preset with the header-map and write-cache sizes taken
+    from the profile. *)

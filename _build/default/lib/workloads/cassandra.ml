@@ -1,0 +1,126 @@
+(** Cassandra tail-latency workload (paper §5.1/§5.4, Figure 8).
+
+    The paper runs cassandra-stress against a Cassandra server JVM and
+    draws throughput/latency curves for a write-only and a read-only
+    phase.  Here the server is a closed-form queueing simulation: requests
+    arrive Poisson at the target throughput, are served FIFO by a server
+    pool, and stall whenever a GC pause is in progress.  Pause durations
+    and cadence come from the GC simulation itself: higher throughput
+    allocates faster, so young collections come proportionally sooner.
+
+    What survives the substitution: the tail (p95/p99) is dominated by
+    the probability of a request overlapping a pause and by the pause
+    length — exactly the mechanism the paper credits for the 5.09x p95
+    improvement. *)
+
+module P = App_profile
+
+(* The Cassandra server heap profile: the Renaissance-style 16 GB heap
+   configuration the paper uses for Cassandra. *)
+let server_profile ~write_phase =
+  let base = Apps.renaissance in
+  if write_phase then
+    base ~name:"cassandra-write" ~survival:0.12 ~mean_obj:96.0
+      ~array_fraction:0.35 ~mean_array:768.0 ~entry:0.10 ~gcs:4 ~app_ms:8.0
+      ~mem:0.45 ~wf:0.55 ~gbps:8.0 ()
+  else
+    base ~name:"cassandra-read" ~survival:0.10 ~mean_obj:72.0
+      ~array_fraction:0.25 ~mean_array:512.0 ~entry:0.10 ~gcs:4 ~app_ms:8.0
+      ~mem:0.40 ~wf:0.25 ~gbps:7.0 ()
+
+(* Bytes of young-gen garbage one request produces (simulated scale). *)
+let alloc_per_request ~write_phase = if write_phase then 8192 else 6144
+
+type point = {
+  throughput_kqps : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  gc_interval_ms : float;
+  mean_pause_ms : float;
+}
+
+(** Pause-duration samples for a configuration, from the GC simulation. *)
+let pause_samples ~write_phase ~threads ~optimized ~seed =
+  let profile = server_profile ~write_phase in
+  let preset = if optimized then `All else `Vanilla in
+  let config = Apps.gc_config profile ~preset ~threads in
+  let result, _gc, _memory, _heap =
+    Mutator.run_fresh ~profile ~seed ~gcs:profile.P.gcs_per_run config
+  in
+  List.map
+    (fun (p : Mutator.pause_record) ->
+      p.Mutator.pause.Nvmgc.Gc_stats.pause_ns /. 1e6)
+    result.Mutator.pauses
+
+(* Base service: mean service time scaled so the server saturates a bit
+   above the paper's largest 130 kQPS setting. *)
+let servers = 24
+let service_ms = 0.05
+
+(** Closed-loop latency simulation at [throughput_kqps] for one phase.
+    Deterministic in [seed]. *)
+let simulate ?(requests = 40_000) ~write_phase ~optimized ~threads
+    ~throughput_kqps ~seed () =
+  let pauses = pause_samples ~write_phase ~threads ~optimized ~seed in
+  let pauses = Array.of_list pauses in
+  assert (Array.length pauses > 0);
+  let mean_pause_ms =
+    Array.fold_left ( +. ) 0.0 pauses /. float_of_int (Array.length pauses)
+  in
+  let profile = server_profile ~write_phase in
+  (* GC cadence: eden fills after this many requests. *)
+  let reqs_per_gc =
+    float_of_int (P.alloc_bytes_per_gc profile)
+    /. float_of_int (alloc_per_request ~write_phase)
+  in
+  let gc_interval_ms = reqs_per_gc /. throughput_kqps in
+  let rng = Simstats.Prng.create seed in
+  let reservoir = Simstats.Percentile.create_reservoir () in
+  let mean = Simstats.Moments.create () in
+  (* FIFO multi-server: track each server's next-free instant. *)
+  let server_free = Array.make servers 0.0 in
+  let arrival = ref 0.0 in
+  let next_gc = ref gc_interval_ms in
+  let gc_idx = ref 0 in
+  let pause_end = ref neg_infinity in
+  let interarrival_ms = 1.0 /. throughput_kqps in
+  for _ = 1 to requests do
+    (* Poisson arrivals via exponential gaps. *)
+    let gap =
+      -.interarrival_ms *. log (1.0 -. Simstats.Prng.float rng 1.0)
+    in
+    arrival := !arrival +. gap;
+    (* Stop-the-world pause: starts when the allocation budget runs out. *)
+    if !arrival > !next_gc then begin
+      let pause = pauses.(!gc_idx mod Array.length pauses) in
+      incr gc_idx;
+      pause_end := !next_gc +. pause;
+      next_gc := !next_gc +. gc_interval_ms +. pause
+    end;
+    (* earliest-free server *)
+    let srv = ref 0 in
+    for i = 1 to servers - 1 do
+      if server_free.(i) < server_free.(!srv) then srv := i
+    done;
+    let start =
+      Float.max !arrival (Float.max server_free.(!srv) !pause_end)
+    in
+    let jitter = service_ms *. (0.5 +. Simstats.Prng.float rng 1.0) in
+    let finish = start +. jitter in
+    server_free.(!srv) <- finish;
+    let latency = finish -. !arrival in
+    Simstats.Percentile.add reservoir latency;
+    Simstats.Moments.add mean latency
+  done;
+  {
+    throughput_kqps;
+    p95_ms = Simstats.Percentile.p95 reservoir;
+    p99_ms = Simstats.Percentile.p99 reservoir;
+    mean_ms = Simstats.Moments.mean mean;
+    gc_interval_ms;
+    mean_pause_ms;
+  }
+
+(** Throughput sweep matching Figure 8's x-axis (kQPS). *)
+let default_throughputs = [ 30.0; 50.0; 70.0; 90.0; 110.0; 130.0 ]

@@ -1,0 +1,33 @@
+(** Cassandra tail-latency workload (paper Figure 8): a closed-loop
+    queueing simulation whose server stalls during GC pauses; pause
+    durations and cadence come from the GC simulation itself. *)
+
+val server_profile : write_phase:bool -> App_profile.t
+val alloc_per_request : write_phase:bool -> int
+
+type point = {
+  throughput_kqps : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  gc_interval_ms : float;
+  mean_pause_ms : float;
+}
+
+val pause_samples :
+  write_phase:bool -> threads:int -> optimized:bool -> seed:int -> float list
+(** Pause durations (ms) for a configuration, from the GC simulation. *)
+
+val simulate :
+  ?requests:int ->
+  write_phase:bool ->
+  optimized:bool ->
+  threads:int ->
+  throughput_kqps:float ->
+  seed:int ->
+  unit ->
+  point
+(** One latency-curve point; deterministic in [seed]. *)
+
+val default_throughputs : float list
+(** Figure 8's x-axis, in kQPS. *)

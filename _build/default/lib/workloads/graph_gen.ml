@@ -1,0 +1,267 @@
+(** Object-graph generation for one mutation cycle.
+
+    Populates the eden space with the live-object graph a young GC will
+    encounter, per the application profile:
+
+    - only {e live} objects are materialized; dead allocations appear as
+      bump-pointer gaps (the GC never touches dead objects, so their only
+      observable effect is eden occupancy);
+    - live objects form structures anchored at {e entry} objects, each
+      reached from a remembered-set slot (an old-space holder field) or a
+      mutator root;
+    - structures are pointer chains (serializing traversal — akka-uct's
+      load imbalance) or bushy trees, mixed per [chain_fraction];
+    - primitive arrays attach as leaves; some node fields point into old
+      space; a small share of objects carries duplicate incoming
+      references, exercising forwarding-pointer deduplication. *)
+
+module R = Simheap.Region
+module O = Simheap.Objmodel
+module P = App_profile
+
+type stats = {
+  live_objects : int;
+  live_bytes : int;
+  arrays : int;
+  chains : int;
+  trees : int;
+  remset_slots : int;
+  root_slots : int;
+  eden_regions : int;
+}
+
+(* Draw sizes so that the byte-weighted mean of the resulting population is
+   close to the profile's means. *)
+let node_shape (p : P.t) rng =
+  let mean_f = Float.max 1.0 p.P.mean_fields in
+  let nfields =
+    max 1 (int_of_float (Simstats.Prng.lognormal rng ~mean:mean_f ~cv:0.6 +. 0.5))
+  in
+  let base = Simheap.Layout.header_bytes + (nfields * Simheap.Layout.ref_bytes) in
+  let size =
+    Simstats.Prng.lognormal rng ~mean:p.P.mean_obj_bytes ~cv:p.P.obj_size_cv
+  in
+  let size = max base (8 * ((int_of_float size + 7) / 8)) in
+  (size, nfields)
+
+let array_shape (p : P.t) rng =
+  let size =
+    Simstats.Prng.lognormal rng ~mean:p.P.mean_array_bytes ~cv:p.P.obj_size_cv
+  in
+  let size = max 32 (8 * ((int_of_float size + 7) / 8)) in
+  (min size (p.P.region_bytes / 2), 0)
+
+type builder = {
+  heap : Simheap.Heap.t;
+  profile : P.t;
+  rng : Simstats.Prng.t;
+  mutable eden : R.t option;
+  mutable eden_count : int;
+  mutable allocated : int;  (** live + dead-gap bytes placed in eden *)
+  mutable live : int;
+}
+
+let rec alloc_live b size nfields =
+  match b.eden with
+  | Some region -> begin
+      (* Scatter live objects by preceding each with a dead-allocation
+         gap sized so live/allocated matches the survival ratio. *)
+      let ratio = Float.max 0.02 b.profile.P.survival_ratio in
+      let gap_mean = float_of_int size *. ((1.0 /. ratio) -. 1.0) in
+      let gap =
+        8 * (int_of_float (Simstats.Prng.float b.rng (2.0 *. gap_mean)) / 8)
+      in
+      let gap = min gap (R.free_bytes region - size) in
+      if gap > 0 then begin
+        ignore (R.alloc region gap);
+        b.allocated <- b.allocated + gap
+      end;
+      match Simheap.Heap.new_object b.heap region ~size ~nfields with
+      | Some obj ->
+          b.allocated <- b.allocated + size;
+          b.live <- b.live + size;
+          Some obj
+      | None ->
+          b.eden <- None;
+          alloc_live b size nfields
+    end
+  | None -> begin
+      if b.eden_count >= P.young_regions b.profile then None
+      else begin
+        match Simheap.Heap.alloc_region b.heap R.Eden with
+        | None -> None
+        | Some region ->
+            b.eden <- Some region;
+            b.eden_count <- b.eden_count + 1;
+            alloc_live b size nfields
+      end
+  end
+
+(* A node with at least one unused field, for attaching children. *)
+type open_node = { obj : O.t; mutable next_field : int }
+
+(** Generate the live graph for one cycle.  The caller must have reset the
+    roots and the old-space holder pool. *)
+let generate ~heap ~(profile : P.t) ~rng ~old_pool =
+  let b =
+    { heap; profile; rng; eden = None; eden_count = 0; allocated = 0; live = 0 }
+  in
+  let target_live = P.live_bytes_per_gc profile in
+  let nodes = ref [] and arrays = ref [] in
+  let n_nodes = ref 0 and n_arrays = ref 0 in
+  (* 1. Materialize the live population. *)
+  let continue_ = ref true in
+  while !continue_ && b.live < target_live do
+    let is_array = Simstats.Prng.float rng 1.0 < profile.P.array_fraction in
+    let size, nfields =
+      if is_array then array_shape profile rng else node_shape profile rng
+    in
+    match alloc_live b size nfields with
+    | None -> continue_ := false
+    | Some obj ->
+        if is_array then begin
+          arrays := obj :: !arrays;
+          incr n_arrays
+        end
+        else begin
+          nodes := obj :: !nodes;
+          incr n_nodes
+        end
+  done;
+  let nodes = Array.of_list !nodes and arrays = Array.of_list !arrays in
+  Simstats.Prng.shuffle rng nodes;
+  (* 2. Partition nodes into entry-anchored structures. *)
+  let total_live = Array.length nodes + Array.length arrays in
+  let entry_count =
+    max 1
+      (min (Array.length nodes)
+         (int_of_float (profile.P.entry_fraction *. float_of_int total_live)))
+  in
+  let chains = ref 0 and trees = ref 0 in
+  let all_entries = ref [] in
+  let open_nodes = Simstats.Vec.create { obj = R.dummy_obj; next_field = 0 } in
+  let chain_tails = Simstats.Vec.create { obj = R.dummy_obj; next_field = 0 } in
+  let new_entry (obj : O.t) =
+    all_entries := obj :: !all_entries;
+    if O.nfields obj > 0
+       && Simstats.Prng.float rng 1.0 < profile.P.chain_fraction
+    then begin
+      incr chains;
+      Simstats.Vec.push chain_tails { obj; next_field = 0 }
+    end
+    else begin
+      incr trees;
+      if O.nfields obj > 0 then
+        Simstats.Vec.push open_nodes { obj; next_field = 0 }
+    end
+  in
+  Array.iter new_entry (Array.sub nodes 0 entry_count);
+  (* Members join a random structure: chains grow at their tail through
+     field 0; trees attach members at any open field. *)
+  let attach_to_tree (member : O.t) =
+    let n = Simstats.Vec.length open_nodes in
+    if n = 0 then false
+    else begin
+      let i = Simstats.Prng.int rng n in
+      let parent = Simstats.Vec.get open_nodes i in
+      parent.obj.O.fields.(parent.next_field) <- member.O.addr;
+      parent.next_field <- parent.next_field + 1;
+      if parent.next_field >= O.nfields parent.obj then begin
+        (* swap-remove the saturated parent *)
+        let last = Simstats.Vec.length open_nodes - 1 in
+        Simstats.Vec.set open_nodes i (Simstats.Vec.get open_nodes last);
+        ignore (Simstats.Vec.pop open_nodes)
+      end;
+      true
+    end
+  in
+  let attach_to_chain (member : O.t) =
+    let n = Simstats.Vec.length chain_tails in
+    if n = 0 then false
+    else begin
+      let i = Simstats.Prng.int rng n in
+      let tail = Simstats.Vec.get chain_tails i in
+      tail.obj.O.fields.(0) <- member.O.addr;
+      Simstats.Vec.set chain_tails i { obj = member; next_field = 0 };
+      true
+    end
+  in
+  for i = entry_count to Array.length nodes - 1 do
+    let member = nodes.(i) in
+    let prefer_chain = Simstats.Prng.float rng 1.0 < profile.P.chain_fraction in
+    (* How the member actually attached matters: a chain tail's field 0 is
+       reserved for its successor, so only members that really joined a
+       chain may skip it when they later host tree children. *)
+    let attachment =
+      if prefer_chain then
+        if attach_to_chain member then `Chain
+        else if attach_to_tree member then `Tree
+        else `None
+      else if attach_to_tree member then `Tree
+      else if attach_to_chain member then `Chain
+      else `None
+    in
+    match attachment with
+    | `None ->
+        (* no open structure can take it: promote to an extra entry *)
+        new_entry member
+    | `Chain ->
+        (* field 0 is the chain link; remaining fields may host children *)
+        if O.nfields member > 1 then
+          Simstats.Vec.push open_nodes { obj = member; next_field = 1 }
+    | `Tree -> Simstats.Vec.push open_nodes { obj = member; next_field = 0 }
+  done;
+  (* 3. Arrays attach as leaves wherever a field is open; orphans become
+     entry structures of their own (anchored directly). *)
+  Array.iter (fun arr -> if not (attach_to_tree arr) then new_entry arr) arrays;
+  (* 4. Point some remaining open fields at old space; null the rest
+     (they were initialized null). *)
+  Simstats.Vec.iter
+    (fun open_node ->
+      let obj = open_node.obj in
+      for i = open_node.next_field to O.nfields obj - 1 do
+        if Simstats.Prng.float rng 1.0 < profile.P.old_target_fraction then begin
+          let holder = Old_space.random_holder old_pool rng in
+          obj.O.fields.(i) <- holder.O.addr
+        end
+      done)
+    open_nodes;
+  (* 5. Anchor every structure entry from a remset slot or a root. *)
+  let remset_slots = ref 0 and root_slots = ref 0 in
+  let anchor (obj : O.t) =
+    if Simstats.Prng.float rng 1.0 < profile.P.remset_fraction then begin
+      let region = Simheap.Heap.region_of_addr heap obj.O.addr in
+      let holder, field = Old_space.take_slot old_pool in
+      holder.O.fields.(field) <- obj.O.addr;
+      Simstats.Vec.push region.R.remset (O.Field (holder, field));
+      incr remset_slots
+    end
+    else begin
+      ignore (Simheap.Heap.new_root heap obj.O.addr);
+      incr root_slots
+    end
+  in
+  List.iter anchor !all_entries;
+  (* 6. Duplicate references: extra remset slots at ~5 % of live nodes,
+     exercising forwarding-pointer deduplication. *)
+  let dup_count = Array.length nodes / 20 in
+  for _ = 1 to dup_count do
+    if Array.length nodes > 0 then begin
+      let obj = nodes.(Simstats.Prng.int rng (Array.length nodes)) in
+      let holder, field = Old_space.take_slot old_pool in
+      holder.O.fields.(field) <- obj.O.addr;
+      let region = Simheap.Heap.region_of_addr heap obj.O.addr in
+      Simstats.Vec.push region.R.remset (O.Field (holder, field));
+      incr remset_slots
+    end
+  done;
+  {
+    live_objects = total_live;
+    live_bytes = b.live;
+    arrays = Array.length arrays;
+    chains = !chains;
+    trees = !trees;
+    remset_slots = !remset_slots;
+    root_slots = !root_slots;
+    eden_regions = b.eden_count;
+  }

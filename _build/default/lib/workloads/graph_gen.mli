@@ -1,0 +1,24 @@
+(** Object-graph generation for one mutation cycle: materializes the live
+    population in eden (dead allocations are bump-pointer gaps), wires it
+    into chains and trees anchored at remembered-set slots or roots, and
+    adds duplicate incoming references.  See the implementation header. *)
+
+type stats = {
+  live_objects : int;
+  live_bytes : int;
+  arrays : int;
+  chains : int;
+  trees : int;
+  remset_slots : int;
+  root_slots : int;
+  eden_regions : int;
+}
+
+val generate :
+  heap:Simheap.Heap.t ->
+  profile:App_profile.t ->
+  rng:Simstats.Prng.t ->
+  old_pool:Old_space.t ->
+  stats
+(** The caller must have reset the roots ([Heap.clear_roots]) and the
+    old-space holder pool ([Old_space.reset_cycle]) for the new cycle. *)

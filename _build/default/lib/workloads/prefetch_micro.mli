@@ -1,0 +1,11 @@
+(** The software-prefetching micro-benchmark of paper §4.3: random array
+    read-and-update with and without prefetching, on DRAM and NVM. *)
+
+type result = { config_name : string; accesses : int; simulated_ms : float }
+
+val run : ?accesses:int -> ?seed:int -> unit -> result list
+(** The four configurations of the paper's table (DRAM/NVM x
+    prefetch on/off).  Default 400k accesses (the paper's 40 M scaled). *)
+
+val improvement : result list -> base:string -> opt:string -> float
+(** Time ratio between two named configurations. *)

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Hashtbl List Memsim Nvmgc Option QCheck2 QCheck_alcotest Simheap Simstats Workloads

@@ -1,0 +1,1 @@
+test/test_header_map.ml: Alcotest Array Domain Float Hashtbl List Nvmgc QCheck2 QCheck_alcotest Simheap

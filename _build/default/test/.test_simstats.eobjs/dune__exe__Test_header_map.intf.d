@@ -1,0 +1,1 @@
+test/test_header_map.mli:

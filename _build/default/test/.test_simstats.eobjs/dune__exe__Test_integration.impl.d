@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiments Float List Nvmgc Workloads

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Float Memsim Printf QCheck2 QCheck_alcotest Simheap Simstats

@@ -1,0 +1,1 @@
+test/test_simheap.ml: Alcotest Array List Memsim Option Simheap Simstats

@@ -1,0 +1,1 @@
+test/test_simstats.ml: Alcotest Array Float Fun List Printf QCheck2 QCheck_alcotest Simstats String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl List Memsim Nvmgc Option Printf Simheap Simstats Workloads

