@@ -24,10 +24,25 @@ let options_term =
       & info [ "gc-scale" ] ~docv:"F"
           ~doc:"Multiplier on GCs per run (use <1 for quicker runs).")
   in
-  let make seed threads gc_scale =
-    { Experiments.Runner.seed; threads; gc_scale; verbose = false }
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Disable the post-pause heap-invariant verifier and oracle-GC \
+             diff (enabled by default; pure observation, does not affect \
+             simulated timings).")
   in
-  Term.(const make $ seed $ threads $ gc_scale)
+  let make seed threads gc_scale no_verify =
+    {
+      Experiments.Runner.seed;
+      threads;
+      gc_scale;
+      verbose = false;
+      verify = not no_verify;
+    }
+  in
+  Term.(const make $ seed $ threads $ gc_scale $ no_verify)
 
 let list_apps_cmd =
   let doc = "List the 26 application profiles." in

@@ -1,0 +1,7 @@
+#!/bin/sh
+# CI entry point: clean build with the dev profile (fatal warnings) and
+# the full test suite with post-pause verification forced on.
+set -eu
+
+dune build @default
+dune build @verify

@@ -52,8 +52,22 @@ let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
       end
       else begin
         (* Figure 4c: the region is still open; memorize the leftmost
-           reference of the referent instead. *)
-        pair.Write_cache.last <- referent_first_item;
+           reference of the referent instead — but only when the referent
+           was copied into {e this} pair.  A reference whose holder lives
+           in a different pair pops with that pair as its home, so it
+           would never be matched against our [last] and the pair would
+           silently lose async-flush eligibility.  In that case drop the
+           tracking; the next object copied into the pair re-arms it. *)
+        let same_pair_item =
+          match referent_first_item with
+          | Some ri
+            when (match ri.Work_stack.home with
+                 | Some region -> region == pair.Write_cache.cache
+                 | None -> false) ->
+              referent_first_item
+          | Some _ | None -> None
+        in
+        pair.Write_cache.last <- same_pair_item;
         Keep
       end
   | Some _ | None -> Keep

@@ -37,6 +37,10 @@ type t = {
      LABs and are copied directly (uncacheable); [max_int] for G1. *)
   lab_bytes : int;
   direct_copy_threshold : int;
+  (* Correctness checking. *)
+  verify : bool;
+      (** run the heap-invariant verifier and oracle collector (when
+          installed via {!Young_gc.set_verify_hooks}) around every pause *)
 }
 
 let header_map_entry_bytes = 16
@@ -65,6 +69,7 @@ let vanilla ?(collector = G1) ~threads ~scale () =
       (match collector with G1 -> max_int | Parallel_scavenge -> 16 * 1024);
     direct_copy_threshold =
       (match collector with G1 -> max_int | Parallel_scavenge -> 4 * 1024);
+    verify = true;
   }
 
 let with_write_cache ?collector ~threads ~scale () =
@@ -81,6 +86,16 @@ let all_opts ?collector ~threads ~scale () =
 let header_map_entries t = max 64 (t.header_map_bytes / header_map_entry_bytes)
 
 let header_map_active t = t.header_map && t.threads >= t.header_map_min_threads
+
+(** Whether verification should run for this configuration.  The
+    [NVMGC_VERIFY] environment variable overrides the config: "0",
+    "false" or "off" forces it off; any other non-empty value forces it
+    on (the [@verify] build alias sets it to "1"). *)
+let verify_active t =
+  match Sys.getenv_opt "NVMGC_VERIFY" with
+  | Some ("0" | "false" | "off") -> false
+  | Some _ -> true
+  | None -> t.verify
 
 let flush_mode_name = function Sync -> "sync" | Async -> "async"
 

@@ -26,6 +26,8 @@ type t = {
   lab_bytes : int;  (** PS thread-local allocation buffer; [max_int] for G1 *)
   direct_copy_threshold : int;
       (** objects above this size bypass the write cache (PS) *)
+  verify : bool;
+      (** run the heap-invariant verifier / oracle hooks around pauses *)
 }
 
 val header_map_entry_bytes : int
@@ -44,6 +46,11 @@ val header_map_entries : t -> int
 val header_map_active : t -> bool
 (** True when the header map is enabled {e and} the thread count reaches
     [header_map_min_threads] (the paper's gating). *)
+
+val verify_active : t -> bool
+(** Whether verification runs for this configuration.  The [NVMGC_VERIFY]
+    environment variable overrides the config field: "0" / "false" /
+    "off" forces it off, any other non-empty value forces it on. *)
 
 val flush_mode_name : flush_mode -> string
 val collector_name : collector -> string

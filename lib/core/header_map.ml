@@ -42,7 +42,24 @@ let create ~entries ~search_bound =
 
 let size t = t.mask + 1
 
-let occupancy t = float_of_int (Atomic.get t.occupied) /. float_of_int (size t)
+let occupied t = Atomic.get t.occupied
+
+let occupancy t = float_of_int (occupied t) /. float_of_int (size t)
+
+(** Direct entry inspection, for tests and the heap-invariant verifier
+    (which asserts the table is fully zeroed after every pause). *)
+let key_at t idx = Atomic.get t.keys.(idx)
+
+let value_at t idx = Atomic.get t.values.(idx)
+
+(** Number of entries with a non-zero key — ground truth for the
+    [occupied] counter (O(size), verifier/test use only). *)
+let nonzero_entries t =
+  let n = ref 0 in
+  for i = 0 to size t - 1 do
+    if Atomic.get t.keys.(i) <> 0 then incr n
+  done;
+  !n
 
 (* Fibonacci hashing of the old address. *)
 let hash t key = key * 0x9E3779B97F4A7C1 land max_int land t.mask
@@ -66,20 +83,22 @@ let rec await_value t idx =
   end
 
 (** [put t ~key ~value] follows Algorithm 1 lines 6–42.  Returns the
-    outcome and the number of entries probed. *)
+    outcome and the number of entries probed.  The scan starts at
+    [hash key] — the entry {!probe_addr} names — so cost accounting and
+    §4.3 header-map prefetches target the line the scan actually reads
+    first. *)
 let put t ~key ~value =
   if key = 0 then invalid_arg "Header_map.put: null key";
   if value = 0 then invalid_arg "Header_map.put: null value";
   let rec scan idx cnt =
     if cnt > t.search_bound then (Full, cnt)
     else begin
-      let idx = (idx + 1) land t.mask in
       let probed_key = Atomic.get t.keys.(idx) in
       if probed_key = key then
         (* Another thread is installing the same object: wait for its value
            (Algorithm 1 lines 35–39). *)
         (Found (await_value t idx), cnt)
-      else if probed_key <> 0 then scan idx (cnt + 1)
+      else if probed_key <> 0 then scan ((idx + 1) land t.mask) (cnt + 1)
       else if Atomic.compare_and_set t.keys.(idx) 0 key then begin
         (* Claimed the entry (lines 31–32). *)
         Atomic.incr t.occupied;
@@ -92,7 +111,7 @@ let put t ~key ~value =
            keep probing (lines 28–30). *)
         let winner = Atomic.get t.keys.(idx) in
         if winner = key then (Found (await_value t idx), cnt)
-        else scan idx (cnt + 1)
+        else scan ((idx + 1) land t.mask) (cnt + 1)
       end
     end
   in
@@ -107,14 +126,13 @@ let get t ~key =
   let rec scan idx cnt =
     if cnt > t.search_bound then (None, cnt)
     else begin
-      let idx = (idx + 1) land t.mask in
       let probed_key = Atomic.get t.keys.(idx) in
       if probed_key = key then (Some (await_value t idx), cnt)
       else if probed_key = 0 then
         (* An empty slot ends the probe chain: linear probing never leaves
            gaps for keys inserted before this lookup began. *)
         (None, cnt)
-      else scan idx (cnt + 1)
+      else scan ((idx + 1) land t.mask) (cnt + 1)
     end
   in
   scan (hash t key) 1

@@ -11,10 +11,23 @@ val create : entries:int -> search_bound:int -> t
 (** Capacity is rounded up to a power of two (>= 64). *)
 
 val size : t -> int
+
+val occupied : t -> int
+(** Number of claimed entries (the occupancy counter's raw value). *)
+
 val occupancy : t -> float
 
+val key_at : t -> int -> int
+val value_at : t -> int -> int
+(** Direct entry inspection for tests and the invariant verifier. *)
+
+val nonzero_entries : t -> int
+(** Entries with a non-zero key, counted by scanning the table — ground
+    truth for [occupied] (O(size); verifier/test use only). *)
+
 val probe_addr : t -> key:int -> int
-(** Simulated DRAM address of the first entry probed for [key]. *)
+(** Simulated DRAM address of the first entry probed for [key] — [put]
+    and [get] start their scans exactly there. *)
 
 type put_result =
   | Installed

@@ -32,6 +32,32 @@ let create ~heap ~memory (config : Gc_config.t) =
 
 let totals t = t.totals
 let header_map t = t.header_map
+let heap t = t.heap
+let config t = t.config
+
+(* ------------------------------------------------------------------ *)
+(* Verification hooks.
+
+   The heap-invariant verifier and the oracle collector live in
+   [lib/verify], which depends on this library — so the wiring is a
+   registration point rather than a direct call.  [Verify.Hooks] installs
+   the pair once per process; [collect] fires them only when the pause's
+   configuration asks for verification ({!Gc_config.verify_active}). *)
+
+type verify_hooks = {
+  before_pause : t -> unit;
+      (** called after the collection set is identified, before any work —
+          the oracle snapshots the pre-pause heap here *)
+  after_pause : t -> Gc_stats.pause -> unit;
+      (** called once the pause is fully wound down (regions reclaimed,
+          header map cleared) — invariant checking and oracle diffing *)
+}
+
+let verify_hooks : verify_hooks option ref = ref None
+
+let set_verify_hooks hooks = verify_hooks := hooks
+
+let verifying t = Gc_config.verify_active t.config && !verify_hooks <> None
 
 (* Seed initial work: remembered-set entries of every collection-set region
    plus the mutator roots, distributed round-robin across GC threads in
@@ -66,6 +92,14 @@ let seed_work t evac =
       if bytes > 0 then Evacuation.charge_remset_scan evac ~tid:i ~bytes)
     bytes_per_thread
 
+(* Split [bytes] of cleanup traffic across [threads], distributing the
+   remainder over the first [bytes mod threads] workers so every byte of
+   the table is charged to exactly one thread. *)
+let cleanup_slices ~bytes ~threads =
+  if threads <= 0 then invalid_arg "Young_gc.cleanup_slices: threads <= 0";
+  let base = bytes / threads and rem = bytes mod threads in
+  Array.init threads (fun i -> base + if i < rem then 1 else 0)
+
 (* Header-map cleanup: all GC threads zero their slice of the table in
    parallel; the paper reports this as trivial next to the pause. *)
 let cleanup_header_map t evac ~from_ns =
@@ -74,18 +108,21 @@ let cleanup_header_map t evac ~from_ns =
   | Some map ->
       let bytes = Header_map.size map * Header_map.entry_bytes in
       let nthreads = t.config.Gc_config.threads in
-      let slice = bytes / nthreads in
+      let slices = cleanup_slices ~bytes ~threads:nthreads in
+      let offset = ref 0 in
       let finish = ref from_ns in
-      Array.iter
-        (fun (th : Evacuation.thread) ->
+      Array.iteri
+        (fun i (th : Evacuation.thread) ->
+          let slice = slices.(i) in
           th.Evacuation.clock <- Float.max th.Evacuation.clock from_ns;
           let d =
             Memsim.Memory.access t.memory ~now_ns:th.Evacuation.clock
-              ~addr:(Header_map.entry_addr 0)
+              ~addr:(Simheap.Layout.header_map_base + !offset)
               (Memsim.Access.v ~space:Memsim.Access.Dram
                  ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
                  slice)
           in
+          offset := !offset + slice;
           Evacuation.add_breakdown th Evacuation.Cat_cleanup d;
           th.Evacuation.clock <- th.Evacuation.clock +. d;
           finish := Float.max !finish th.Evacuation.clock)
@@ -131,6 +168,9 @@ let reclaim t evac ~cset =
 let collect t ~now_ns =
   let cset = Simheap.Heap.young_regions t.heap in
   List.iter (fun (r : R.t) -> r.R.in_cset <- true) cset;
+  (match !verify_hooks with
+  | Some hooks when Gc_config.verify_active t.config -> hooks.before_pause t
+  | Some _ | None -> ());
   (* Safepoint arrival + serial VM-root scanning: a fixed,
      device-independent prologue every STW pause pays. *)
   let now_ns = now_ns +. t.config.Gc_config.pause_overhead_ns in
@@ -160,6 +200,12 @@ let collect t ~now_ns =
   let flush_end, sync_flushes =
     Evacuation.flush_remaining evac ~barrier_ns:traverse_end
   in
+  (* Occupancy must be sampled before cleanup clears the table. *)
+  let hm_occupancy =
+    match t.header_map with
+    | Some map -> Header_map.occupancy map
+    | None -> 0.0
+  in
   let cleanup_end = cleanup_header_map t evac ~from_ns:flush_end in
   reclaim t evac ~cset;
   let after = Memsim.Memory.snapshot t.memory in
@@ -179,10 +225,7 @@ let collect t ~now_ns =
       header_map_installs = sum (fun th -> th.Evacuation.hm_installs);
       header_map_hits = sum (fun th -> th.Evacuation.hm_hits);
       header_map_fallbacks = sum (fun th -> th.Evacuation.hm_fallbacks);
-      header_map_occupancy =
-        (match t.header_map with
-        | Some map -> Header_map.occupancy map
-        | None -> 0.0);
+      header_map_occupancy = hm_occupancy;
       async_flushes = sum (fun th -> th.Evacuation.async_flushes);
       sync_flushes;
       steals = sum (fun th -> th.Evacuation.steals);
@@ -196,20 +239,9 @@ let collect t ~now_ns =
               0.0 threads);
     }
   in
-  (* occupancy is read before clear in cleanup_header_map; re-read after
-     clear would be 0.  Order: cleanup ran already, so capture from stats
-     recorded by installs instead when cleared.  The install count is the
-     truth; occupancy here reflects the cleared map, so recompute: *)
-  let pause =
-    match t.header_map with
-    | Some map ->
-        let entries = float_of_int (Header_map.size map) in
-        {
-          pause with
-          Gc_stats.header_map_occupancy =
-            float_of_int pause.Gc_stats.header_map_installs /. entries;
-        }
-    | None -> pause
-  in
   Gc_stats.add t.totals pause;
+  (match !verify_hooks with
+  | Some hooks when Gc_config.verify_active t.config ->
+      hooks.after_pause t pause
+  | Some _ | None -> ());
   pause

@@ -12,9 +12,13 @@ type options = {
   gc_scale : float;
       (** multiplier on the number of GCs per run; < 1 shortens runs *)
   verbose : bool;
+  verify : bool;
+      (** run the heap-invariant verifier + oracle diff after every
+          pause (pure observation; does not perturb results) *)
 }
 
-let default_options = { seed = 42; threads = 28; gc_scale = 1.0; verbose = false }
+let default_options =
+  { seed = 42; threads = 28; gc_scale = 1.0; verbose = false; verify = true }
 
 let gcs_for options (profile : P.t) =
   max 1
@@ -60,6 +64,11 @@ let execute ?threads ?gcs ?(trace = false) ?(llc_scale = 1.0) ?nvm ?dram
   in
   let config =
     config_tweak (Workloads.Apps.gc_config profile ~preset ~threads)
+  in
+  if options.verify then Verify.Hooks.ensure_installed ();
+  let config =
+    { config with Nvmgc.Gc_config.verify = config.Nvmgc.Gc_config.verify
+                                           && options.verify }
   in
   let config =
     match setup with

@@ -177,6 +177,12 @@ let clear_roots t = Simstats.Vec.clear t.roots
 
 let iter_regions f t = Array.iter f t.regions
 
+let iter_scratch_regions f t = Array.iter f t.scratch
+
+let scratch_regions t = t.config.dram_scratch_regions
+
+let iter_bindings f t = Hashtbl.iter f t.addr_map
+
 let regions_of_kind t kind =
   Array.to_list t.regions
   |> List.filter (fun (r : Region.t) -> r.Region.kind = kind)

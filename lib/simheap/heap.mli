@@ -47,6 +47,16 @@ val roots : t -> Objmodel.root Simstats.Vec.t
 val clear_roots : t -> unit
 
 val iter_regions : (Region.t -> unit) -> t -> unit
+
+val iter_scratch_regions : (Region.t -> unit) -> t -> unit
+(** Iterate the DRAM scratch pool backing the GC write cache. *)
+
+val scratch_regions : t -> int
+(** Size of the DRAM scratch pool (free or not). *)
+
 val regions_of_kind : t -> Region.kind -> Region.t list
 val young_regions : t -> Region.t list
 val live_objects : t -> int
+
+val iter_bindings : (int -> Objmodel.t -> unit) -> t -> unit
+(** Iterate the address table: every (address, object) binding. *)

@@ -1,0 +1,57 @@
+(** Wiring of the verifier and the oracle into {!Nvmgc.Young_gc}.
+
+    [Young_gc] exposes a registration point instead of calling us (this
+    library depends on it, not the other way round).  {!ensure_installed}
+    registers a pair of hooks once per process; they fire only for
+    collectors whose configuration enables verification
+    ({!Nvmgc.Gc_config.verify_active}, overridable through the
+    [NVMGC_VERIFY] environment variable). *)
+
+exception
+  Verification_failure of string * string list
+        (** configuration description, violation/mismatch messages *)
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failure (config, msgs) ->
+        Some
+          (Printf.sprintf "Verification_failure [%s]:\n  %s" config
+             (String.concat "\n  " msgs))
+    | _ -> None)
+
+(* The snapshot taken when the current pause began.  [collect] is not
+   reentrant, so one slot suffices; the guard against a foreign [gc]
+   covers a before-hook that raised mid-registration. *)
+let pending : (Nvmgc.Young_gc.t * Oracle.snapshot) option ref = ref None
+
+let before_pause gc = pending := Some (gc, Oracle.snapshot gc)
+
+let after_pause gc pause =
+  let snap =
+    match !pending with
+    | Some (owner, snap) when owner == gc ->
+        pending := None;
+        Some snap
+    | Some _ | None ->
+        pending := None;
+        None
+  in
+  let violations = Invariants.run gc in
+  let mismatches =
+    match snap with Some s -> Oracle.diff s gc pause | None -> []
+  in
+  match violations @ mismatches with
+  | [] -> ()
+  | msgs ->
+      raise
+        (Verification_failure
+           (Nvmgc.Gc_config.describe (Nvmgc.Young_gc.config gc), msgs))
+
+let installed = ref false
+
+let ensure_installed () =
+  if not !installed then begin
+    installed := true;
+    Nvmgc.Young_gc.set_verify_hooks
+      (Some { Nvmgc.Young_gc.before_pause; after_pause })
+  end

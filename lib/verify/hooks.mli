@@ -1,0 +1,11 @@
+(** Registers the heap-invariant verifier and the oracle collector as
+    {!Nvmgc.Young_gc} hooks. *)
+
+exception Verification_failure of string * string list
+(** Raised from inside {!Nvmgc.Young_gc.collect} when a pause leaves the
+    heap in a state violating an invariant or disagreeing with the
+    oracle.  Carries the configuration description and the messages. *)
+
+val ensure_installed : unit -> unit
+(** Install the hooks (idempotent).  Verification still only runs for
+    configurations where {!Nvmgc.Gc_config.verify_active} holds. *)

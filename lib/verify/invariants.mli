@@ -1,0 +1,16 @@
+(** Post-pause heap-invariant verifier.
+
+    Asserts the canonical quiescent state after a young collection: only
+    [Free]/[Old] regions remain, bindings are self-consistent, no
+    pause-local state (forwarding pointers, cached marks, cset /
+    stolen-from flags) survives, region [used_bytes] equals the sum of
+    its objects' sizes, remsets/roots point at live bindings, the DRAM
+    scratch pool is fully returned, and the header map is cleared with
+    [occupied = 0].
+
+    Pure observation: no simulated memory traffic, no heap mutation. *)
+
+val run : Nvmgc.Young_gc.t -> string list
+(** Walk the heap right after {!Nvmgc.Young_gc.collect}; returns all
+    violations found (empty = well-formed), capped at a readable
+    prefix. *)

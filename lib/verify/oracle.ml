@@ -1,0 +1,235 @@
+(** Reference oracle collector.
+
+    A deliberately dumb single-threaded semispace copy — no write cache,
+    no header map, no stealing, no cost model — run against a pre-pause
+    snapshot of the young generation.  Whatever the production engine's
+    optimizations do to the {e timing}, the surviving object set, their
+    sizes, and the post-pause reference graph must match this oracle
+    exactly; {!diff} checks that after the pause completes.
+
+    The snapshot is taken at the start of {!Nvmgc.Young_gc.collect}
+    (before any evacuation work) and deep-copies every young object's
+    reference fields, because the real collector updates those arrays in
+    place.  Liveness mirrors the engine's seeding rule: the transitive
+    closure from the collection-set remembered sets and the non-null
+    mutator roots, traversing only objects inside the collection set. *)
+
+module R = Simheap.Region
+module O = Simheap.Objmodel
+module H = Simheap.Heap
+
+(** How a reference field (or anchor slot) relates to the young
+    generation of the snapshotted pause. *)
+type field_class =
+  | FNull
+  | FYoung of int  (** live young object, named by its stable id *)
+  | FOut of int  (** address outside the collection set — must not move *)
+
+let class_name = function
+  | FNull -> "null"
+  | FYoung id -> Printf.sprintf "young:%d" id
+  | FOut addr -> Printf.sprintf "out:0x%x" addr
+
+(* A young object as it existed when the pause began. *)
+type snap_obj = { id : int; size : int; fields : int array }
+
+(* A reference the collector must process: a root or a remset slot.  The
+   [slot] is the live mutable cell (readable again after the pause); [pre]
+   is its referent at snapshot time. *)
+type anchor = { slot : O.slot; pre : int }
+
+type snapshot = {
+  young : (int, snap_obj) Hashtbl.t;  (** pre-pause address -> object *)
+  ids : (int, snap_obj) Hashtbl.t;  (** id -> object, for post-pause diffs *)
+  anchors : anchor list;
+}
+
+let snapshot gc =
+  let heap = Nvmgc.Young_gc.heap gc in
+  let young = Hashtbl.create 1024 in
+  let ids = Hashtbl.create 1024 in
+  H.iter_bindings
+    (fun addr (obj : O.t) ->
+      let in_young_region =
+        H.in_heap_range heap addr
+        &&
+        match (H.region_of_addr heap addr).R.kind with
+        | R.Eden | R.Survivor -> true
+        | R.Free | R.Old | R.Cache -> false
+      in
+      if in_young_region then begin
+        let so =
+          { id = obj.O.id; size = obj.O.size; fields = Array.copy obj.O.fields }
+        in
+        Hashtbl.replace young addr so;
+        Hashtbl.replace ids so.id so
+      end)
+    heap;
+  let anchors = ref [] in
+  List.iter
+    (fun (r : R.t) ->
+      Simstats.Vec.iter
+        (fun slot ->
+          anchors := { slot; pre = O.slot_referent slot } :: !anchors)
+        r.R.remset)
+    (H.young_regions heap);
+  Simstats.Vec.iter
+    (fun (root : O.root) ->
+      if root.O.target <> Simheap.Layout.null then
+        anchors := { slot = O.Root root; pre = root.O.target } :: !anchors)
+    (H.roots heap);
+  { young; ids; anchors = !anchors }
+
+(* ------------------------------------------------------------------ *)
+(* The oracle collection: reachability copy over the snapshot.         *)
+
+(* Returns the surviving ids and, per survivor, the classified reference
+   graph.  Addresses play no role in the result — the real collector is
+   free to place copies anywhere. *)
+let collect snap =
+  let survivors = Hashtbl.create 256 in
+  (* id -> field_class array *)
+  let graph = Hashtbl.create 256 in
+  let pending = Queue.create () in
+  let classify addr =
+    if addr = Simheap.Layout.null then FNull
+    else
+      match Hashtbl.find_opt snap.young addr with
+      | None -> FOut addr
+      | Some so ->
+          if not (Hashtbl.mem survivors so.id) then begin
+            Hashtbl.replace survivors so.id so;
+            Queue.push so pending
+          end;
+          FYoung so.id
+  in
+  List.iter (fun a -> ignore (classify a.pre)) snap.anchors;
+  while not (Queue.is_empty pending) do
+    let so = Queue.pop pending in
+    Hashtbl.replace graph so.id (Array.map classify so.fields)
+  done;
+  (survivors, graph)
+
+(* ------------------------------------------------------------------ *)
+(* Diffing the real post-pause heap against the oracle.                *)
+
+type ctx = { mutable msgs : string list; mutable count : int }
+
+let max_messages = 50
+
+let mismatch ctx fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.count <- ctx.count + 1;
+      if ctx.count <= max_messages then ctx.msgs <- msg :: ctx.msgs)
+    fmt
+
+(** Diff the heap of [gc] (after the pause finished) against what the
+    oracle computed from the pre-pause [snap].  [pause] cross-checks the
+    reported copy counters.  Returns mismatch messages (empty = the real
+    collector agrees with the oracle exactly). *)
+let diff snap gc (pause : Nvmgc.Gc_stats.pause) =
+  let heap = Nvmgc.Young_gc.heap gc in
+  let ctx = { msgs = []; count = 0 } in
+  let survivors, graph = collect snap in
+  (* Collect the real survivors: post-pause bindings whose object id was
+     young when the pause began. *)
+  let real = Hashtbl.create 256 in
+  H.iter_bindings
+    (fun _addr (obj : O.t) ->
+      if Hashtbl.mem snap.ids obj.O.id then begin
+        if Hashtbl.mem real obj.O.id then
+          mismatch ctx "object %d survives at two addresses" obj.O.id;
+        Hashtbl.replace real obj.O.id obj
+      end)
+    heap;
+  (* Surviving set must match exactly, both directions. *)
+  Hashtbl.iter
+    (fun id (_ : snap_obj) ->
+      if not (Hashtbl.mem real id) then
+        mismatch ctx "object %d is live per the oracle but was not evacuated"
+          id)
+    survivors;
+  Hashtbl.iter
+    (fun id (_ : O.t) ->
+      if not (Hashtbl.mem survivors id) then
+        mismatch ctx "object %d is dead per the oracle but was evacuated" id)
+    real;
+  (* Classify a post-pause referent the same way the oracle classifies a
+     pre-pause one: live young objects by id, everything else by (stable)
+     address. *)
+  let classify_post addr =
+    if addr = Simheap.Layout.null then FNull
+    else
+      match H.lookup heap addr with
+      | Some obj when Hashtbl.mem snap.ids obj.O.id -> FYoung obj.O.id
+      | Some _ | None -> FOut addr
+  in
+  (* Sizes and per-field reference graph of every common survivor. *)
+  Hashtbl.iter
+    (fun id (obj : O.t) ->
+      match Hashtbl.find_opt survivors id with
+      | None -> ()
+      | Some so ->
+          if obj.O.size <> so.size then
+            mismatch ctx "object %d: size %d after evacuation, %d before" id
+              obj.O.size so.size;
+          let expected = Hashtbl.find graph id in
+          if Array.length obj.O.fields <> Array.length expected then
+            mismatch ctx "object %d: field count changed (%d -> %d)" id
+              (Array.length expected)
+              (Array.length obj.O.fields)
+          else
+            Array.iteri
+              (fun i f ->
+                let got = classify_post f in
+                if got <> expected.(i) then
+                  mismatch ctx "object %d field %d: oracle %s, collector %s"
+                    id i
+                    (class_name expected.(i))
+                    (class_name got))
+              obj.O.fields)
+    real;
+  (* Anchors (remset slots and roots) must have been retargeted to the
+     copy of exactly the object they referenced before the pause. *)
+  List.iter
+    (fun a ->
+      let expected =
+        if a.pre = Simheap.Layout.null then FNull
+        else
+          match Hashtbl.find_opt snap.young a.pre with
+          | Some so -> FYoung so.id
+          | None -> FOut a.pre
+      in
+      let post = O.slot_referent a.slot in
+      let got = classify_post post in
+      if got <> expected then
+        mismatch ctx "anchor slot: oracle %s, collector %s (post 0x%x)"
+          (class_name expected) (class_name got) post
+      else
+        match expected with
+        | FOut pre when post <> pre ->
+            mismatch ctx
+              "anchor slot: non-young referent moved (0x%x -> 0x%x)" pre post
+        | FNull | FYoung _ | FOut _ -> ())
+    snap.anchors;
+  (* The pause's copy counters must account for exactly the oracle's
+     survivors. *)
+  let oracle_objects = Hashtbl.length survivors in
+  let oracle_bytes =
+    Hashtbl.fold (fun _ (so : snap_obj) acc -> acc + so.size) survivors 0
+  in
+  if pause.Nvmgc.Gc_stats.objects_copied <> oracle_objects then
+    mismatch ctx "pause reports %d objects copied, oracle expects %d"
+      pause.Nvmgc.Gc_stats.objects_copied oracle_objects;
+  if pause.Nvmgc.Gc_stats.bytes_copied <> oracle_bytes then
+    mismatch ctx "pause reports %d bytes copied, oracle expects %d"
+      pause.Nvmgc.Gc_stats.bytes_copied oracle_bytes;
+  let msgs = List.rev ctx.msgs in
+  if ctx.count > max_messages then
+    msgs
+    @ [
+        Printf.sprintf "... and %d further mismatches suppressed"
+          (ctx.count - max_messages);
+      ]
+  else msgs

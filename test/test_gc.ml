@@ -16,6 +16,10 @@ module WC = Nvmgc.Write_cache
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Every collection in this file runs with the heap-invariant verifier
+   and the oracle collector armed (configs default [verify = true]). *)
+let () = Verify.Hooks.ensure_installed ()
+
 (* A small, fast test profile. *)
 let test_profile =
   Workloads.Apps.renaissance ~name:"test-app" ~survival:0.15 ~mean_obj:72.0
@@ -330,17 +334,46 @@ let test_flush_tracker_protocol () =
   (* arm on first copy *)
   Nvmgc.Flush_tracker.on_copy pair ~first_item:(Some item);
   check_bool "armed" true (pair.WC.last == Some item || pair.WC.last <> None);
-  (* popping the memorized item while the pair is open re-arms *)
-  let item2 = mk_item () in
+  (* popping the memorized item while the pair is open re-arms — the
+     referent's first item only counts when it landed in the same pair *)
+  let item2 = { WS.slot = R.dummy_slot; home = Some pair.WC.cache } in
   (match Nvmgc.Flush_tracker.on_processed pair ~item ~referent_first_item:(Some item2) with
   | Nvmgc.Flush_tracker.Keep -> ()
   | Nvmgc.Flush_tracker.Ready _ -> Alcotest.fail "open pair must not be ready");
+  check_bool "re-armed with same-pair referent" true
+    (match pair.WC.last with Some i -> i == item2 | None -> false);
   (* filling the pair and popping the memorized item -> Ready *)
   WC.mark_filled pair;
   (match Nvmgc.Flush_tracker.on_processed pair ~item:item2 ~referent_first_item:None with
   | Nvmgc.Flush_tracker.Ready p -> check_bool "ready pair is ours" true (p == pair)
   | Nvmgc.Flush_tracker.Keep -> Alcotest.fail "filled pair must be ready");
   check_bool "tracking consumed" true (pair.WC.last = None)
+
+(* Regression: re-arming [pair.last] with a reference whose referent was
+   copied into a {e different} pair used to wedge the pair out of async
+   flushing — the foreign item pops with its own pair as home, so the
+   memorized reference was never consumed.  Post-fix the tracking drops to
+   [None] and [ready_on_fill] recovers the pair. *)
+let test_flush_tracker_cross_pair_rearm () =
+  let heap = H.create (Workloads.App_profile.heap_config test_profile) in
+  let wc = WC.create heap ~limit_bytes:None in
+  let pair_a = Option.get (WC.new_pair wc) in
+  let pair_b = Option.get (WC.new_pair wc) in
+  let item = { WS.slot = R.dummy_slot; home = Some pair_a.WC.cache } in
+  Nvmgc.Flush_tracker.on_copy pair_a ~first_item:(Some item);
+  (* The popped reference's referent was copied into pair_b: its first
+     item belongs to pair_b, not pair_a. *)
+  let foreign = { WS.slot = R.dummy_slot; home = Some pair_b.WC.cache } in
+  (match
+     Nvmgc.Flush_tracker.on_processed pair_a ~item
+       ~referent_first_item:(Some foreign)
+   with
+  | Nvmgc.Flush_tracker.Keep -> ()
+  | Nvmgc.Flush_tracker.Ready _ -> Alcotest.fail "open pair must not be ready");
+  check_bool "foreign referent must not re-arm" true (pair_a.WC.last = None);
+  WC.mark_filled pair_a;
+  check_bool "pair recovers async eligibility on fill" true
+    (Nvmgc.Flush_tracker.ready_on_fill pair_a)
 
 let test_flush_tracker_stolen_blocks_async () =
   let heap = H.create (Workloads.App_profile.heap_config test_profile) in
@@ -370,6 +403,57 @@ let gen_scenario =
     let* preset = oneofl [ `Vanilla; `Write_cache; `All; `All_ps ] in
     let* seed = int_range 1 10_000 in
     return (survival, chain, entry, array_fraction, threads, preset, seed))
+
+(* Work stealing: [steal] must take the oldest items (front of the
+   stack, opposite the owner's LIFO end), preserve their order, leave
+   the rest poppable in LIFO order, and mark exactly the stolen items'
+   home regions as stolen-from. *)
+let prop_steal_takes_oldest =
+  QCheck2.Test.make ~name:"steal takes oldest items and marks homes"
+    ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 40) bool) (int_range 0 45))
+    (fun (has_homes, chunk) ->
+      let s = WS.create () in
+      let items =
+        List.mapi
+          (fun i has_home ->
+            let home =
+              if has_home then
+                Some
+                  (R.create ~idx:i ~base:(i * 4096) ~bytes:4096
+                     ~space:Memsim.Access.Dram ~kind:R.Cache)
+              else None
+            in
+            { WS.slot = R.dummy_slot; home })
+          has_homes
+      in
+      List.iteri (fun i it -> WS.push s ~clock:(float_of_int i) it) items;
+      let stolen = WS.steal s ~chunk in
+      let n = List.length items in
+      let k = min (max chunk 0) n in
+      let expected_stolen = List.filteri (fun i _ -> i < k) items in
+      let expected_rest = List.filteri (fun i _ -> i >= k) items in
+      let remaining =
+        List.rev
+          (List.init (WS.length s) (fun _ -> Option.get (WS.pop s)))
+      in
+      List.length stolen = k
+      && List.for_all2 ( == ) stolen expected_stolen
+      && List.for_all2 ( == ) remaining expected_rest
+      && WS.stolen_from_count s = k
+      && WS.pushes s = n
+      && List.for_all
+           (fun (it : WS.item) ->
+             match it.WS.home with
+             | Some r -> r.R.stolen_from
+             | None -> true)
+           stolen
+      && List.for_all
+           (fun (it : WS.item) ->
+             match it.WS.home with
+             | Some r -> not r.R.stolen_from
+             | None -> true)
+           expected_rest)
 
 let prop_collection_invariants =
   QCheck2.Test.make ~name:"collection preserves heap integrity" ~count:25
@@ -446,12 +530,59 @@ let test_unlimited_write_cache () =
   check_int "everything cached with no bound"
     pause.Nvmgc.Gc_stats.bytes_copied pause.Nvmgc.Gc_stats.bytes_cached
 
+(* ------------------------------------------------------------------ *)
+(* Header-map cleanup accounting (regressions)                         *)
+
+(* Regression: cleanup traffic used to charge [bytes / nthreads] per
+   thread, silently dropping [bytes mod nthreads] whenever the table size
+   didn't divide evenly. *)
+let test_cleanup_slices_cover_table () =
+  List.iter
+    (fun (bytes, threads) ->
+      let slices = Nvmgc.Young_gc.cleanup_slices ~bytes ~threads in
+      check_int
+        (Printf.sprintf "slices of %d bytes over %d threads sum exactly"
+           bytes threads)
+        bytes
+        (Array.fold_left ( + ) 0 slices);
+      let lo = Array.fold_left min max_int slices
+      and hi = Array.fold_left max 0 slices in
+      check_bool "slices balanced within one byte" true (hi - lo <= 1))
+    [ (1024 * 16, 7); (64 * 16, 24); (100, 3); (5, 8); (0, 4); (4096, 8) ]
+
+(* Regression: [collect] used to recompute header-map occupancy post hoc
+   from the install count instead of sampling the table before the clear.
+   Entries present in the map that no install of this pause produced
+   (e.g. leftovers a racing installer accounted elsewhere) were invisible
+   to the recomputation. *)
+let test_occupancy_sampled_before_clear () =
+  let config = Workloads.Apps.gc_config test_profile ~preset:`All ~threads:8 in
+  let env = make_env_config config in
+  let map = Option.get (Nvmgc.Young_gc.header_map env.gc) in
+  (* Pre-install entries the pause's own installs cannot explain. *)
+  let extra = 3 in
+  for key = 1 to extra do
+    match Nvmgc.Header_map.put map ~key ~value:key with
+    | Nvmgc.Header_map.Installed, _ -> ()
+    | _ -> Alcotest.fail "pre-install must succeed on an empty map"
+  done;
+  let pause = Nvmgc.Young_gc.collect env.gc ~now_ns:0.0 in
+  let size = float_of_int (Nvmgc.Header_map.size map) in
+  let occupied_seen =
+    int_of_float (Float.round (pause.Nvmgc.Gc_stats.header_map_occupancy *. size))
+  in
+  check_int "occupancy reflects the table before the clear"
+    (pause.Nvmgc.Gc_stats.header_map_installs + extra)
+    occupied_seen;
+  check_int "table cleared after the pause" 0 (Nvmgc.Header_map.occupied map)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "gc"
     [
       ( "properties",
         [
+          qc prop_steal_takes_oldest;
           qc prop_collection_invariants;
           qc prop_optimizations_never_lose_objects;
         ] );
@@ -494,7 +625,16 @@ let () =
       ( "flush_tracker",
         [
           Alcotest.test_case "protocol" `Quick test_flush_tracker_protocol;
+          Alcotest.test_case "cross-pair re-arm" `Quick
+            test_flush_tracker_cross_pair_rearm;
           Alcotest.test_case "stolen blocks async" `Quick
             test_flush_tracker_stolen_blocks_async;
+        ] );
+      ( "cleanup",
+        [
+          Alcotest.test_case "slices cover table" `Quick
+            test_cleanup_slices_cover_table;
+          Alcotest.test_case "occupancy before clear" `Quick
+            test_occupancy_sampled_before_clear;
         ] );
     ]

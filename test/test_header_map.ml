@@ -99,6 +99,25 @@ let test_probe_addr () =
     (a >= Simheap.Layout.header_map_base
     && a < Simheap.Layout.header_map_base + (M.size m * M.entry_bytes))
 
+(* Regression: [put]/[get] used to start probing at [(hash key + 1)]
+   while [probe_addr] named entry [hash key], so prefetches and probe
+   charges targeted an entry the scan never touched first.  On an empty
+   map the single-probe install must land exactly in [probe_addr]'s
+   entry. *)
+let test_probe_addr_is_first_probe () =
+  List.iter
+    (fun key ->
+      let m = M.create ~entries:1024 ~search_bound:16 in
+      let r, probes = M.put m ~key ~value:(key + 1) in
+      check_bool "installed" true (r = M.Installed);
+      check_int "empty map installs on the first probe" 1 probes;
+      let idx =
+        (M.probe_addr m ~key - Simheap.Layout.header_map_base) / M.entry_bytes
+      in
+      check_int "first probed entry is probe_addr's entry" key (M.key_at m idx);
+      check_int "value stored alongside" (key + 1) (M.value_at m idx))
+    [ 8; 12345; 999_999; 0x7FFF_FFF8 ]
+
 (* Model-based: against Hashtbl, modulo capacity overflow (Full). *)
 let prop_model_based =
   QCheck2.Test.make ~name:"header map models a bounded hashtable" ~count:100
@@ -175,6 +194,72 @@ let test_parallel_racing () =
   check_int "each key claimed one entry" 500
     (int_of_float (Float.round (M.occupancy m *. float_of_int (M.size m))))
 
+(* Stress: domains race to install the same and deliberately colliding
+   keys.  Across all domains exactly one [Installed] may win per key,
+   every [Found] must report the winner's value, and the occupancy
+   counter must agree exactly with a ground-truth scan of the table. *)
+let test_parallel_stress_found_and_occupied () =
+  let m = M.create ~entries:256 ~search_bound:64 in
+  (* Keys that collide: same initial probe index as a reference key. *)
+  let base_idx =
+    (M.probe_addr m ~key:8 - Simheap.Layout.header_map_base) / M.entry_bytes
+  in
+  let colliding =
+    let acc = ref [] and k = ref 9 in
+    while List.length !acc < 8 do
+      let idx =
+        (M.probe_addr m ~key:!k - Simheap.Layout.header_map_base)
+        / M.entry_bytes
+      in
+      if idx = base_idx then acc := !k :: !acc;
+      incr k
+    done;
+    8 :: !acc
+  in
+  let distinct = List.init 32 (fun i -> 1_000 + (i * 8)) in
+  let keys =
+    Array.of_list (List.sort_uniq compare (colliding @ distinct))
+  in
+  let ndomains = 6 in
+  (* results.(d).(i) = outcome of domain d's put of keys.(i) *)
+  let results = Array.make_matrix ndomains (Array.length keys) (M.Full, 0) in
+  let barrier = Atomic.make 0 in
+  let domains =
+    List.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < ndomains do
+              Domain.cpu_relax ()
+            done;
+            Array.iteri
+              (fun i key ->
+                results.(d).(i) <- M.put m ~key ~value:((key * 10) + d + 1))
+              keys))
+  in
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun i key ->
+      let winner =
+        match M.get m ~key with
+        | Some v, _ -> v
+        | None, _ -> Alcotest.fail "stressed key lost"
+      in
+      let installs = ref 0 in
+      for d = 0 to ndomains - 1 do
+        match results.(d).(i) with
+        | M.Installed, _ ->
+            incr installs;
+            check_int "installer's value is the winner" winner
+              ((key * 10) + d + 1)
+        | M.Found v, _ -> check_int "Found reports the winner's value" winner v
+        | M.Full, _ -> Alcotest.fail "table must not overflow in this test"
+      done;
+      check_int "exactly one Installed per key" 1 !installs)
+    keys;
+  check_int "occupied counter is exact" (Array.length keys) (M.occupied m);
+  check_int "occupied matches a table scan" (M.nonzero_entries m)
+    (M.occupied m)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "header_map"
@@ -189,11 +274,15 @@ let () =
           Alcotest.test_case "clear_range" `Quick test_clear_range_parallel_shape;
           Alcotest.test_case "null rejection" `Quick test_null_rejection;
           Alcotest.test_case "probe addr" `Quick test_probe_addr;
+          Alcotest.test_case "probe addr is first probe" `Quick
+            test_probe_addr_is_first_probe;
           qc prop_model_based;
         ] );
       ( "parallel",
         [
           Alcotest.test_case "disjoint domains" `Quick test_parallel_disjoint;
           Alcotest.test_case "racing domains" `Quick test_parallel_racing;
+          Alcotest.test_case "stress: Found + occupied exact" `Quick
+            test_parallel_stress_found_and_occupied;
         ] );
     ]

@@ -1,0 +1,259 @@
+(* Tests for the verification subsystem itself: the heap-invariant
+   verifier and the oracle collector.
+
+   Positive direction: a matrix of seeded workload shapes (pointer-chain,
+   wide, array-heavy, mixed, cassandra) runs under all four write-cache x
+   header-map combinations, under both sync and async flushing, with the
+   hooks armed — any invariant violation or oracle mismatch raises
+   [Verify.Hooks.Verification_failure] from inside the pause.
+
+   Negative direction: deliberately corrupted heaps and forged outcomes
+   must be reported, proving the checkers can actually fail. *)
+
+module H = Simheap.Heap
+module R = Simheap.Region
+module O = Simheap.Objmodel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let () = Verify.Hooks.ensure_installed ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload shapes                                                     *)
+
+let pointer_chain =
+  Workloads.Apps.renaissance ~name:"verify-chain" ~survival:0.2 ~chain:0.9
+    ~array_fraction:0.0 ~entry:0.05 ~gcs:2 ()
+
+let wide_graph =
+  Workloads.Apps.renaissance ~name:"verify-wide" ~survival:0.15 ~chain:0.0
+    ~entry:0.25 ~fields:4.0 ~gcs:2 ()
+
+let array_heavy =
+  Workloads.Apps.renaissance ~name:"verify-arrays" ~survival:0.1
+    ~array_fraction:0.85 ~mean_array:512.0 ~gcs:2 ()
+
+let mixed =
+  Workloads.Apps.renaissance ~name:"verify-mixed" ~survival:0.18 ~chain:0.4
+    ~array_fraction:0.3 ~entry:0.12 ~gcs:2 ()
+
+let cassandra = Workloads.Cassandra.server_profile ~write_phase:true
+
+let shapes =
+  [ pointer_chain; wide_graph; array_heavy; mixed; cassandra ]
+
+(* The four §3 mechanism combinations, sync and async. *)
+let combos =
+  List.concat_map
+    (fun (wc, hm) ->
+      List.map
+        (fun fm -> (wc, hm, fm))
+        [ Nvmgc.Gc_config.Sync; Nvmgc.Gc_config.Async ])
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let config_for profile ~write_cache ~header_map ~flush_mode =
+  {
+    (Workloads.Apps.gc_config profile ~preset:`All ~threads:8) with
+    Nvmgc.Gc_config.write_cache;
+    header_map;
+    flush_mode;
+    nt_flush = write_cache;
+  }
+
+(* Every pause of every run is checked by the armed hooks; a mismatch
+   anywhere raises Verification_failure and fails the test. *)
+let test_matrix () =
+  List.iter
+    (fun (profile : Workloads.App_profile.t) ->
+      List.iter
+        (fun (write_cache, header_map, flush_mode) ->
+          let config = config_for profile ~write_cache ~header_map ~flush_mode in
+          let gcs = min 2 profile.Workloads.App_profile.gcs_per_run in
+          let result, gc, _memory, _heap =
+            Workloads.Mutator.run_fresh ~gcs ~profile ~seed:7 config
+          in
+          check_bool
+            (Printf.sprintf "%s under %s ran verified pauses"
+               profile.Workloads.App_profile.name
+               (Nvmgc.Gc_config.describe config))
+            true
+            (List.length result.Workloads.Mutator.pauses >= 1);
+          check_bool "collector was verifying" true
+            (Nvmgc.Young_gc.verifying gc))
+        combos)
+    shapes
+
+(* Same thing but exercising snapshot/diff explicitly, without going
+   through the hooks, so the oracle API is covered directly. *)
+let test_explicit_oracle_diff () =
+  let profile = mixed in
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory =
+    Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+  in
+  let config =
+    {
+      (Workloads.Apps.gc_config profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.verify = false (* drive the oracle by hand *);
+    }
+  in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create 11 in
+  let _graph = Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool in
+  let snap = Verify.Oracle.snapshot gc in
+  let pause = Nvmgc.Young_gc.collect gc ~now_ns:0.0 in
+  check_int "oracle agrees with the collector" 0
+    (List.length (Verify.Oracle.diff snap gc pause));
+  check_int "invariants hold" 0 (List.length (Verify.Invariants.run gc))
+
+(* ------------------------------------------------------------------ *)
+(* The checkers must be able to fail.                                  *)
+
+let quiet_env () =
+  let profile = mixed in
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory =
+    Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+  in
+  let config = Workloads.Apps.gc_config profile ~preset:`All ~threads:8 in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create 23 in
+  ignore (Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool);
+  let pause = Nvmgc.Young_gc.collect gc ~now_ns:0.0 in
+  (heap, gc, pause)
+
+let some_live_object heap =
+  let found = ref None in
+  H.iter_bindings (fun _ obj -> if !found = None then found := Some obj) heap;
+  Option.get !found
+
+let test_invariants_catch_forward () =
+  let heap, gc, _ = quiet_env () in
+  let obj = some_live_object heap in
+  obj.O.forward <- obj.O.addr + 8;
+  check_bool "stale forwarding pointer detected" true
+    (Verify.Invariants.run gc <> []);
+  obj.O.forward <- Simheap.Layout.null;
+  check_int "clean again" 0 (List.length (Verify.Invariants.run gc))
+
+let test_invariants_catch_unbound () =
+  let heap, gc, _ = quiet_env () in
+  let obj = some_live_object heap in
+  H.unbind heap obj.O.addr;
+  check_bool "missing binding detected" true (Verify.Invariants.run gc <> []);
+  H.bind heap obj.O.addr obj;
+  check_int "clean again" 0 (List.length (Verify.Invariants.run gc))
+
+let test_invariants_catch_cached_and_cset () =
+  let heap, gc, _ = quiet_env () in
+  let obj = some_live_object heap in
+  obj.O.cached <- true;
+  obj.O.phys <- obj.O.addr + 64;
+  let r = H.region_of_addr heap obj.O.addr in
+  r.R.in_cset <- true;
+  let violations = Verify.Invariants.run gc in
+  check_bool "cached + phys + cset all reported" true
+    (List.length violations >= 3);
+  obj.O.cached <- false;
+  obj.O.phys <- obj.O.addr;
+  r.R.in_cset <- false;
+  check_int "clean again" 0 (List.length (Verify.Invariants.run gc))
+
+let test_invariants_catch_header_map_residue () =
+  let heap, gc, _ = quiet_env () in
+  ignore heap;
+  let map = Option.get (Nvmgc.Young_gc.header_map gc) in
+  (match Nvmgc.Header_map.put map ~key:7 ~value:9 with
+  | Nvmgc.Header_map.Installed, _ -> ()
+  | _ -> Alcotest.fail "install into cleared map");
+  check_bool "header-map residue detected" true
+    (Verify.Invariants.run gc <> []);
+  Nvmgc.Header_map.clear map;
+  check_int "clean again" 0 (List.length (Verify.Invariants.run gc))
+
+(* Forge a wrong collection outcome: drop one survivor after the pause
+   and the oracle diff must name it (and the dangling references). *)
+let test_oracle_catches_lost_object () =
+  let profile = mixed in
+  let heap = H.create (Workloads.App_profile.heap_config profile) in
+  let memory =
+    Memsim.Memory.create (Workloads.App_profile.memory_config profile)
+  in
+  let config =
+    {
+      (Workloads.Apps.gc_config profile ~preset:`All ~threads:8) with
+      Nvmgc.Gc_config.verify = false;
+    }
+  in
+  let gc = Nvmgc.Young_gc.create ~heap ~memory config in
+  let old_pool = Workloads.Old_space.create heap in
+  let rng = Simstats.Prng.create 31 in
+  ignore (Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool);
+  let snap = Verify.Oracle.snapshot gc in
+  let pause = Nvmgc.Young_gc.collect gc ~now_ns:0.0 in
+  check_int "baseline: oracle agrees" 0
+    (List.length (Verify.Oracle.diff snap gc pause));
+  (* "Lose" one evacuated object. *)
+  let victim = some_live_object heap in
+  H.unbind heap victim.O.addr;
+  check_bool "lost survivor detected" true
+    (Verify.Oracle.diff snap gc pause <> []);
+  H.bind heap victim.O.addr victim;
+  (* Forge a wrong copy counter. *)
+  let forged =
+    { pause with Nvmgc.Gc_stats.objects_copied =
+        pause.Nvmgc.Gc_stats.objects_copied + 1 }
+  in
+  check_bool "wrong copy counter detected" true
+    (Verify.Oracle.diff snap gc forged <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Config gating                                                       *)
+
+let test_verify_gating () =
+  let profile = mixed in
+  let config = Workloads.Apps.gc_config profile ~preset:`Vanilla ~threads:4 in
+  (* Presets default to verification on. *)
+  check_bool "presets enable verify" true config.Nvmgc.Gc_config.verify;
+  match Sys.getenv_opt "NVMGC_VERIFY" with
+  | Some _ ->
+      (* Environment override in force (e.g. the @verify alias) — the
+         config field must be ignored; nothing more to assert here. *)
+      ()
+  | None ->
+      check_bool "verify_active follows the flag" true
+        (Nvmgc.Gc_config.verify_active config);
+      check_bool "verify_active off when disabled" false
+        (Nvmgc.Gc_config.verify_active
+           { config with Nvmgc.Gc_config.verify = false })
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "oracle-matrix",
+        [
+          Alcotest.test_case "5 shapes x 4 combos x sync/async" `Slow
+            test_matrix;
+          Alcotest.test_case "explicit snapshot/diff" `Quick
+            test_explicit_oracle_diff;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "stale forward" `Quick
+            test_invariants_catch_forward;
+          Alcotest.test_case "unbound survivor" `Quick
+            test_invariants_catch_unbound;
+          Alcotest.test_case "cached/cset residue" `Quick
+            test_invariants_catch_cached_and_cset;
+          Alcotest.test_case "header-map residue" `Quick
+            test_invariants_catch_header_map_residue;
+          Alcotest.test_case "oracle catches lost object" `Quick
+            test_oracle_catches_lost_object;
+        ] );
+      ( "gating",
+        [ Alcotest.test_case "config flag + env override" `Quick
+            test_verify_gating ] );
+    ]

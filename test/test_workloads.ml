@@ -10,6 +10,9 @@ module H = Simheap.Heap
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Mutator-driven collections in this file verify every pause. *)
+let () = Verify.Hooks.ensure_installed ()
+
 (* ------------------------------------------------------------------ *)
 (* Profiles                                                            *)
 
