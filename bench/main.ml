@@ -73,10 +73,53 @@ let bench_memory_access =
                 (Memsim.Access.v ~space:Memsim.Access.Nvm
                    ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Random 64)))
 
+(* Telemetry overhead: the hooks are compiled into every hot path of the
+   evacuation loop, so the disabled case (no tracer/registry installed —
+   the default) must cost no more than a load and a compare.  The "on"
+   variants bound what enabling --trace/--metrics costs per event. *)
+
+let bench_trace_guard_off =
+  Test.make ~name:"telemetry.tracing(off)"
+    (Staged.stage (fun () ->
+         (* The guard every emission site in the evacuation loop sits
+            behind: a global load and compare. *)
+         if Nvmtrace.Hooks.tracing () then
+           Nvmtrace.Hooks.instant ~lane:1 ~name:"steal" ~ts_ns:1.0 ()))
+
+let bench_trace_instant_off =
+  Test.make ~name:"telemetry.instant(off)"
+    (Staged.stage (fun () ->
+         Nvmtrace.Hooks.instant ~lane:1 ~name:"steal" ~ts_ns:1.0 ()))
+
+let bench_trace_instant_on =
+  Test.make_with_resource ~name:"telemetry.instant(on)" Test.multiple
+    ~allocate:(fun () ->
+      let tracer = Nvmtrace.Tracer.create () in
+      Nvmtrace.Hooks.set_tracer (Some tracer);
+      tracer)
+    ~free:(fun _ -> Nvmtrace.Hooks.set_tracer None)
+    (Staged.stage (fun _ ->
+         Nvmtrace.Hooks.instant ~lane:1 ~name:"steal" ~ts_ns:1.0 ()))
+
+let bench_metrics_count_off =
+  Test.make ~name:"telemetry.count(off)"
+    (Staged.stage (fun () -> Nvmtrace.Hooks.count "gc.steals"))
+
+let bench_metrics_count_on =
+  Test.make_with_resource ~name:"telemetry.count(on)" Test.multiple
+    ~allocate:(fun () ->
+      let metrics = Nvmtrace.Metrics.create () in
+      Nvmtrace.Hooks.set_metrics (Some metrics);
+      metrics)
+    ~free:(fun _ -> Nvmtrace.Hooks.set_metrics None)
+    (Staged.stage (fun _ -> Nvmtrace.Hooks.count "gc.steals"))
+
 let micro_tests =
   [
     bench_header_map_put; bench_header_map_get; bench_work_stack; bench_llc;
-    bench_prng; bench_memory_access;
+    bench_prng; bench_memory_access; bench_trace_guard_off;
+    bench_trace_instant_off;
+    bench_trace_instant_on; bench_metrics_count_off; bench_metrics_count_on;
   ]
 
 let run_micro () =

@@ -33,16 +33,63 @@ let options_term =
              diff (enabled by default; pure observation, does not affect \
              simulated timings).")
   in
-  let make seed threads gc_scale no_verify =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:
+            "Log per-pause and per-run GC summaries to the console (same \
+             as --log-gc info unless --log-gc is given).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace JSON of every GC pause to $(docv) \
+             (openable in Perfetto), plus a JSONL event stream next to it.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the telemetry metrics registry as CSV to $(docv).")
+  in
+  let log_level_conv =
+    let parse s =
+      match Nvmtrace.Console.level_of_string s with
+      | Ok l -> Ok l
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Logs.pp_level)
+  in
+  let log_gc =
+    Arg.(
+      value
+      & opt (some log_level_conv) None
+      & info [ "log-gc" ] ~docv:"LEVEL"
+          ~doc:
+            "GC console-log level (error|warning|info|debug): JVM-unified- \
+             logging-style [gc] / [gc,phases] lines on stdout.")
+  in
+  let make seed threads gc_scale no_verify verbose trace_file metrics_file
+      log_gc =
     {
       Experiments.Runner.seed;
       threads;
       gc_scale;
-      verbose = false;
+      verbose;
       verify = not no_verify;
+      trace_file;
+      metrics_file;
+      log_gc;
     }
   in
-  Term.(const make $ seed $ threads $ gc_scale $ no_verify)
+  Term.(
+    const make $ seed $ threads $ gc_scale $ no_verify $ verbose $ trace
+    $ metrics $ log_gc)
 
 let list_apps_cmd =
   let doc = "List the 26 application profiles." in
@@ -84,7 +131,8 @@ let fig_cmd =
   let run options id =
     match Experiments.Registry.find id with
     | Some e ->
-        e.Experiments.Registry.run options;
+        Experiments.Runner.with_telemetry options (fun () ->
+            e.Experiments.Registry.run options);
         `Ok ()
     | None ->
         `Error
@@ -97,12 +145,13 @@ let fig_cmd =
 let all_cmd =
   let doc = "Regenerate every experiment." in
   let run options =
-    List.iter
-      (fun (e : Experiments.Registry.entry) ->
-        Printf.printf "==== %s: %s ====\n%!" e.Experiments.Registry.id
-          e.Experiments.Registry.description;
-        e.Experiments.Registry.run options)
-      Experiments.Registry.all
+    Experiments.Runner.with_telemetry options (fun () ->
+        List.iter
+          (fun (e : Experiments.Registry.entry) ->
+            Printf.printf "==== %s: %s ====\n%!" e.Experiments.Registry.id
+              e.Experiments.Registry.description;
+            e.Experiments.Registry.run options)
+          Experiments.Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ options_term)
 
@@ -140,17 +189,24 @@ let run_cmd =
     with
     | None -> `Error (false, Printf.sprintf "unknown application %S" app)
     | Some profile ->
-        let r = Experiments.Runner.execute options profile setup in
+        let r =
+          Experiments.Runner.with_telemetry options (fun () ->
+              Experiments.Runner.execute options profile setup)
+        in
         let totals = Nvmgc.Young_gc.totals r.Experiments.Runner.gc in
         Printf.printf
           "%s under %s (%d threads):\n  pauses: %d\n  GC time: %.3f ms (max \
-           pause %.3f ms)\n  app time: %.3f ms (GC share %.1f%%)\n  copied: \
+           pause %.3f ms)\n  pause percentiles: p50 %.3f ms, p95 %.3f ms, \
+           p99 %.3f ms\n  app time: %.3f ms (GC share %.1f%%)\n  copied: \
            %d objects, %.2f MB\n  avg NVM bandwidth during GC: %.0f MB/s\n"
           app
           (Experiments.Runner.setup_name setup)
           options.Experiments.Runner.threads totals.Nvmgc.Gc_stats.pauses
           (Experiments.Runner.gc_seconds r *. 1e3)
           (totals.Nvmgc.Gc_stats.max_pause_ns /. 1e6)
+          (Nvmgc.Gc_stats.p50_pause_ns totals /. 1e6)
+          (Nvmgc.Gc_stats.p95_pause_ns totals /. 1e6)
+          (Nvmgc.Gc_stats.p99_pause_ns totals /. 1e6)
           (Experiments.Runner.app_seconds r *. 1e3)
           (100.
           *. Workloads.Mutator.gc_share r.Experiments.Runner.result)
@@ -162,11 +218,39 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run $ options_term $ app_arg $ setup_arg))
 
+let validate_trace_cmd =
+  let doc =
+    "Validate a Chrome-trace file produced by --trace (parses the JSON, \
+     checks event shape and that at least one pause span is present)."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
+  in
+  let run file =
+    match Nvmtrace.Sinks.validate_trace_file file with
+    | Ok s ->
+        Printf.printf
+          "%s: valid Chrome trace (%d events: %d spans of which %d pauses, \
+           %d instants, %d lanes)\n"
+          file s.Nvmtrace.Sinks.total_events s.Nvmtrace.Sinks.span_events
+          s.Nvmtrace.Sinks.pause_spans s.Nvmtrace.Sinks.instant_events
+          s.Nvmtrace.Sinks.lanes;
+        `Ok ()
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  in
+  Cmd.v (Cmd.info "validate-trace" ~doc) Term.(ret (const run $ file))
+
 let () =
   let doc = "NVM-aware copy-based garbage collection simulator (EuroSys'21 reproduction)" in
   let info = Cmd.info "nvmgc" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ list_apps_cmd; list_experiments_cmd; fig_cmd; run_cmd; all_cmd ]
+      [
+        list_apps_cmd; list_experiments_cmd; fig_cmd; run_cmd; all_cmd;
+        validate_trace_cmd;
+      ]
   in
   exit (Cmd.eval group)

@@ -1,7 +1,21 @@
 #!/bin/sh
-# CI entry point: clean build with the dev profile (fatal warnings) and
-# the full test suite with post-pause verification forced on.
+# CI entry point: clean build with the dev profile (fatal warnings), the
+# full test suite with post-pause verification forced on, and a telemetry
+# smoke: produce a Chrome trace + metrics CSV and validate them.
 set -eu
 
 dune build @default
 dune build @verify
+
+# Telemetry smoke (also covered by the deterministic `dune build @trace`
+# alias): a traced run must yield a parseable Chrome trace with at least
+# one pause span, plus a non-empty metrics CSV.
+dune build @trace
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+dune exec bin/nvmgc_cli.exe -- run page-rank --threads 8 --gc-scale 0.1 \
+  --trace "$tmp/trace.json" --metrics "$tmp/metrics.csv" --log-gc info \
+  > /dev/null
+dune exec bin/nvmgc_cli.exe -- validate-trace "$tmp/trace.json"
+test -s "$tmp/metrics.csv"
+test -s "$tmp/trace.jsonl"

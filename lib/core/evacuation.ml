@@ -143,20 +143,35 @@ let make_thread ~start_ns tid =
     breakdown = Array.make category_count 0.0;
   }
 
+(* Telemetry lane convention: lane 0 carries the pause-level spans
+   (Young_gc); GC thread [tid] owns lane [tid + 1]. *)
+let lane th = th.tid + 1
+
 let create ~heap ~memory ~(config : Gc_config.t) ~header_map ~write_cache
     ~start_ns =
-  {
-    heap;
-    memory;
-    config;
-    header_map;
-    write_cache;
-    threads = Array.init config.Gc_config.threads (make_thread ~start_ns);
-    pair_of_cache_region = Hashtbl.create 64;
-    old_addrs = Simstats.Vec.create 0;
-    busy = 0;
-    start_ns;
-  }
+  let t =
+    {
+      heap;
+      memory;
+      config;
+      header_map;
+      write_cache;
+      threads = Array.init config.Gc_config.threads (make_thread ~start_ns);
+      pair_of_cache_region = Hashtbl.create 64;
+      old_addrs = Simstats.Vec.create 0;
+      busy = 0;
+      start_ns;
+    }
+  in
+  if Nvmtrace.Hooks.tracing () then begin
+    Nvmtrace.Hooks.lane_name ~lane:0 "pause";
+    Array.iter
+      (fun th ->
+        Nvmtrace.Hooks.lane_name ~lane:(lane th)
+          (Printf.sprintf "gc-%d" th.tid))
+      t.threads
+  end;
+  t
 
 let old_addrs t = t.old_addrs
 
@@ -196,6 +211,14 @@ let slot_space t (slot : O.slot) =
     sequential (non-temporal when enabled) NVM write of the used bytes. *)
 let flush_pair t th (pair : Write_cache.pair) =
   let used = R.used_bytes pair.Write_cache.cache in
+  if Nvmtrace.Hooks.tracing () then
+    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-start" ~ts_ns:th.clock
+      ~args:
+        [
+          ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx);
+          ("bytes", Nvmtrace.Tracer.Int used);
+        ]
+      ();
   if used > 0 then begin
     charge t th ~cat:Cat_flush ~addr:pair.Write_cache.cache.R.base
       ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
@@ -209,6 +232,11 @@ let flush_pair t th (pair : Write_cache.pair) =
       ~pattern:Memsim.Access.Sequential ~bytes:used
   end;
   Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
+  if Nvmtrace.Hooks.tracing () then
+    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-complete"
+      ~ts_ns:th.clock
+      ~args:[ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
+      ();
   match t.write_cache with
   | Some wc -> Write_cache.complete_flush wc pair
   | None -> assert false
@@ -272,6 +300,12 @@ let rec alloc_cached t th size =
               Hashtbl.replace t.pair_of_cache_region
                 pair.Write_cache.cache.R.idx pair;
               th.pair <- Some pair;
+              if Nvmtrace.Hooks.tracing () then
+                Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"region-grab"
+                  ~ts_ns:th.clock
+                  ~args:
+                    [ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
+                  ();
               alloc_cached t th size
         end
     end
@@ -389,6 +423,11 @@ let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
           th.hm_hits <- th.hm_hits + 1
       | Header_map.Full ->
           th.hm_fallbacks <- th.hm_fallbacks + 1;
+          if Nvmtrace.Hooks.tracing () then
+            Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
+              ~ts_ns:th.clock
+              ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
+              ();
           install_in_header ()
     end
   | None -> install_in_header ()
@@ -572,6 +611,15 @@ let try_steal t thief =
       thief.clock <-
         Float.max thief.clock (Work_stack.last_push_clock victim.stack);
       thief.steals <- thief.steals + 1;
+      if Nvmtrace.Hooks.tracing () then
+        Nvmtrace.Hooks.instant ~lane:(lane thief) ~name:"steal"
+          ~ts_ns:thief.clock
+          ~args:
+            [
+              ("victim", Nvmtrace.Tracer.Int victim.tid);
+              ("items", Nvmtrace.Tracer.Int (List.length stolen));
+            ]
+          ();
       List.iter (push_item t thief) stolen;
       stolen <> []
 
@@ -616,6 +664,25 @@ let run t =
             end
       end
   done;
+  (* One "evacuate" span per GC-thread lane: that thread's whole
+     copy-and-traverse window (spinning included), so Perfetto shows the
+     load imbalance directly. *)
+  if Nvmtrace.Hooks.tracing () then
+    Array.iter
+      (fun th ->
+        if th.clock > t.start_ns then
+          Nvmtrace.Hooks.span ~lane:(lane th) ~name:"evacuate"
+            ~start_ns:t.start_ns ~end_ns:th.clock
+            ~args:
+              [
+                ("refs", Nvmtrace.Tracer.Int th.refs_processed);
+                ("objects", Nvmtrace.Tracer.Int th.objects_copied);
+                ("bytes", Nvmtrace.Tracer.Int th.bytes_copied);
+                ("steals", Nvmtrace.Tracer.Int th.steals);
+                ("spin_ns", Nvmtrace.Tracer.Float th.spin_ns);
+              ]
+            ())
+      t.threads;
   Array.fold_left (fun acc th -> Float.max acc th.clock) t.start_ns t.threads
 
 (** Synchronous write-only sub-phase: flush every remaining cache region,

@@ -48,6 +48,7 @@ let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
          && not pair.Write_cache.cache.Simheap.Region.stolen_from
       then begin
         pair.Write_cache.last <- None;
+        Nvmtrace.Hooks.count "flush_tracker.ready";
         Ready pair
       end
       else begin
@@ -67,6 +68,8 @@ let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
               referent_first_item
           | Some _ | None -> None
         in
+        if same_pair_item <> None then
+          Nvmtrace.Hooks.count "flush_tracker.rearms";
         pair.Write_cache.last <- same_pair_item;
         Keep
       end

@@ -78,7 +78,29 @@ let create_totals () =
     reservoir = Simstats.Percentile.create_reservoir ();
   }
 
+(* Feed the telemetry metrics registry (no-ops when none is installed).
+   Durations are histogrammed in ns, traffic in bytes, so the §3.1-style
+   distributions can be read straight out of a --metrics dump. *)
+let feed_metrics p =
+  Nvmtrace.Hooks.count "gc.pauses";
+  Nvmtrace.Hooks.observe "gc.pause_ns" p.pause_ns;
+  Nvmtrace.Hooks.observe "gc.traverse_ns" p.traverse_ns;
+  Nvmtrace.Hooks.observe "gc.flush_ns" p.flush_ns;
+  Nvmtrace.Hooks.observe "gc.cleanup_ns" p.cleanup_ns;
+  Nvmtrace.Hooks.observe "gc.nvm_read_bytes" p.traffic.Memsim.Memory.nvm_read_bytes;
+  Nvmtrace.Hooks.observe "gc.nvm_write_bytes" p.traffic.Memsim.Memory.nvm_write_bytes;
+  Nvmtrace.Hooks.count "gc.objects_copied" ~by:p.objects_copied;
+  Nvmtrace.Hooks.count "gc.bytes_copied" ~by:p.bytes_copied;
+  Nvmtrace.Hooks.count "gc.bytes_cached" ~by:p.bytes_cached;
+  Nvmtrace.Hooks.count "gc.bytes_direct" ~by:p.bytes_direct;
+  Nvmtrace.Hooks.count "gc.refs_processed" ~by:p.refs_processed;
+  Nvmtrace.Hooks.count "gc.steals" ~by:p.steals;
+  Nvmtrace.Hooks.count "gc.async_flushes" ~by:p.async_flushes;
+  Nvmtrace.Hooks.count "gc.sync_flushes" ~by:p.sync_flushes;
+  Nvmtrace.Hooks.gauge "gc.header_map_occupancy" p.header_map_occupancy
+
 let add totals p =
+  if Nvmtrace.Hooks.metrics () <> None then feed_metrics p;
   totals.pauses <- totals.pauses + 1;
   totals.total_pause_ns <- totals.total_pause_ns +. p.pause_ns;
   totals.max_pause_ns <- Float.max totals.max_pause_ns p.pause_ns;
@@ -95,6 +117,31 @@ let add totals p =
   Simstats.Percentile.add totals.reservoir p.pause_ns
 
 let total_pause_s totals = totals.total_pause_ns /. 1e9
+
+(* Pause-duration percentiles over the totals reservoir ([nan] before the
+   first pause, like the underlying reservoir). *)
+let p50_pause_ns totals = Simstats.Percentile.p50 totals.reservoir
+let p95_pause_ns totals = Simstats.Percentile.p95 totals.reservoir
+let p99_pause_ns totals = Simstats.Percentile.p99 totals.reservoir
+
+(** One-line per-pause summary, used by the console log sink
+    ([--log-gc debug]) and anywhere a pause needs pretty-printing. *)
+let pp_pause fmt p =
+  Format.fprintf fmt
+    "pause %.3fms = traverse %.3f + write-back %.3f + cleanup %.3f; copied \
+     %d objs / %.2f MB (cached %.2f, direct %.2f); refs %d; header-map \
+     %d/%d/%d installs/hits/fallbacks (occ %.1f%%); flushes %d async + %d \
+     sync; steals %d; idle %.3fms; NVM %.0f MB/s"
+    (p.pause_ns /. 1e6) (p.traverse_ns /. 1e6) (p.flush_ns /. 1e6)
+    (p.cleanup_ns /. 1e6) p.objects_copied
+    (float_of_int p.bytes_copied /. 1e6)
+    (float_of_int p.bytes_cached /. 1e6)
+    (float_of_int p.bytes_direct /. 1e6)
+    p.refs_processed p.header_map_installs p.header_map_hits
+    p.header_map_fallbacks
+    (100.0 *. p.header_map_occupancy)
+    p.async_flushes p.sync_flushes p.steals (p.idle_ns /. 1e6)
+    (nvm_bandwidth_mbps p)
 
 (** Pause-time-weighted average NVM bandwidth across pauses, MB/s. *)
 let avg_nvm_bandwidth_mbps totals =

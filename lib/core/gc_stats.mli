@@ -44,8 +44,23 @@ type totals = {
 }
 
 val create_totals : unit -> totals
+
 val add : totals -> pause -> unit
+(** Fold a pause into the totals.  Also feeds the telemetry metrics
+    registry ({!Nvmtrace.Hooks}) when one is installed — pure
+    observation, never affects the totals themselves. *)
+
 val total_pause_s : totals -> float
+
+val p50_pause_ns : totals -> float
+(** Pause-duration percentiles over the reservoir of every recorded
+    pause ([nan] before the first pause). *)
+
+val p95_pause_ns : totals -> float
+val p99_pause_ns : totals -> float
+
+val pp_pause : Format.formatter -> pause -> unit
+(** One-line summary of a pause (used by the console log sink). *)
 
 val avg_nvm_bandwidth_mbps : totals -> float
 (** Pause-time-weighted average across pauses. *)

@@ -115,7 +115,14 @@ let put t ~key ~value =
       end
     end
   in
-  scan (hash t key) 1
+  let ((outcome, _) as result) = scan (hash t key) 1 in
+  (* Telemetry outcome counters (no-ops without an installed registry;
+     the registry is only ever installed on single-domain runs). *)
+  (match outcome with
+  | Installed -> Nvmtrace.Hooks.count "header_map.installs"
+  | Found _ -> Nvmtrace.Hooks.count "header_map.races_found"
+  | Full -> Nvmtrace.Hooks.count "header_map.fallbacks");
+  result
 
 (** [get t ~key] is the bounded lookup described in §3.3: probes with the
     same bound as [put] so every entry a racing [put] may have used is
@@ -135,7 +142,9 @@ let get t ~key =
       else scan ((idx + 1) land t.mask) (cnt + 1)
     end
   in
-  scan (hash t key) 1
+  let ((found, _) as result) = scan (hash t key) 1 in
+  if found <> None then Nvmtrace.Hooks.count "header_map.hits";
+  result
 
 (** Clear a slice of the table; GC threads split the index space and clear
     in parallel at the end of the pause (§3.3). *)

@@ -76,6 +76,7 @@ let new_pair t =
             None
         | Some shadow ->
             assert (cache.Simheap.Region.bytes = shadow.Simheap.Region.bytes);
+            Nvmtrace.Hooks.count "write_cache.pairs_allocated";
             t.allocated_bytes <- t.allocated_bytes + cache.Simheap.Region.bytes;
             let pair =
               { cache; shadow; filled = false; flushed = false; last = None }
@@ -103,12 +104,15 @@ let alloc_in_pair pair size =
 
 let mark_filled pair = pair.filled <- true
 
-let record_direct_copy t bytes = t.direct_bytes <- t.direct_bytes + bytes
+let record_direct_copy t bytes =
+  Nvmtrace.Hooks.count "write_cache.direct_bytes" ~by:bytes;
+  t.direct_bytes <- t.direct_bytes + bytes
 
 (** Un-cache every object of a pair after its bytes reach NVM, and release
     the DRAM region.  Memory-cost accounting is the caller's business. *)
 let complete_flush t pair =
   assert (not pair.flushed);
+  Nvmtrace.Hooks.count "write_cache.flushes";
   pair.flushed <- true;
   Simstats.Vec.iter
     (fun (o : Simheap.Objmodel.t) ->

@@ -10,6 +10,13 @@
 module R = Simheap.Region
 module O = Simheap.Objmodel
 
+(* Console log sink (installed by the CLI via --log-gc / -v): JVM-UL-style
+   [gc] summary lines and [gc,phases] detail lines.  Suppressed at the
+   default Warning threshold, so the cost without a sink is one level
+   check per pause. *)
+module Log = (val Logs.src_log Nvmtrace.Console.src : Logs.LOG)
+module Phases_log = (val Logs.src_log Nvmtrace.Console.phases_src : Logs.LOG)
+
 type t = {
   heap : Simheap.Heap.t;
   memory : Memsim.Memory.t;
@@ -166,6 +173,7 @@ let reclaim t evac ~cset =
 (** Run one young collection starting at simulated instant [now_ns].
     Returns the pause statistics (also folded into [totals t]). *)
 let collect t ~now_ns =
+  let pause_start_ns = now_ns in
   let cset = Simheap.Heap.young_regions t.heap in
   List.iter (fun (r : R.t) -> r.R.in_cset <- true) cset;
   (match !verify_hooks with
@@ -240,6 +248,44 @@ let collect t ~now_ns =
     }
   in
   Gc_stats.add t.totals pause;
+  let gc_n = t.totals.Gc_stats.pauses in
+  (* Telemetry: the pause and its sub-phases as lane-0 spans.  The four
+     phase spans tile [pause_start_ns, cleanup_end] exactly (the pure
+     observation here can never move a clock; enforced by test). *)
+  if Nvmtrace.Hooks.tracing () then begin
+    let traverse_start = pause_start_ns +. overhead in
+    Nvmtrace.Hooks.span ~lane:0 ~name:"pause" ~start_ns:pause_start_ns
+      ~end_ns:cleanup_end
+      ~args:
+        [
+          ("gc", Nvmtrace.Tracer.Int gc_n);
+          ("objects", Nvmtrace.Tracer.Int pause.Gc_stats.objects_copied);
+          ("bytes", Nvmtrace.Tracer.Int pause.Gc_stats.bytes_copied);
+          ("steals", Nvmtrace.Tracer.Int pause.Gc_stats.steals);
+          ("threads", Nvmtrace.Tracer.Int t.config.Gc_config.threads);
+          ("config", Nvmtrace.Tracer.Str (Gc_config.describe t.config));
+        ]
+      ();
+    let phase name start_ns end_ns =
+      if end_ns > start_ns then
+        Nvmtrace.Hooks.span ~lane:0 ~name ~start_ns ~end_ns
+          ~args:[ ("gc", Nvmtrace.Tracer.Int gc_n) ]
+          ()
+    in
+    phase "prologue" pause_start_ns traverse_start;
+    phase "traverse" traverse_start traverse_end;
+    phase "write-back" traverse_end flush_end;
+    phase "cleanup" flush_end cleanup_end
+  end;
+  let tags = Nvmtrace.Console.tags ~now_ns:pause_start_ns in
+  Log.info (fun m ->
+      m ~tags "GC(%d) Pause Young %.3fms (%d objects, %.2f MB, %d threads)"
+        gc_n
+        (Gc_stats.pause_ms pause)
+        pause.Gc_stats.objects_copied
+        (float_of_int pause.Gc_stats.bytes_copied /. 1e6)
+        t.config.Gc_config.threads);
+  Phases_log.debug (fun m -> m ~tags "GC(%d) %a" gc_n Gc_stats.pp_pause pause);
   (match !verify_hooks with
   | Some hooks when Gc_config.verify_active t.config ->
       hooks.after_pause t pause

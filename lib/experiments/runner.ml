@@ -12,13 +12,83 @@ type options = {
   gc_scale : float;
       (** multiplier on the number of GCs per run; < 1 shortens runs *)
   verbose : bool;
+      (** log per-pause and per-run summaries through the console sink
+          (implies Info-level GC logging when [log_gc] is unset) *)
   verify : bool;
       (** run the heap-invariant verifier + oracle diff after every
           pause (pure observation; does not perturb results) *)
+  trace_file : string option;
+      (** write a Chrome-trace JSON (and a sibling [.jsonl] event
+          stream) of every pause to this path *)
+  metrics_file : string option;
+      (** write the metrics-registry CSV dump to this path *)
+  log_gc : Logs.level option;
+      (** GC console-log level ([--log-gc]); [None] defers to [verbose] *)
 }
 
 let default_options =
-  { seed = 42; threads = 28; gc_scale = 1.0; verbose = false; verify = true }
+  {
+    seed = 42;
+    threads = 28;
+    gc_scale = 1.0;
+    verbose = false;
+    verify = true;
+    trace_file = None;
+    metrics_file = None;
+    log_gc = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry wiring.
+
+   Tracing, metrics and console logging are ambient (registered in
+   [Nvmtrace.Hooks]), exactly like the verifier: [with_telemetry] wraps
+   a whole command — one run or a whole figure sweep — installs the
+   sinks the options ask for, and serializes them on the way out.  All
+   of it is pure observation; simulated results are byte-identical with
+   telemetry on or off (see test/test_telemetry.ml). *)
+
+let console_level options =
+  match options.log_gc with
+  | Some _ as l -> l
+  | None -> if options.verbose then Some Logs.Info else None
+
+(* The JSONL sibling of "trace.json" is "trace.jsonl"; of extension-less
+   paths, "<path>.jsonl". *)
+let jsonl_path trace_path =
+  (try Filename.chop_extension trace_path with Invalid_argument _ -> trace_path)
+  ^ ".jsonl"
+
+let with_telemetry options f =
+  let tracer =
+    Option.map (fun _ -> Nvmtrace.Tracer.create ()) options.trace_file
+  in
+  let metrics =
+    Option.map (fun _ -> Nvmtrace.Metrics.create ()) options.metrics_file
+  in
+  (match console_level options with
+  | Some level -> Nvmtrace.Console.install ~level
+  | None -> ());
+  Nvmtrace.Hooks.set_tracer tracer;
+  Nvmtrace.Hooks.set_metrics metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Nvmtrace.Hooks.set_tracer None;
+      Nvmtrace.Hooks.set_metrics None;
+      (match (options.trace_file, tracer) with
+      | Some path, Some tracer ->
+          Out_channel.with_open_bin path (fun oc ->
+              Nvmtrace.Sinks.write_chrome_trace oc tracer);
+          Out_channel.with_open_bin (jsonl_path path) (fun oc ->
+              Nvmtrace.Sinks.write_jsonl oc tracer)
+      | _ -> ());
+      match (options.metrics_file, metrics) with
+      | Some path, Some metrics ->
+          Out_channel.with_open_bin path (fun oc ->
+              Nvmtrace.Sinks.write_metrics_csv oc
+                (Nvmtrace.Metrics.snapshot metrics))
+      | _ -> ())
+    f
 
 let gcs_for options (profile : P.t) =
   max 1
@@ -91,6 +161,24 @@ let execute ?threads ?gcs ?(trace = false) ?(llc_scale = 1.0) ?nvm ?dram
     Workloads.Mutator.run_fresh ~heap_space ?young_space ~trace ~llc_scale
       ?nvm ?dram ~gcs ~profile ~seed:options.seed config
   in
+  (* Feed the metrics registry and the console sink with the run-level
+     view (Gc_stats.add already fed the per-pause view). *)
+  Nvmtrace.Hooks.count "runner.runs";
+  Nvmtrace.Hooks.observe "runner.gc_ns" result.Workloads.Mutator.gc_ns;
+  Nvmtrace.Hooks.observe "runner.app_ns" result.Workloads.Mutator.app_ns;
+  let totals = Nvmgc.Young_gc.totals gc in
+  Logs.info ~src:Nvmtrace.Console.src (fun m ->
+      m
+        ~tags:(Nvmtrace.Console.tags ~now_ns:result.Workloads.Mutator.end_ns)
+        "%s under %s: %d pauses, GC %.3fms of %.3fms; pause p50 %.3fms p95 \
+         %.3fms p99 %.3fms max %.3fms"
+        profile.P.name (setup_name setup) totals.Nvmgc.Gc_stats.pauses
+        (result.Workloads.Mutator.gc_ns /. 1e6)
+        (result.Workloads.Mutator.end_ns /. 1e6)
+        (Nvmgc.Gc_stats.p50_pause_ns totals /. 1e6)
+        (Nvmgc.Gc_stats.p95_pause_ns totals /. 1e6)
+        (Nvmgc.Gc_stats.p99_pause_ns totals /. 1e6)
+        (totals.Nvmgc.Gc_stats.max_pause_ns /. 1e6));
   { result; gc; memory }
 
 let gc_seconds run =

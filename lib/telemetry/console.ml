@@ -1,0 +1,66 @@
+(** JVM-unified-logging-style console sink over {!Logs} (format described
+    in the interface). *)
+
+let src = Logs.Src.create "nvmgc.gc" ~doc:"GC pause summaries"
+
+let phases_src =
+  Logs.Src.create "nvmgc.gc.phases" ~doc:"GC per-pause phase detail"
+
+let sim_time =
+  Logs.Tag.def "sim_time_ns" ~doc:"simulated instant (ns)" Format.pp_print_float
+
+let tags ~now_ns = Logs.Tag.add sim_time now_ns Logs.Tag.empty
+
+(* "nvmgc.gc.phases" -> "gc,phases", JVM-UL tag-set style. *)
+let ul_tags_of_src s =
+  let name = Logs.Src.name s in
+  let name =
+    match String.length name >= 6 && String.sub name 0 6 = "nvmgc." with
+    | true -> String.sub name 6 (String.length name - 6)
+    | false -> name
+  in
+  String.map (function '.' -> ',' | c -> c) name
+
+let level_label = function
+  | Logs.App -> "app  "
+  | Logs.Error -> "error"
+  | Logs.Warning -> "warn "
+  | Logs.Info -> "info "
+  | Logs.Debug -> "debug"
+
+let reporter ?(channel = stdout) () =
+  let ppf = Format.formatter_of_out_channel channel in
+  let report src level ~over k msgf =
+    let k _ =
+      Format.pp_print_flush ppf ();
+      over ();
+      k ()
+    in
+    msgf (fun ?header ?tags fmt ->
+        ignore header;
+        let time =
+          match Option.bind tags (Logs.Tag.find sim_time) with
+          | Some ns -> Printf.sprintf "%.3fs" (ns /. 1e9)
+          | None -> "-"
+        in
+        Format.kfprintf k ppf
+          ("[%s][%s][%-9s] " ^^ fmt ^^ "@.")
+          time (level_label level) (ul_tags_of_src src))
+  in
+  { Logs.report }
+
+let install ~level =
+  Logs.set_reporter (reporter ());
+  Logs.Src.set_level src (Some level);
+  Logs.Src.set_level phases_src (Some level)
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Ok Logs.Error
+  | "warning" | "warn" -> Ok Logs.Warning
+  | "info" -> Ok Logs.Info
+  | "debug" -> Ok Logs.Debug
+  | _ ->
+      Error
+        (Printf.sprintf "unknown log level %S (expected error|warning|info|debug)"
+           s)

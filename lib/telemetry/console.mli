@@ -1,0 +1,37 @@
+(** The console log sink: JVM-unified-logging-style GC lines built on
+    {!Logs}.
+
+    The collector emits through two sources — ["nvmgc.gc"] for one-line
+    pause summaries (Info) and ["nvmgc.gc.phases"] for per-pause phase
+    detail (Debug) — tagged with the {e simulated} timestamp.  The
+    reporter renders them as [-Xlog:gc*]-like lines:
+
+    {v [0.312s][info ][gc       ] GC(3) Pause Young 12.345ms
+[0.312s][debug][gc,phases] GC(3) pause 12.345ms = traverse ... v}
+
+    Nothing is printed unless {!install} (or another reporter) is set up:
+    the default {!Logs} reporter is a no-op and both sources default to
+    the Warning threshold, so instrumented code costs one level check per
+    suppressed line. *)
+
+val src : Logs.src
+(** ["nvmgc.gc"]: pause summaries. *)
+
+val phases_src : Logs.src
+(** ["nvmgc.gc.phases"]: per-pause phase/stat detail. *)
+
+val sim_time : float Logs.Tag.def
+(** Tag carrying the simulated instant (ns) a message refers to. *)
+
+val tags : now_ns:float -> Logs.Tag.set
+
+val reporter : ?channel:out_channel -> unit -> Logs.reporter
+(** A reporter rendering the UL-style prefix (defaults to [stdout],
+    flushed per line). *)
+
+val install : level:Logs.level -> unit
+(** Set {!reporter} as the global {!Logs} reporter and both GC sources
+    to [level].  Intended for the CLI's [--log-gc]/[-v] paths. *)
+
+val level_of_string : string -> (Logs.level, string) result
+(** Parse "error" | "warning" | "info" | "debug" (for CLI flags). *)

@@ -1,0 +1,41 @@
+(** Process-wide telemetry registration points (taxonomy and cost
+    contract in the interface). *)
+
+let current_tracer : Tracer.t option ref = ref None
+let current_metrics : Metrics.t option ref = ref None
+
+let set_tracer t = current_tracer := t
+let tracer () = !current_tracer
+let tracing () = !current_tracer <> None
+let set_metrics m = current_metrics := m
+let metrics () = !current_metrics
+
+let span ~lane ~name ~start_ns ~end_ns ?args () =
+  match !current_tracer with
+  | None -> ()
+  | Some t -> Tracer.span t ~lane ~name ~start_ns ~end_ns ?args ()
+
+let instant ~lane ~name ~ts_ns ?args () =
+  match !current_tracer with
+  | None -> ()
+  | Some t -> Tracer.instant t ~lane ~name ~ts_ns ?args ()
+
+let lane_name ~lane name =
+  match !current_tracer with
+  | None -> ()
+  | Some t -> Tracer.set_lane_name t ~lane name
+
+let count ?by name =
+  match !current_metrics with
+  | None -> ()
+  | Some m -> Metrics.incr m ?by name
+
+let observe name v =
+  match !current_metrics with
+  | None -> ()
+  | Some m -> Metrics.observe m name v
+
+let gauge name v =
+  match !current_metrics with
+  | None -> ()
+  | Some m -> Metrics.set_gauge m name v

@@ -1,0 +1,56 @@
+(** The instrumentation points the collector calls.
+
+    Like {!Verify}'s hooks, this is a registration interface: the core
+    library emits into whatever tracer/metrics registry the driver
+    installed, and emits into nothing — at the cost of one load and
+    compare per call site — when none is installed.  Installing or
+    removing a sink can never change simulated results: every emitter is
+    pure observation (enforced by a determinism test and a disabled-path
+    micro-benchmark).
+
+    Event taxonomy (lanes are {!Tracer}'s: 0 = pause, [tid+1] = GC
+    thread [tid]):
+
+    - spans ["pause"], ["prologue"], ["traverse"], ["write-back"],
+      ["cleanup"] on lane 0 — the pause and its sub-phases;
+    - span ["evacuate"] per GC-thread lane — that thread's
+      copy-and-traverse work including termination spinning;
+    - instants ["steal"], ["hm-fallback"], ["region-grab"],
+      ["flush-start"], ["flush-complete"] on GC-thread lanes. *)
+
+val set_tracer : Tracer.t option -> unit
+val tracer : unit -> Tracer.t option
+
+val tracing : unit -> bool
+(** True iff a tracer is installed.  Call sites that build argument
+    lists should guard on this to keep the disabled path allocation-free. *)
+
+val set_metrics : Metrics.t option -> unit
+val metrics : unit -> Metrics.t option
+
+val span :
+  lane:int ->
+  name:string ->
+  start_ns:float ->
+  end_ns:float ->
+  ?args:(string * Tracer.arg) list ->
+  unit ->
+  unit
+
+val instant :
+  lane:int ->
+  name:string ->
+  ts_ns:float ->
+  ?args:(string * Tracer.arg) list ->
+  unit ->
+  unit
+
+val lane_name : lane:int -> string -> unit
+
+val count : ?by:int -> string -> unit
+(** Bump a named counter in the installed registry (no-op otherwise). *)
+
+val observe : string -> float -> unit
+(** Record into a named histogram in the installed registry. *)
+
+val gauge : string -> float -> unit

@@ -1,0 +1,33 @@
+(** A minimal JSON tree, printer and parser.
+
+    The telemetry sinks emit Chrome-trace JSON and JSONL event streams;
+    the test suite and the [validate-trace] CLI subcommand re-parse what
+    was written to prove well-formedness.  The toolchain has no JSON
+    package baked in, so this is a small self-contained implementation
+    covering exactly RFC 8259 (minus surrogate-pair decoding: [\u] escapes
+    are preserved verbatim as their code-unit bytes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Non-finite floats (which valid traces never
+    contain) are rendered as [null] so the output always parses. *)
+
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error string carries the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on other constructors. *)
+
+val to_float : t -> float option
+(** Numeric value of [Int] or [Float] nodes. *)

@@ -1,0 +1,147 @@
+(** Named counters, gauges and fixed-bucket histograms (see the interface
+    for the snapshot/diff semantics). *)
+
+let default_buckets = Array.init 24 (fun i -> 1e3 *. Float.of_int (1 lsl i))
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  bounds : float array;
+  buckets : int array;  (** length bounds + 1; last slot = overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c.count <- c.count + by
+  | None -> Hashtbl.replace t.counters name { count = by }
+
+let set_gauge t name value =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g.value <- value
+  | None -> Hashtbl.replace t.gauges name { value }
+
+(* Index of the first bucket whose bound is >= v (binary search); the
+   overflow slot when v exceeds every bound. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  if n = 0 || v > bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            bounds = default_buckets;
+            buckets = Array.make (Array.length default_buckets + 1) 0;
+            n = 0;
+            sum = 0.0;
+            lo = nan;
+            hi = nan;
+          }
+        in
+        Hashtbl.replace t.histograms name h;
+        h
+  in
+  let idx = bucket_index h.bounds v in
+  h.buckets.(idx) <- h.buckets.(idx) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if h.n = 1 then begin
+    h.lo <- v;
+    h.hi <- v
+  end
+  else begin
+    h.lo <- Float.min h.lo v;
+    h.hi <- Float.max h.hi v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type hist = {
+  bounds : float array;
+  counts : int array;
+  n : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.count);
+    gauges = sorted_bindings t.gauges (fun g -> g.value);
+    histograms =
+      sorted_bindings t.histograms (fun h ->
+          {
+            bounds = Array.copy h.bounds;
+            counts = Array.copy h.buckets;
+            n = h.n;
+            sum = h.sum;
+            min = h.lo;
+            max = h.hi;
+          });
+  }
+
+let diff ~before ~after =
+  let find name assoc = List.assoc_opt name assoc in
+  {
+    counters =
+      List.map
+        (fun (name, v) ->
+          (name, v - Option.value (find name before.counters) ~default:0))
+        after.counters;
+    gauges = after.gauges;
+    histograms =
+      List.map
+        (fun (name, (h : hist)) ->
+          match find name before.histograms with
+          | None -> (name, h)
+          | Some prev ->
+              ( name,
+                {
+                  h with
+                  counts = Array.mapi (fun i c -> c - prev.counts.(i)) h.counts;
+                  n = h.n - prev.n;
+                  sum = h.sum -. prev.sum;
+                } ))
+        after.histograms;
+  }

@@ -1,0 +1,49 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms, fed by {!Hooks} from the collector ({e gc.*} pause and
+    sub-phase durations, per-pause NVM read/write bytes) and the
+    experiment runner ({e runner.*}).
+
+    [snapshot]/[diff] mirror {!Memsim.Memory}: take a snapshot before and
+    after an interval and diff them to get the interval's deltas.
+    Counters and histogram buckets subtract; gauges keep the [after]
+    value (a gauge is a level, not a flow). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Get-or-create the named counter and add [by] (default 1). *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+(** Get-or-create the named histogram (with {!default_buckets}) and
+    record one observation. *)
+
+val default_buckets : float array
+(** Geometric ladder [1e3 * 2^i], i in 0..23 — covers 1 µs .. ~8.4 s as
+    nanosecond durations and 1 kB .. ~8.4 GB as byte volumes. *)
+
+type hist = {
+  bounds : float array;  (** inclusive upper bounds, ascending *)
+  counts : int array;  (** per-bucket counts, [length bounds + 1] with the
+                           trailing slot counting overflows *)
+  n : int;
+  sum : float;
+  min : float;  (** [nan] when [n = 0] *)
+  max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name deltas of counters and histogram counts/sums (names missing
+    in [before] count as zero); gauges and histogram min/max are taken
+    from [after]. *)

@@ -1,0 +1,188 @@
+(** Serialization of tracer recordings and metrics snapshots (formats
+    documented in the interface). *)
+
+let arg_json = function
+  | Tracer.Int i -> Json.Int i
+  | Tracer.Float f -> Json.Float f
+  | Tracer.Str s -> Json.Str s
+
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)
+
+(* Chrome trace timestamps are microseconds. *)
+let us ns = ns /. 1e3
+
+let event_json = function
+  | Tracer.Span s ->
+      Json.Obj
+        [
+          ("name", Json.Str s.Tracer.s_name);
+          ("cat", Json.Str "gc");
+          ("ph", Json.Str "X");
+          ("ts", Json.Float (us s.Tracer.s_start_ns));
+          ("dur", Json.Float (us s.Tracer.s_dur_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int s.Tracer.s_lane);
+          ("args", args_json s.Tracer.s_args);
+        ]
+  | Tracer.Instant i ->
+      Json.Obj
+        [
+          ("name", Json.Str i.Tracer.i_name);
+          ("cat", Json.Str "gc");
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("ts", Json.Float (us i.Tracer.i_ts_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int i.Tracer.i_lane);
+          ("args", args_json i.Tracer.i_args);
+        ]
+
+let metadata_json tracer =
+  let thread_meta (lane, name) =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int lane);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str "nvmgc") ]);
+    ]
+  :: List.map thread_meta (Tracer.lane_names tracer)
+
+let chrome_json tracer =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (metadata_json tracer @ List.map event_json (Tracer.events tracer)) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome_trace oc tracer = Json.to_channel oc (chrome_json tracer)
+
+let write_jsonl oc tracer =
+  let line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  List.iter line (metadata_json tracer);
+  List.iter (fun e -> line (event_json e)) (Tracer.events tracer)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics CSV                                                         *)
+
+let csv_float f = Printf.sprintf "%.17g" f
+
+let metrics_csv (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let row kind name field value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%s\n" kind name field value)
+  in
+  Buffer.add_string buf "kind,name,field,value\n";
+  List.iter
+    (fun (name, v) -> row "counter" name "count" (string_of_int v))
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) -> row "gauge" name "value" (csv_float v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist)) ->
+      row "histogram" name "count" (string_of_int h.Metrics.n);
+      row "histogram" name "sum" (csv_float h.Metrics.sum);
+      if h.Metrics.n > 0 then begin
+        row "histogram" name "min" (csv_float h.Metrics.min);
+        row "histogram" name "max" (csv_float h.Metrics.max)
+      end;
+      (* Prometheus-style cumulative buckets. *)
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + h.Metrics.counts.(i);
+          if !cum > 0 then
+            row "histogram" name
+              (Printf.sprintf "le_%.0f" bound)
+              (string_of_int !cum))
+        h.Metrics.bounds;
+      row "histogram" name "le_inf" (string_of_int h.Metrics.n))
+    snap.Metrics.histograms;
+  Buffer.contents buf
+
+let write_metrics_csv oc snap = output_string oc (metrics_csv snap)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+type trace_summary = {
+  total_events : int;
+  pause_spans : int;
+  span_events : int;
+  instant_events : int;
+  lanes : int;
+}
+
+let validate_trace src =
+  match Json.of_string src with
+  | Error msg -> Error msg
+  | Ok doc -> begin
+      match Json.member "traceEvents" doc with
+      | Some (Json.List events) -> begin
+          let pauses = ref 0
+          and spans = ref 0
+          and instants = ref 0
+          and lanes = ref 0 in
+          let check_event ev =
+            match (Json.member "ph" ev, Json.member "name" ev) with
+            | Some (Json.Str ph), name -> begin
+                (match ph with
+                | "X" ->
+                    incr spans;
+                    if name = Some (Json.Str "pause") then incr pauses
+                | "i" -> incr instants
+                | "M" ->
+                    if name = Some (Json.Str "thread_name") then incr lanes
+                | _ -> ());
+                Ok ()
+              end
+            | Some _, _ -> Error "event with non-string \"ph\""
+            | None, _ -> Error "event without \"ph\""
+          in
+          let rec check = function
+            | [] -> Ok ()
+            | ev :: rest -> begin
+                match check_event ev with
+                | Ok () -> check rest
+                | Error _ as e -> e
+              end
+          in
+          match check events with
+          | Error msg -> Error msg
+          | Ok () ->
+              if !pauses = 0 then Error "trace contains no pause span"
+              else
+                Ok
+                  {
+                    total_events = List.length events;
+                    pause_spans = !pauses;
+                    span_events = !spans;
+                    instant_events = !instants;
+                    lanes = !lanes;
+                  }
+        end
+      | Some _ -> Error "\"traceEvents\" is not an array"
+      | None -> Error "document has no \"traceEvents\" member"
+    end
+
+let validate_trace_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> validate_trace src
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,40 @@
+(** Pluggable serialization of a {!Tracer} recording and a {!Metrics}
+    snapshot.
+
+    - {b Chrome trace-event JSON}: an [{"traceEvents": [...]}] document
+      with complete ("X") spans, thread-scoped instant ("i") events and
+      thread-name metadata — loadable directly in Perfetto
+      ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or [chrome://tracing];
+      lanes become threads of one "nvmgc" process, timestamps are the
+      simulated clock in microseconds.
+    - {b JSONL}: the same events as one JSON object per line, for
+      [jq]-style stream processing.
+    - {b CSV}: the metrics registry, one [kind,name,field,value] row per
+      scalar, with Prometheus-style cumulative [le_*] histogram buckets. *)
+
+val event_json : Tracer.event -> Json.t
+(** One event in Chrome trace-event form. *)
+
+val chrome_json : Tracer.t -> Json.t
+(** The whole recording as a Chrome trace document (metadata first). *)
+
+val write_chrome_trace : out_channel -> Tracer.t -> unit
+val write_jsonl : out_channel -> Tracer.t -> unit
+
+val metrics_csv : Metrics.snapshot -> string
+val write_metrics_csv : out_channel -> Metrics.snapshot -> unit
+
+type trace_summary = {
+  total_events : int;  (** trace events including metadata *)
+  pause_spans : int;
+  span_events : int;
+  instant_events : int;
+  lanes : int;  (** distinct thread lanes named by metadata *)
+}
+
+val validate_trace : string -> (trace_summary, string) result
+(** Parse a Chrome-trace document from a string and check its shape:
+    a [traceEvents] array whose members all carry a [ph], with at least
+    one pause span.  Returns counts for reporting. *)
+
+val validate_trace_file : string -> (trace_summary, string) result

@@ -1,0 +1,60 @@
+(** In-memory span/event recording on the simulated clock (see the
+    interface for the lane and purity conventions). *)
+
+type arg = Int of int | Float of float | Str of string
+
+type span = {
+  s_name : string;
+  s_lane : int;
+  s_start_ns : float;
+  s_dur_ns : float;
+  s_args : (string * arg) list;
+}
+
+type instant = {
+  i_name : string;
+  i_lane : int;
+  i_ts_ns : float;
+  i_args : (string * arg) list;
+}
+
+type event = Span of span | Instant of instant
+
+let dummy_event = Instant { i_name = ""; i_lane = 0; i_ts_ns = 0.0; i_args = [] }
+
+type t = {
+  events : event Simstats.Vec.t;
+  lanes : (int, string) Hashtbl.t;
+  mutable pauses : int;
+}
+
+let create () =
+  { events = Simstats.Vec.create dummy_event; lanes = Hashtbl.create 8; pauses = 0 }
+
+let span t ~lane ~name ~start_ns ~end_ns ?(args = []) () =
+  if name = "pause" then t.pauses <- t.pauses + 1;
+  Simstats.Vec.push t.events
+    (Span
+       {
+         s_name = name;
+         s_lane = lane;
+         s_start_ns = start_ns;
+         s_dur_ns = Float.max 0.0 (end_ns -. start_ns);
+         s_args = args;
+       })
+
+let instant t ~lane ~name ~ts_ns ?(args = []) () =
+  Simstats.Vec.push t.events
+    (Instant { i_name = name; i_lane = lane; i_ts_ns = ts_ns; i_args = args })
+
+let set_lane_name t ~lane name = Hashtbl.replace t.lanes lane name
+
+let lane_names t =
+  Hashtbl.fold (fun lane name acc -> (lane, name) :: acc) t.lanes []
+  |> List.sort compare
+
+let events t = Simstats.Vec.to_list t.events
+
+let event_count t = Simstats.Vec.length t.events
+
+let pause_count t = t.pauses

@@ -1,0 +1,73 @@
+(** The span/event tracer: an in-memory recording of what happened inside
+    GC pauses, on the {e simulated} clock.
+
+    Events live on integer {e lanes} (Chrome-trace "threads"): lane 0 is
+    the pause-level lane carrying the pause and its sub-phase spans;
+    lane [tid + 1] is GC thread [tid], carrying per-thread work spans and
+    instant events (steals, header-map fallbacks, cache-region grabs,
+    flush start/complete).
+
+    The tracer is pure observation — it never touches the simulated
+    memory system or any thread clock, so recording a trace cannot
+    perturb simulated results (enforced by a determinism test).  Sinks
+    ({!Sinks}) serialize the recording afterwards. *)
+
+type arg = Int of int | Float of float | Str of string
+(** Argument values attached to events (Chrome-trace ["args"]). *)
+
+type span = {
+  s_name : string;
+  s_lane : int;
+  s_start_ns : float;
+  s_dur_ns : float;
+  s_args : (string * arg) list;
+}
+
+type instant = {
+  i_name : string;
+  i_lane : int;
+  i_ts_ns : float;
+  i_args : (string * arg) list;
+}
+
+type event = Span of span | Instant of instant
+
+type t
+
+val create : unit -> t
+
+val span :
+  t ->
+  lane:int ->
+  name:string ->
+  start_ns:float ->
+  end_ns:float ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+(** Record a complete span.  [end_ns < start_ns] is clamped to a
+    zero-duration span rather than rejected (observation must not
+    raise). *)
+
+val instant :
+  t ->
+  lane:int ->
+  name:string ->
+  ts_ns:float ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+val set_lane_name : t -> lane:int -> string -> unit
+(** Name a lane (idempotent; last name wins). *)
+
+val lane_names : t -> (int * string) list
+(** Registered lanes, sorted by lane id. *)
+
+val events : t -> event list
+(** All recorded events, in emission order. *)
+
+val event_count : t -> int
+
+val pause_count : t -> int
+(** Number of spans named ["pause"] recorded so far. *)
