@@ -5,9 +5,24 @@
      list-experiments   show reproducible figures/tables
      fig <id>           regenerate one experiment (e.g. fig5, tab-prefetch)
      run <app>          run one application under a chosen configuration
-     all                regenerate every experiment *)
+     all                regenerate every experiment
+     fuzz               deterministic simulation-testing campaign *)
 
 open Cmdliner
+
+(* Heap-verification and evacuation failures must be machine-visible: a
+   clean error message and a non-zero exit, not an uncaught-exception
+   backtrace — CI and the fuzzer driver key off the exit status. *)
+let guarded f =
+  match f () with
+  | r -> r
+  | exception Verify.Hooks.Verification_failure (desc, msgs) ->
+      `Error
+        ( false,
+          Printf.sprintf "heap verification failed under %s:\n  %s" desc
+            (String.concat "\n  " msgs) )
+  | exception Nvmgc.Evacuation.Evacuation_failure msg ->
+      `Error (false, "evacuation failure: " ^ msg)
 
 let options_term =
   let seed =
@@ -131,9 +146,10 @@ let fig_cmd =
   let run options id =
     match Experiments.Registry.find id with
     | Some e ->
-        Experiments.Runner.with_telemetry options (fun () ->
-            e.Experiments.Registry.run options);
-        `Ok ()
+        guarded (fun () ->
+            Experiments.Runner.with_telemetry options (fun () ->
+                e.Experiments.Registry.run options);
+            `Ok ())
     | None ->
         `Error
           ( false,
@@ -145,15 +161,17 @@ let fig_cmd =
 let all_cmd =
   let doc = "Regenerate every experiment." in
   let run options =
-    Experiments.Runner.with_telemetry options (fun () ->
-        List.iter
-          (fun (e : Experiments.Registry.entry) ->
-            Printf.printf "==== %s: %s ====\n%!" e.Experiments.Registry.id
-              e.Experiments.Registry.description;
-            e.Experiments.Registry.run options)
-          Experiments.Registry.all)
+    guarded (fun () ->
+        Experiments.Runner.with_telemetry options (fun () ->
+            List.iter
+              (fun (e : Experiments.Registry.entry) ->
+                Printf.printf "==== %s: %s ====\n%!" e.Experiments.Registry.id
+                  e.Experiments.Registry.description;
+                e.Experiments.Registry.run options)
+              Experiments.Registry.all);
+        `Ok ())
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ options_term)
+  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ options_term))
 
 let setup_conv =
   let parse = function
@@ -189,6 +207,7 @@ let run_cmd =
     with
     | None -> `Error (false, Printf.sprintf "unknown application %S" app)
     | Some profile ->
+        guarded @@ fun () ->
         let r =
           Experiments.Runner.with_telemetry options (fun () ->
               Experiments.Runner.execute options profile setup)
@@ -217,6 +236,121 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run $ options_term $ app_arg $ setup_arg))
+
+let fuzz_cmd =
+  let doc =
+    "Run the deterministic simulation-testing fuzzer: seeded heap shapes \
+     and GC-thread schedules through every configuration variant, with \
+     differential live-graph comparison and the heap verifier/oracle \
+     armed.  Failures are shrunk to a minimal reproducer and exit \
+     non-zero with a replayable --seed/--schedule pair."
+  in
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of fuzz cases.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed; with --schedule, the heap seed of the single \
+             case to replay.")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "schedule" ] ~docv:"SEED"
+          ~doc:
+            "Replay exactly one case: --seed is its heap seed and $(docv) \
+             its schedule seed (0 = the engine's min-clock policy).")
+  in
+  let configs =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "configs" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated config-variant subset (default: all of %s)."
+               (String.concat ", " Simcheck.Fuzz.variant_names)))
+  in
+  let max_objects =
+    Arg.(
+      value & opt int 40
+      & info [ "max-objects" ] ~docv:"N"
+          ~doc:"Upper bound on objects per generated heap.")
+  in
+  let time_budget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop the campaign after this much CPU time (0 = no limit).")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 400
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max re-executions per failure while shrinking.")
+  in
+  let repro_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-file" ] ~docv:"FILE"
+          ~doc:
+            "On failure, write the shrunk reproducers (replay command + \
+             minimal heap spec) to $(docv) — uploaded as a CI artifact.")
+  in
+  let run cases seed schedule configs max_objects time_budget shrink_budget
+      repro_file =
+    guarded @@ fun () ->
+    match
+      match schedule with
+      | Some sched_seed ->
+          Simcheck.Fuzz.replay ~max_objects ~shrink_budget ~variants:configs
+            ~heap_seed:seed ~sched_seed ()
+      | None ->
+          let time_budget_s =
+            if time_budget <= 0.0 then infinity else time_budget
+          in
+          Simcheck.Fuzz.run ~max_objects ~shrink_budget ~time_budget_s
+            ~variants:configs ~cases ~seed ()
+    with
+    | report ->
+        print_endline (Simcheck.Fuzz.report_to_string report);
+        if Simcheck.Fuzz.ok report then `Ok ()
+        else begin
+          (match repro_file with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              List.iter
+                (fun (f : Simcheck.Fuzz.failure) ->
+                  Printf.fprintf oc
+                    "replay: nvmgc_cli fuzz --cases 1 --seed %d --schedule \
+                     %d\nshrunk (threads %d, schedule %d, variant %s):\n%s\n"
+                    f.Simcheck.Fuzz.heap_seed f.Simcheck.Fuzz.sched_seed
+                    f.Simcheck.Fuzz.shrunk_threads
+                    f.Simcheck.Fuzz.shrunk_sched_seed
+                    f.Simcheck.Fuzz.shrunk_variant
+                    (Simcheck.Spec.to_string f.Simcheck.Fuzz.shrunk_spec))
+                report.Simcheck.Fuzz.failures;
+              close_out oc);
+          `Error
+            ( false,
+              Printf.sprintf "%d fuzz case(s) failed"
+                (List.length report.Simcheck.Fuzz.failures) )
+        end
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret
+        (const run $ cases $ seed $ schedule $ configs $ max_objects
+       $ time_budget $ shrink_budget $ repro_file))
 
 let validate_trace_cmd =
   let doc =
@@ -250,7 +384,7 @@ let () =
     Cmd.group info
       [
         list_apps_cmd; list_experiments_cmd; fig_cmd; run_cmd; all_cmd;
-        validate_trace_cmd;
+        fuzz_cmd; validate_trace_cmd;
       ]
   in
   exit (Cmd.eval group)

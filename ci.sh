@@ -7,6 +7,11 @@ set -eu
 dune build @default
 dune build @verify
 
+# Simulation-testing smoke: a short deterministic fuzz campaign (seeded
+# heaps x schedules x every config variant, differential live-graph
+# comparison, verifier/oracle armed).  Exits non-zero on any failure.
+dune build @fuzz
+
 # Telemetry smoke (also covered by the deterministic `dune build @trace`
 # alias): a traced run must yield a parseable Chrome trace with at least
 # one pause span, plus a non-empty metrics CSV.

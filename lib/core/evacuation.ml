@@ -108,6 +108,10 @@ type t = {
   heap : Simheap.Heap.t;
   memory : Memsim.Memory.t;
   config : Gc_config.t;
+  schedule : Schedule.t option;
+      (** [Some] replaces every discretionary decision (thread order,
+          steal victims, region grabs, fallback/flush timing) — the
+          simulation-testing seam.  [None] keeps the min-clock engine. *)
   header_map : Header_map.t option;  (** [Some] iff active this pause *)
   write_cache : Write_cache.t option;
   threads : thread array;
@@ -147,13 +151,14 @@ let make_thread ~start_ns tid =
    (Young_gc); GC thread [tid] owns lane [tid + 1]. *)
 let lane th = th.tid + 1
 
-let create ~heap ~memory ~(config : Gc_config.t) ~header_map ~write_cache
-    ~start_ns =
+let create ~schedule ~heap ~memory ~(config : Gc_config.t) ~header_map
+    ~write_cache ~start_ns =
   let t =
     {
       heap;
       memory;
       config;
+      schedule;
       header_map;
       write_cache;
       threads = Array.init config.Gc_config.threads (make_thread ~start_ns);
@@ -176,6 +181,24 @@ let create ~heap ~memory ~(config : Gc_config.t) ~header_map ~write_cache
 let old_addrs t = t.old_addrs
 
 let threads t = t.threads
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-seam decisions (all default to "no" without a schedule)    *)
+
+let defer_region_grab t th =
+  match t.schedule with
+  | Some s -> s.Schedule.defer_region_grab ~tid:th.tid
+  | None -> false
+
+let force_hm_fallback t th =
+  match t.schedule with
+  | Some s -> s.Schedule.force_hm_fallback ~tid:th.tid
+  | None -> false
+
+let defer_async_flush t th =
+  match t.schedule with
+  | Some s -> s.Schedule.defer_async_flush ~tid:th.tid
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Cost charging                                                       *)
@@ -244,7 +267,11 @@ let flush_pair t th (pair : Write_cache.pair) =
 let async_mode t = t.config.Gc_config.flush_mode = Gc_config.Async
 
 let async_flush t th pair =
-  if async_mode t && not pair.Write_cache.flushed then begin
+  if
+    async_mode t
+    && (not pair.Write_cache.flushed)
+    && not (defer_async_flush t th)
+  then begin
     th.async_flushes <- th.async_flushes + 1;
     flush_pair t th pair
   end
@@ -292,6 +319,7 @@ let rec alloc_cached t th size =
   | None -> begin
       match t.write_cache with
       | None -> None
+      | Some _ when defer_region_grab t th -> None
       | Some wc -> begin
           match Write_cache.new_pair wc with
           | None -> None
@@ -401,7 +429,19 @@ let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
       ~bytes:Simheap.Layout.ref_bytes;
     obj.O.forward <- new_addr
   in
+  let forced_fallback () =
+    (* Schedule seam: behave exactly as a [Full] probe without touching
+       the map — the header on NVM stays authoritative for this object. *)
+    th.hm_fallbacks <- th.hm_fallbacks + 1;
+    if Nvmtrace.Hooks.tracing () then
+      Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
+        ~ts_ns:th.clock
+        ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
+        ();
+    install_in_header ()
+  in
   match t.header_map with
+  | Some _ when force_hm_fallback t th -> forced_fallback ()
   | Some map -> begin
       let result, probes = Header_map.put map ~key:old_addr ~value:new_addr in
       (* probe reads + the claiming CAS + the value store, all DRAM *)
@@ -585,8 +625,9 @@ let min_clock_thread t =
 
 (* Steal from the victim with the largest stack, but only if it has at
    least two items: single-item stacks (pointer chains) stay with their
-   owner, which is what makes chain-shaped graphs serialize. *)
-let try_steal t thief =
+   owner, which is what makes chain-shaped graphs serialize.  A schedule
+   picks any eligible victim instead. *)
+let pick_victim_default t thief =
   let victim = ref None in
   Array.iter
     (fun th ->
@@ -597,7 +638,29 @@ let try_steal t thief =
             ()
         | _ -> victim := Some th)
     t.threads;
-  match !victim with
+  !victim
+
+let pick_victim_scheduled t (s : Schedule.t) thief =
+  let victims = ref [] in
+  for i = Array.length t.threads - 1 downto 0 do
+    let th = t.threads.(i) in
+    if th.tid <> thief.tid && Work_stack.length th.stack >= 2 then
+      victims := th.tid :: !victims
+  done;
+  match Array.of_list !victims with
+  | [||] -> None
+  | victims ->
+      let n = Array.length victims in
+      let i = s.Schedule.pick_victim ~thief:thief.tid ~victims in
+      Some t.threads.(victims.(((i mod n) + n) mod n))
+
+let try_steal t thief =
+  let victim =
+    match t.schedule with
+    | None -> pick_victim_default t thief
+    | Some s -> pick_victim_scheduled t s thief
+  in
+  match victim with
   | None -> false
   | Some victim ->
       charge_cpu thief steal_cost_ns;
@@ -637,9 +700,9 @@ let charge_remset_scan t ~tid ~bytes =
     ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
     ~pattern:Memsim.Access.Sequential ~bytes
 
-(** Run copy-and-traverse to global termination.  Returns the simulated
-    instant the last thread finished. *)
-let run t =
+(** The production engine: deterministic min-clock scheduling with the
+    largest-stack steal policy and the spin-based termination protocol. *)
+let run_min_clock t =
   let continue_ = ref true in
   while !continue_ do
     match min_clock_thread t with
@@ -663,7 +726,59 @@ let run t =
               end
             end
       end
+  done
+
+(* Thread ids able to make progress right now: a non-empty stack (pop) or
+   some other thread holding >= 2 items (steal).  Every choice from this
+   set pops or steals, so a scheduled traversal always terminates —
+   adversarial schedules cannot starve it. *)
+let runnable_tids t =
+  let stealable_from tid =
+    Array.exists
+      (fun v -> v.tid <> tid && Work_stack.length v.stack >= 2)
+      t.threads
+  in
+  let ids = ref [] in
+  for i = Array.length t.threads - 1 downto 0 do
+    let th = t.threads.(i) in
+    if
+      (not th.terminated)
+      && ((not (Work_stack.is_empty th.stack)) || stealable_from th.tid)
+    then ids := th.tid :: !ids
   done;
+  Array.of_list !ids
+
+(** The simulation-testing engine: the schedule picks the next thread
+    among those able to progress; the spin path of the termination
+    protocol is bypassed (once nobody can progress, everyone is done). *)
+let run_scheduled t (s : Schedule.t) =
+  let continue_ = ref true in
+  while !continue_ do
+    match runnable_tids t with
+    | [||] ->
+        Array.iter (fun th -> th.terminated <- true) t.threads;
+        continue_ := false
+    | runnable -> begin
+        let n = Array.length runnable in
+        let i = s.Schedule.pick_thread ~runnable in
+        let th = t.threads.(runnable.(((i mod n) + n) mod n)) in
+        match Work_stack.pop th.stack with
+        | Some item ->
+            if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
+            process_item t th item
+        | None ->
+            (* runnable with an empty stack means a victim with >= 2
+               items exists, so the steal succeeds *)
+            ignore (try_steal t th)
+      end
+  done
+
+(** Run copy-and-traverse to global termination.  Returns the simulated
+    instant the last thread finished. *)
+let run t =
+  (match t.schedule with
+  | None -> run_min_clock t
+  | Some s -> run_scheduled t s);
   (* One "evacuate" span per GC-thread lane: that thread's whole
      copy-and-traverse window (spinning included), so Perfetto shows the
      load imbalance directly. *)

@@ -51,6 +51,7 @@ type thread = {
 type t
 
 val create :
+  schedule:Schedule.t option ->
   heap:Simheap.Heap.t ->
   memory:Memsim.Memory.t ->
   config:Gc_config.t ->
@@ -58,6 +59,10 @@ val create :
   write_cache:Write_cache.t option ->
   start_ns:float ->
   t
+(** [schedule] replaces every discretionary engine decision (next
+    thread, steal victim, region grabs, header-map fallback timing,
+    asynchronous-flush readiness) — the simulation-testing seam.
+    Without it the engine keeps its deterministic min-clock policy. *)
 
 val threads : t -> thread array
 val old_addrs : t -> int Simstats.Vec.t

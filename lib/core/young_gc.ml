@@ -21,12 +21,15 @@ type t = {
   heap : Simheap.Heap.t;
   memory : Memsim.Memory.t;
   config : Gc_config.t;
+  schedule : Schedule.t option;
+      (** simulation-testing seam handed to every pause's evacuation
+          engine; [None] = the deterministic min-clock policy *)
   header_map : Header_map.t option;
       (** allocated once and reused across pauses, as in the paper *)
   totals : Gc_stats.totals;
 }
 
-let create ~heap ~memory (config : Gc_config.t) =
+let create ?schedule ~heap ~memory (config : Gc_config.t) =
   let header_map =
     if Gc_config.header_map_active config then
       Some
@@ -35,7 +38,14 @@ let create ~heap ~memory (config : Gc_config.t) =
            ~search_bound:config.Gc_config.search_bound)
     else None
   in
-  { heap; memory; config; header_map; totals = Gc_stats.create_totals () }
+  {
+    heap;
+    memory;
+    config;
+    schedule;
+    header_map;
+    totals = Gc_stats.create_totals ();
+  }
 
 let totals t = t.totals
 let header_map t = t.header_map
@@ -191,8 +201,9 @@ let collect t ~now_ns =
     else None
   in
   let evac =
-    Evacuation.create ~heap:t.heap ~memory:t.memory ~config:t.config
-      ~header_map:t.header_map ~write_cache ~start_ns:now_ns
+    Evacuation.create ~schedule:t.schedule ~heap:t.heap ~memory:t.memory
+      ~config:t.config ~header_map:t.header_map ~write_cache
+      ~start_ns:now_ns
   in
   seed_work t evac;
   let traverse_end = Evacuation.run evac in

@@ -6,9 +6,15 @@
 type t
 
 val create :
-  heap:Simheap.Heap.t -> memory:Memsim.Memory.t -> Gc_config.t -> t
+  ?schedule:Schedule.t ->
+  heap:Simheap.Heap.t ->
+  memory:Memsim.Memory.t ->
+  Gc_config.t ->
+  t
 (** The header map (when active for this configuration) is allocated once
-    and reused across pauses, as in the paper. *)
+    and reused across pauses, as in the paper.  [schedule] is handed to
+    every pause's evacuation engine (the simulation-testing seam); without
+    it pauses run under the deterministic min-clock policy. *)
 
 val totals : t -> Gc_stats.totals
 val header_map : t -> Header_map.t option

@@ -1,0 +1,379 @@
+(** The deterministic fuzz engine: seeded cases x schedule seeds x the
+    full configuration matrix, with differential live-graph comparison
+    and automatic shrinking of failures.
+
+    A case is fully determined by two integers: [heap_seed] (thread count
+    and heap-shape specification, via {!Spec.generate}) and [sched_seed]
+    (the {!Sched} decision stream; 0 = the engine's own min-clock
+    policy).  Every case runs once per configuration variant on a fresh
+    heap; because instantiation assigns identical object ids, all
+    variants must produce equal {!Verify.Graph} captures — and each run
+    is additionally checked by the heap-invariant verifier and the
+    oracle collector ({!Verify.Hooks}).  Failures shrink to a minimal
+    (spec, threads, schedule) triple and print a replayable
+    [--seed]/[--schedule] pair. *)
+
+module G = Verify.Graph
+
+(* ------------------------------------------------------------------ *)
+(* The configuration matrix                                            *)
+
+type variant = { name : string; make : threads:int -> Nvmgc.Gc_config.t }
+
+(* Sizing scaled to the tiny fuzz heaps: a 64-entry header map and a
+   two-region write-cache limit keep the Full-fallback and
+   limit-exhaustion paths hot instead of unreachable. *)
+let scale = 4096
+let fuzz_header_map_bytes = 64 * Nvmgc.Gc_config.header_map_entry_bytes
+let fuzz_write_cache_limit = 2 * Spec.region_bytes
+
+let base ~threads =
+  let open Nvmgc.Gc_config in
+  { (vanilla ~threads ~scale ()) with verify = true }
+
+let add_wc (c : Nvmgc.Gc_config.t) =
+  {
+    c with
+    Nvmgc.Gc_config.write_cache = true;
+    nt_flush = true;
+    write_cache_limit_bytes = Some fuzz_write_cache_limit;
+  }
+
+let add_hm (c : Nvmgc.Gc_config.t) =
+  {
+    c with
+    Nvmgc.Gc_config.header_map = true;
+    header_map_bytes = fuzz_header_map_bytes;
+    header_map_min_threads = 0;
+    search_bound = 4;
+  }
+
+let add_async (c : Nvmgc.Gc_config.t) =
+  { c with Nvmgc.Gc_config.flush_mode = Nvmgc.Gc_config.Async }
+
+let add_prefetch (c : Nvmgc.Gc_config.t) =
+  { c with Nvmgc.Gc_config.prefetch = true }
+
+let to_ps (c : Nvmgc.Gc_config.t) =
+  {
+    c with
+    Nvmgc.Gc_config.collector = Nvmgc.Gc_config.Parallel_scavenge;
+    lab_bytes = 1024;
+    direct_copy_threshold = 512;
+  }
+
+let all_variants =
+  [
+    { name = "g1-baseline"; make = (fun ~threads -> base ~threads) };
+    { name = "g1-wc"; make = (fun ~threads -> add_wc (base ~threads)) };
+    {
+      name = "g1-wc-hm";
+      make = (fun ~threads -> add_hm (add_wc (base ~threads)));
+    };
+    {
+      name = "g1-wc-async";
+      make = (fun ~threads -> add_async (add_wc (base ~threads)));
+    };
+    {
+      name = "g1-all";
+      make =
+        (fun ~threads ->
+          add_prefetch (add_async (add_hm (add_wc (base ~threads)))));
+    };
+    { name = "ps-baseline"; make = (fun ~threads -> to_ps (base ~threads)) };
+    {
+      name = "ps-all";
+      make =
+        (fun ~threads ->
+          to_ps (add_prefetch (add_async (add_hm (add_wc (base ~threads))))));
+    };
+  ]
+
+let variant_names = List.map (fun v -> v.name) all_variants
+
+let select_variants = function
+  | [] -> all_variants
+  | names ->
+      let chosen = List.filter (fun v -> List.mem v.name names) all_variants in
+      List.iter
+        (fun n ->
+          if not (List.exists (fun v -> v.name = n) all_variants) then
+            invalid_arg
+              (Printf.sprintf "Simcheck.Fuzz: unknown config variant %S" n))
+        names;
+      chosen
+
+(* ------------------------------------------------------------------ *)
+(* Cases                                                               *)
+
+type case = {
+  index : int;
+  heap_seed : int;
+  sched_seed : int;
+  threads : int;
+  spec : Spec.t;
+}
+
+let derive_case ~index ~heap_seed ~sched_seed ~max_objects =
+  let rng = Simstats.Prng.create heap_seed in
+  let threads = 1 + Simstats.Prng.int rng 8 in
+  let spec = Spec.generate rng ~max_objects in
+  { index; heap_seed; sched_seed; threads; spec }
+
+let run_variant ~spec ~threads ~sched_seed (v : variant) =
+  let inst = Spec.instantiate spec in
+  let memory = Memsim.Memory.create Memsim.Memory.default_config in
+  let config = v.make ~threads in
+  let schedule =
+    if sched_seed = 0 then None else Some (Sched.of_seed sched_seed)
+  in
+  let gc =
+    Nvmgc.Young_gc.create ?schedule ~heap:inst.Spec.heap ~memory config
+  in
+  match Nvmgc.Young_gc.collect gc ~now_ns:0.0 with
+  | pause -> Ok (G.capture inst.Spec.heap, pause)
+  | exception Verify.Hooks.Verification_failure (desc, msgs) ->
+      Error (Printf.sprintf "verification failure under %s" desc :: msgs)
+  | exception Nvmgc.Evacuation.Evacuation_failure msg ->
+      Error [ "evacuation failure: " ^ msg ]
+
+(* Run one case through every variant; the first variant's live graph is
+   the reference the others must reproduce. *)
+let run_case ~variants ~spec ~threads ~sched_seed =
+  let results =
+    List.map (fun v -> (v, run_variant ~spec ~threads ~sched_seed v)) variants
+  in
+  let reference = ref None in
+  let failure = ref None in
+  List.iter
+    (fun ((v : variant), r) ->
+      if Option.is_none !failure then
+        match r with
+        | Error msgs -> failure := Some (v.name, msgs)
+        | Ok (g, _) -> (
+            match !reference with
+            | None -> reference := Some (v.name, g)
+            | Some (ref_name, ref_g) ->
+                let d = G.diff ~expected:ref_g ~got:g in
+                if d <> [] then
+                  failure :=
+                    Some
+                      ( v.name,
+                        Printf.sprintf "live-graph mismatch against %s:"
+                          ref_name
+                        :: d )))
+    results;
+  (results, !failure)
+
+(* ------------------------------------------------------------------ *)
+(* Failures and shrinking                                              *)
+
+type failure = {
+  case_index : int;
+  heap_seed : int;
+  sched_seed : int;
+  threads : int;
+  variant : string;
+  messages : string list;
+  shrunk_spec : Spec.t;
+  shrunk_threads : int;
+  shrunk_sched_seed : int;
+  shrunk_variant : string;
+  shrunk_messages : string list;
+}
+
+let shrink_failure ~variants ~budget (case : case) (variant, messages) =
+  let fails spec threads sched_seed =
+    Option.is_some (snd (run_case ~variants ~spec ~threads ~sched_seed))
+  in
+  let threads = ref case.threads and sched = ref case.sched_seed in
+  (* Schedule and thread count first: a reproducer that fails under the
+     default engine with one thread is the most readable kind. *)
+  if !budget > 0 && !sched <> 0 then begin
+    decr budget;
+    if fails case.spec !threads 0 then sched := 0
+  end;
+  if !budget > 0 && !threads <> 1 then begin
+    decr budget;
+    if fails case.spec 1 !sched then threads := 1
+  end;
+  let shrunk_spec =
+    Spec.shrink ~budget ~check:(fun s -> fails s !threads !sched) case.spec
+  in
+  let shrunk_variant, shrunk_messages =
+    match
+      snd (run_case ~variants ~spec:shrunk_spec ~threads:!threads
+             ~sched_seed:!sched)
+    with
+    | Some (v, m) -> (v, m)
+    | None -> (variant, messages)
+  in
+  {
+    case_index = case.index;
+    heap_seed = case.heap_seed;
+    sched_seed = case.sched_seed;
+    threads = case.threads;
+    variant;
+    messages;
+    shrunk_spec;
+    shrunk_threads = !threads;
+    shrunk_sched_seed = !sched;
+    shrunk_variant;
+    shrunk_messages;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+
+type variant_summary = {
+  variant : string;
+  pauses : Nvmgc.Gc_stats.pause list;  (** one per passing case, in order *)
+}
+
+type report = {
+  seed : int;
+  cases_requested : int;
+  cases_run : int;
+  variants_run : string list;
+  summaries : variant_summary list;
+  failures : failure list;
+}
+
+let ok report = report.failures = []
+
+let run ?(max_objects = 40) ?(shrink_budget = 400) ?(time_budget_s = infinity)
+    ?(variants = []) ~cases ~seed () =
+  Verify.Hooks.ensure_installed ();
+  let variants = select_variants variants in
+  if variants = [] then invalid_arg "Simcheck.Fuzz.run: empty variant list";
+  let master = Simstats.Prng.create seed in
+  let start = Sys.time () in
+  let pauses = List.map (fun (v : variant) -> (v.name, ref [])) variants in
+  let failures = ref [] and cases_run = ref 0 in
+  (try
+     for index = 0 to cases - 1 do
+       if Sys.time () -. start > time_budget_s then raise Exit;
+       (* Both seeds come off the master stream, so a campaign is a pure
+          function of [seed]; roughly one case in ten runs the default
+          min-clock engine instead of a random schedule. *)
+       let heap_seed = Simstats.Prng.bits master in
+       let sched_seed =
+         if Simstats.Prng.int master 10 = 0 then 0
+         else Simstats.Prng.bits master
+       in
+       let (case : case) = derive_case ~index ~heap_seed ~sched_seed ~max_objects in
+       let results, failure =
+         run_case ~variants ~spec:case.spec ~threads:case.threads ~sched_seed
+       in
+       incr cases_run;
+       List.iter
+         (fun ((v : variant), r) ->
+           match r with
+           | Ok (_, pause) -> (
+               match List.assoc_opt v.name pauses with
+               | Some acc -> acc := pause :: !acc
+               | None -> ())
+           | Error _ -> ())
+         results;
+       match failure with
+       | None -> ()
+       | Some f ->
+           let budget = ref shrink_budget in
+           failures := shrink_failure ~variants ~budget case f :: !failures
+     done
+   with Exit -> ());
+  {
+    seed;
+    cases_requested = cases;
+    cases_run = !cases_run;
+    variants_run = List.map (fun (v : variant) -> v.name) variants;
+    summaries =
+      List.map
+        (fun (name, acc) -> { variant = name; pauses = List.rev !acc })
+        pauses;
+    failures = List.rev !failures;
+  }
+
+let replay ?(max_objects = 40) ?(shrink_budget = 400) ?(variants = [])
+    ~heap_seed ~sched_seed () =
+  Verify.Hooks.ensure_installed ();
+  let variants = select_variants variants in
+  if variants = [] then invalid_arg "Simcheck.Fuzz.replay: empty variant list";
+  let (case : case) = derive_case ~index:0 ~heap_seed ~sched_seed ~max_objects in
+  let results, failure =
+    run_case ~variants ~spec:case.spec ~threads:case.threads ~sched_seed
+  in
+  let failures =
+    match failure with
+    | None -> []
+    | Some f ->
+        let budget = ref shrink_budget in
+        [ shrink_failure ~variants ~budget case f ]
+  in
+  {
+    seed = heap_seed;
+    cases_requested = 1;
+    cases_run = 1;
+    variants_run = List.map (fun (v : variant) -> v.name) variants;
+    summaries =
+      List.map
+        (fun ((v : variant), r) ->
+          {
+            variant = v.name;
+            pauses = (match r with Ok (_, p) -> [ p ] | Error _ -> []);
+          })
+        results;
+    failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>FAIL case %d: --seed %d --schedule %d (threads %d), variant %s@,"
+    f.case_index f.heap_seed f.sched_seed f.threads f.variant;
+  List.iter (fun m -> Format.fprintf ppf "  %s@," m) f.messages;
+  Format.fprintf ppf
+    "shrunk reproducer (%d objects, threads %d, schedule %d, variant %s):@,"
+    (Array.length f.shrunk_spec.Spec.objects)
+    f.shrunk_threads f.shrunk_sched_seed f.shrunk_variant;
+  List.iter (fun m -> Format.fprintf ppf "  %s@," m) f.shrunk_messages;
+  Format.fprintf ppf "%a@," Spec.pp f.shrunk_spec;
+  Format.fprintf ppf "replay: nvmgc_cli fuzz --cases 1 --seed %d --schedule %d@]"
+    f.heap_seed f.sched_seed
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>fuzz: %d/%d cases, seed %d, %d config variants@,"
+    r.cases_run r.cases_requested r.seed
+    (List.length r.variants_run);
+  List.iter
+    (fun s ->
+      let objects =
+        List.fold_left
+          (fun acc (p : Nvmgc.Gc_stats.pause) -> acc + p.objects_copied)
+          0 s.pauses
+      in
+      let bytes =
+        List.fold_left
+          (fun acc (p : Nvmgc.Gc_stats.pause) -> acc + p.bytes_copied)
+          0 s.pauses
+      in
+      let pause_ms =
+        List.fold_left
+          (fun acc (p : Nvmgc.Gc_stats.pause) -> acc +. p.pause_ns)
+          0.0 s.pauses
+        /. 1e6
+      in
+      Format.fprintf ppf
+        "  %-12s %4d pauses, %6d objects, %8d bytes copied, %8.3f ms paused@,"
+        s.variant (List.length s.pauses) objects bytes pause_ms)
+    r.summaries;
+  (match r.failures with
+  | [] -> Format.fprintf ppf "  no failures@]"
+  | fs ->
+      Format.fprintf ppf "  %d FAILING case(s)@," (List.length fs);
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_failure ppf fs;
+      Format.fprintf ppf "@]")
+
+let report_to_string r = Format.asprintf "%a" pp_report r

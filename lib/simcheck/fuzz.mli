@@ -1,0 +1,90 @@
+(** Deterministic fuzz campaigns: seeded heap shapes x schedule seeds x
+    the configuration matrix, differentially compared through
+    {!Verify.Graph} with verifier/oracle hooks armed, failures shrunk to
+    minimal replayable reproducers. *)
+
+type variant = { name : string; make : threads:int -> Nvmgc.Gc_config.t }
+
+val all_variants : variant list
+val variant_names : string list
+
+type case = {
+  index : int;
+  heap_seed : int;
+  sched_seed : int;
+  threads : int;
+  spec : Spec.t;
+}
+
+val derive_case :
+  index:int -> heap_seed:int -> sched_seed:int -> max_objects:int -> case
+(** Expand a seed pair into a concrete case (thread count + heap spec). *)
+
+val run_variant :
+  spec:Spec.t ->
+  threads:int ->
+  sched_seed:int ->
+  variant ->
+  (Verify.Graph.t * Nvmgc.Gc_stats.pause, string list) result
+(** Instantiate the spec on a fresh heap, collect once under the variant
+    (verification hooks armed; [sched_seed = 0] = min-clock engine) and
+    capture the post-pause live graph.  [Error] carries verifier/oracle
+    or evacuation failure messages. *)
+
+type failure = {
+  case_index : int;
+  heap_seed : int;
+  sched_seed : int;
+  threads : int;
+  variant : string;  (** first variant that failed *)
+  messages : string list;
+  shrunk_spec : Spec.t;
+  shrunk_threads : int;
+  shrunk_sched_seed : int;
+  shrunk_variant : string;
+  shrunk_messages : string list;
+}
+
+type variant_summary = {
+  variant : string;
+  pauses : Nvmgc.Gc_stats.pause list;  (** one per passing case, in order *)
+}
+
+type report = {
+  seed : int;
+  cases_requested : int;
+  cases_run : int;
+  variants_run : string list;
+  summaries : variant_summary list;
+  failures : failure list;
+}
+
+val ok : report -> bool
+
+val run :
+  ?max_objects:int ->
+  ?shrink_budget:int ->
+  ?time_budget_s:float ->
+  ?variants:string list ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  report
+(** Run a campaign.  A campaign is a pure function of [seed] (plus the
+    option arguments): rerunning it yields a structurally identical
+    report.  [variants] filters the matrix by name ([] = all);
+    [time_budget_s] stops early once exceeded (CPU seconds);
+    [shrink_budget] caps re-executions per failure during shrinking. *)
+
+val replay :
+  ?max_objects:int ->
+  ?shrink_budget:int ->
+  ?variants:string list ->
+  heap_seed:int ->
+  sched_seed:int ->
+  unit ->
+  report
+(** Re-run exactly one case from its printed [--seed]/[--schedule] pair. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

@@ -1,0 +1,33 @@
+(** Seeded random schedules for the {!Nvmgc.Schedule} seam.
+
+    A schedule seed expands into a deterministic stream of scheduling
+    decisions: which runnable thread steps next, which victim a thief
+    raids, whether a thread defers a cache-region grab (copying direct to
+    NVM), whether a header-map install is forced onto the NVM-header
+    fallback path, and whether an asynchronous flush is left to the
+    write-only sub-phase.  Because the engine consults the schedule in a
+    deterministic order, seed + heap spec fully determine the run —
+    [--seed]/[--schedule] pairs replay exactly.
+
+    Seed 0 is reserved by convention for "no schedule" (the engine's
+    deterministic min-clock policy); {!Fuzz} maps it to [None]. *)
+
+let of_seed seed =
+  let rng = Simstats.Prng.create seed in
+  (* Per-schedule biases drawn once, so different seeds explore different
+     regimes (e.g. "almost always defer grabs" vs "rarely"). *)
+  let p_defer_grab = Simstats.Prng.float rng 0.5 in
+  let p_force_fallback = Simstats.Prng.float rng 0.4 in
+  let p_defer_flush = Simstats.Prng.float rng 0.6 in
+  let pick n = if n <= 0 then 0 else Simstats.Prng.int rng n in
+  {
+    Nvmgc.Schedule.pick_thread =
+      (fun ~runnable -> pick (Array.length runnable));
+    pick_victim = (fun ~thief:_ ~victims -> pick (Array.length victims));
+    defer_region_grab =
+      (fun ~tid:_ -> Simstats.Prng.float rng 1.0 < p_defer_grab);
+    force_hm_fallback =
+      (fun ~tid:_ -> Simstats.Prng.float rng 1.0 < p_force_fallback);
+    defer_async_flush =
+      (fun ~tid:_ -> Simstats.Prng.float rng 1.0 < p_defer_flush);
+  }

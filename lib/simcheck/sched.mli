@@ -1,0 +1,7 @@
+(** Seeded random schedules for the evacuation engine's scheduling seam. *)
+
+val of_seed : int -> Nvmgc.Schedule.t
+(** Expand a seed into a deterministic decision stream.  Seed 0 is
+    reserved by convention for "no schedule" (min-clock policy) and is
+    mapped to [None] by {!Fuzz}, but [of_seed 0] itself is still a valid
+    schedule. *)

@@ -42,6 +42,11 @@ let split t =
   let seed = next_int64 t in
   { state = Int64.logxor seed 0xD1B54A32D192ED03L }
 
+(** [split_n t n] derives [n] pairwise-independent children. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 (** Standard normal via Box–Muller (one value per call; the twin is
     discarded to keep the state trajectory simple and deterministic). *)
 let normal t =

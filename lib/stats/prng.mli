@@ -24,6 +24,10 @@ val bool : t -> bool
 val split : t -> t
 (** Derive an independent child generator; the parent state advances. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] pairwise-independent children in one call;
+    the parent advances [n] times. *)
+
 val normal : t -> float
 (** Standard normal deviate. *)
 

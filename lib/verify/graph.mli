@@ -1,0 +1,30 @@
+(** Canonical live-object graph capture for differential testing.
+
+    Erases object placement: nodes are named by stable object id, fields
+    and roots by the id of their referent.  Heaps built from the same
+    seeded specification assign identical ids, so their post-collection
+    captures under different {!Nvmgc.Gc_config} variants must be equal. *)
+
+type field =
+  | FNull
+  | FLive of int  (** a live object, named by its stable id *)
+  | FDangling of int  (** an address with no live binding — always a bug *)
+
+type node = { id : int; size : int; fields : field array }
+type root = { root_id : int; target : field }
+
+type t = {
+  nodes : node array;  (** every live binding, ascending id *)
+  roots : root array;  (** mutator roots, ascending root id *)
+}
+
+val field_name : field -> string
+
+val capture : Simheap.Heap.t -> t
+(** Snapshot the heap's address table and roots as a canonical graph. *)
+
+val diff : expected:t -> got:t -> string list
+(** Human-readable mismatches ([] = graphs agree); capped with a
+    suppression note when pathological. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,239 @@
+(* Tests for the simulation-testing harness (lib/simcheck): deterministic
+   instantiation, live-graph capture/diff, schedule-seam semantics
+   preservation, fuzz-campaign determinism across the full configuration
+   matrix, the G1-vs-PS differential property, and the shrinker. *)
+
+module G = Verify.Graph
+module Spec = Simcheck.Spec
+module Fuzz = Simcheck.Fuzz
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let () = Verify.Hooks.ensure_installed ()
+
+let variant name =
+  List.find (fun (v : Fuzz.variant) -> v.name = name) Fuzz.all_variants
+
+let gen_spec seed ~max_objects =
+  Spec.generate (Simstats.Prng.create seed) ~max_objects
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation and graph capture                                     *)
+
+let test_instantiate_deterministic () =
+  for seed = 1 to 5 do
+    let spec = gen_spec seed ~max_objects:30 in
+    let a = Spec.instantiate spec and b = Spec.instantiate spec in
+    check_bool "same spec -> identical live graphs" true
+      (G.equal (G.capture a.Spec.heap) (G.capture b.Spec.heap))
+  done
+
+let test_graph_diff_detects_corruption () =
+  let spec = gen_spec 3 ~max_objects:20 in
+  let inst = Spec.instantiate spec in
+  let expected = G.capture inst.Spec.heap in
+  (* Drop one object's binding: its node disappears and every reference
+     to it dangles. *)
+  Simheap.Heap.unbind inst.Spec.heap inst.Spec.objects.(0).Simheap.Objmodel.addr;
+  let got = G.capture inst.Spec.heap in
+  check_bool "diff reports the corruption" true
+    (G.diff ~expected ~got <> []);
+  check_bool "equal is false" false (G.equal expected got)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule seam                                                       *)
+
+(* Any schedule seed must preserve semantics: same surviving graph as the
+   min-clock engine, with the verifier and oracle hooks armed. *)
+let test_schedules_semantics_preserving () =
+  let case = Fuzz.derive_case ~index:0 ~heap_seed:1234 ~sched_seed:0
+      ~max_objects:30 in
+  let v = variant "g1-all" in
+  let reference =
+    match
+      Fuzz.run_variant ~spec:case.Fuzz.spec ~threads:case.Fuzz.threads
+        ~sched_seed:0 v
+    with
+    | Ok (g, _) -> g
+    | Error msgs -> Alcotest.failf "min-clock run failed: %s" (String.concat "; " msgs)
+  in
+  for sched_seed = 1 to 5 do
+    match
+      Fuzz.run_variant ~spec:case.Fuzz.spec ~threads:case.Fuzz.threads
+        ~sched_seed v
+    with
+    | Ok (g, _) ->
+        check_bool
+          (Printf.sprintf "schedule %d agrees with min-clock" sched_seed)
+          true (G.equal reference g)
+    | Error msgs ->
+        Alcotest.failf "schedule %d failed verification: %s" sched_seed
+          (String.concat "; " msgs)
+  done
+
+(* The seam must actually perturb execution, not just rename it: some
+   schedule produces a different simulated pause than the min-clock
+   engine on a multi-threaded case. *)
+let test_schedules_perturb_timing () =
+  let case = Fuzz.derive_case ~index:0 ~heap_seed:99 ~sched_seed:0
+      ~max_objects:30 in
+  let threads = max 2 case.Fuzz.threads in
+  let v = variant "g1-all" in
+  let pause_of sched_seed =
+    match Fuzz.run_variant ~spec:case.Fuzz.spec ~threads ~sched_seed v with
+    | Ok (_, p) -> p.Nvmgc.Gc_stats.pause_ns
+    | Error msgs -> Alcotest.failf "run failed: %s" (String.concat "; " msgs)
+  in
+  let base = pause_of 0 in
+  let perturbed = List.init 5 (fun i -> pause_of (i + 1)) in
+  check_bool "some schedule changes the simulated pause" true
+    (List.exists (fun p -> p <> base) perturbed)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+
+let test_campaign_deterministic_and_green () =
+  let campaign () = Fuzz.run ~cases:15 ~seed:5 () in
+  let r1 = campaign () and r2 = campaign () in
+  check_bool "no failures" true (Fuzz.ok r1);
+  check_bool "two runs produce identical reports" true (compare r1 r2 = 0);
+  check_int "all config variants ran" (List.length Fuzz.variant_names)
+    (List.length r1.Fuzz.summaries);
+  List.iter
+    (fun (s : Fuzz.variant_summary) ->
+      check_int
+        (Printf.sprintf "variant %s collected every case" s.Fuzz.variant)
+        15
+        (List.length s.Fuzz.pauses))
+    r1.Fuzz.summaries
+
+let test_replay_matches_campaign () =
+  (* A one-case campaign and a direct replay of its derived seeds agree. *)
+  let r = Fuzz.run ~cases:3 ~seed:11 () in
+  check_bool "campaign green" true (Fuzz.ok r);
+  let master = Simstats.Prng.create 11 in
+  let heap_seed = Simstats.Prng.bits master in
+  let sched_seed =
+    if Simstats.Prng.int master 10 = 0 then 0 else Simstats.Prng.bits master
+  in
+  let rr = Fuzz.replay ~heap_seed ~sched_seed () in
+  check_bool "replay green" true (Fuzz.ok rr);
+  List.iter2
+    (fun (a : Fuzz.variant_summary) (b : Fuzz.variant_summary) ->
+      check_bool
+        (Printf.sprintf "replayed pause identical (%s)" a.Fuzz.variant)
+        true
+        (compare (List.hd a.Fuzz.pauses) (List.hd b.Fuzz.pauses) = 0))
+    (List.map
+       (fun (s : Fuzz.variant_summary) ->
+         { s with Fuzz.pauses = [ List.hd s.Fuzz.pauses ] })
+       r.Fuzz.summaries)
+    rr.Fuzz.summaries
+
+(* ------------------------------------------------------------------ *)
+(* G1 vs PS differential (satellite)                                   *)
+
+let test_g1_vs_ps_same_survivors () =
+  for seed = 21 to 25 do
+    let spec = gen_spec seed ~max_objects:35 in
+    let run name =
+      match
+        Fuzz.run_variant ~spec ~threads:4 ~sched_seed:0 (variant name)
+      with
+      | Ok (g, _) -> g
+      | Error msgs ->
+          Alcotest.failf "%s failed on seed %d: %s" name seed
+            (String.concat "; " msgs)
+    in
+    let g1 = run "g1-baseline" and ps = run "ps-baseline" in
+    check_bool
+      (Printf.sprintf "G1 and PS agree on the live set (seed %d)" seed)
+      true (G.equal g1 ps);
+    let g1_all = run "g1-all" and ps_all = run "ps-all" in
+    check_bool
+      (Printf.sprintf "fully-optimized G1 and PS agree too (seed %d)" seed)
+      true
+      (G.equal g1_all ps_all)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+
+let test_shrinker_minimizes () =
+  let spec = gen_spec 8 ~max_objects:40 in
+  check_bool "spec big enough to shrink" true (Array.length spec.Spec.objects > 5);
+  (* Synthetic failure: "at least 5 objects".  The minimal reproducer has
+     exactly 5. *)
+  let budget = ref 2000 in
+  let shrunk =
+    Spec.shrink ~budget
+      ~check:(fun s -> Array.length s.Spec.objects >= 5)
+      spec
+  in
+  check_int "shrunk to the minimal failing size" 5
+    (Array.length shrunk.Spec.objects);
+  (* Fields of surviving objects never reference removed indices. *)
+  Array.iter
+    (fun (os : Spec.obj_spec) ->
+      Array.iter
+        (function
+          | Spec.Young j ->
+              check_bool "remapped reference in range" true
+                (j >= 0 && j < Array.length shrunk.Spec.objects)
+          | Spec.Null | Spec.Old _ -> ())
+        os.Spec.fields)
+    shrunk.Spec.objects;
+  Array.iter
+    (fun a ->
+      let i = match a with Spec.Root i | Spec.Remset i -> i in
+      check_bool "anchor in range" true
+        (i >= 0 && i < Array.length shrunk.Spec.objects))
+    shrunk.Spec.anchors
+
+let test_shrunk_spec_still_instantiates () =
+  let spec = gen_spec 8 ~max_objects:40 in
+  let budget = ref 500 in
+  let shrunk =
+    Spec.shrink ~budget
+      ~check:(fun s -> Array.length s.Spec.objects >= 3)
+      spec
+  in
+  let inst = Spec.instantiate shrunk in
+  check_bool "shrunk spec instantiates and captures" true
+    (Array.length (G.capture inst.Spec.heap).G.nodes > 0)
+
+let () =
+  Alcotest.run "simcheck"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "instantiate deterministic" `Quick
+            test_instantiate_deterministic;
+          Alcotest.test_case "graph diff detects corruption" `Quick
+            test_graph_diff_detects_corruption;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "semantics preserving" `Quick
+            test_schedules_semantics_preserving;
+          Alcotest.test_case "perturbs timing" `Quick
+            test_schedules_perturb_timing;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "campaign deterministic + green" `Quick
+            test_campaign_deterministic_and_green;
+          Alcotest.test_case "replay matches campaign" `Quick
+            test_replay_matches_campaign;
+          Alcotest.test_case "G1 vs PS survivors" `Quick
+            test_g1_vs_ps_same_survivors;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimizes to threshold" `Quick
+            test_shrinker_minimizes;
+          Alcotest.test_case "shrunk spec instantiates" `Quick
+            test_shrunk_spec_still_instantiates;
+        ] );
+    ]

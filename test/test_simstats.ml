@@ -103,6 +103,52 @@ let test_prng_split_independent () =
   Alcotest.(check bool) "child differs from parent" true
     (Simstats.Prng.bits child <> Simstats.Prng.bits a)
 
+(* The fuzzer hands each subsystem its own split stream and relies on the
+   streams never colliding: a state collision would replay one stream
+   inside another and silently correlate "independent" choices. *)
+let test_prng_split_streams_disjoint () =
+  let parent = Simstats.Prng.create 42 in
+  let children = Simstats.Prng.split_n parent 3 in
+  let streams = Array.append [| parent |] children in
+  let seen = Hashtbl.create 65536 in
+  Array.iteri
+    (fun si rng ->
+      for _ = 1 to 10_000 do
+        let v = Simstats.Prng.next_int64 rng in
+        (match Hashtbl.find_opt seen v with
+        | Some other when other <> si ->
+            Alcotest.failf "streams %d and %d overlap on %Ld" other si v
+        | Some _ | None -> ());
+        Hashtbl.replace seen v si
+      done)
+    streams
+
+let test_prng_split_reseed_reproducible () =
+  let mk () = Simstats.Prng.split_n (Simstats.Prng.create 42) 4 in
+  let a = mk () and b = mk () in
+  Array.iteri
+    (fun i ra ->
+      for _ = 1 to 100 do
+        check_int "same child stream" (Simstats.Prng.bits ra)
+          (Simstats.Prng.bits b.(i))
+      done)
+    a
+
+let prop_prng_split_disjoint =
+  QCheck2.Test.make ~name:"split child disjoint from parent" ~count:25
+    QCheck2.Gen.small_int (fun seed ->
+      let p = Simstats.Prng.create seed in
+      let c = Simstats.Prng.split p in
+      let seen = Hashtbl.create 4096 in
+      for _ = 1 to 1_000 do
+        Hashtbl.replace seen (Simstats.Prng.next_int64 p) ()
+      done;
+      let ok = ref true in
+      for _ = 1 to 1_000 do
+        if Hashtbl.mem seen (Simstats.Prng.next_int64 c) then ok := false
+      done;
+      !ok)
+
 let prop_prng_int_range =
   QCheck2.Test.make ~name:"prng int stays in range" ~count:500
     QCheck2.Gen.(pair small_int (int_range 1 1000))
@@ -294,6 +340,11 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;
           Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "split streams disjoint" `Quick
+            test_prng_split_streams_disjoint;
+          Alcotest.test_case "split reseed reproducible" `Quick
+            test_prng_split_reseed_reproducible;
+          qc prop_prng_split_disjoint;
           Alcotest.test_case "lognormal mean" `Quick test_prng_lognormal_mean;
           Alcotest.test_case "skewed index" `Quick test_prng_skewed_index;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;

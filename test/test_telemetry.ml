@@ -349,6 +349,27 @@ let test_determinism () =
     (Memsim.Memory.snapshot plain.Experiments.Runner.memory
     = Memsim.Memory.snapshot traced_run.Experiments.Runner.memory)
 
+(* Same purity property under the fuzzer: a whole campaign — every
+   config variant, random heap shapes, random schedules — produces
+   byte-identical pause records whether telemetry sinks are installed or
+   not. *)
+let test_fuzz_determinism () =
+  let campaign () = Simcheck.Fuzz.run ~cases:10 ~seed:7 () in
+  let with_sinks, _tracer, _metrics = with_telemetry campaign in
+  let without = campaign () in
+  check_bool "fuzz campaign green" true (Simcheck.Fuzz.ok without);
+  List.iter2
+    (fun (a : Simcheck.Fuzz.variant_summary)
+         (b : Simcheck.Fuzz.variant_summary) ->
+      check_string "same variant order" a.Simcheck.Fuzz.variant
+        b.Simcheck.Fuzz.variant;
+      check_bool
+        (Printf.sprintf "pause snapshots byte-identical (%s)"
+           a.Simcheck.Fuzz.variant)
+        true
+        (compare a.Simcheck.Fuzz.pauses b.Simcheck.Fuzz.pauses = 0))
+    with_sinks.Simcheck.Fuzz.summaries without.Simcheck.Fuzz.summaries
+
 (* ------------------------------------------------------------------ *)
 (* Gc_stats satellite: percentiles and the pause pretty-printer        *)
 
@@ -413,7 +434,10 @@ let () =
           Alcotest.test_case "from run" `Quick test_metrics_from_run;
         ] );
       ( "purity",
-        [ Alcotest.test_case "determinism" `Quick test_determinism ] );
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "fuzz determinism" `Quick test_fuzz_determinism;
+        ] );
       ( "gc_stats",
         [
           Alcotest.test_case "percentiles + pp" `Quick
