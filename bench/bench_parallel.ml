@@ -1,0 +1,72 @@
+(* Macro-benchmark for the multicore experiment engine: wall-clock a
+   representative figure sweep and a fuzz campaign at --jobs 1/2/4/8 and
+   emit BENCH_parallel.json.  Speedups are relative to jobs=1 within this
+   run; on a single-core machine expect ~1.0 throughout (the pool adds
+   only distribution overhead). *)
+
+let sweep_apps =
+  List.filter
+    (fun a ->
+      List.mem a.Workloads.App_profile.name
+        [ "page-rank"; "als"; "movie-lens"; "kmeans" ])
+    Workloads.Apps.all
+
+let sweep_apps =
+  (* Fall back to the first four profiles if any name above drifts. *)
+  match sweep_apps with
+  | _ :: _ :: _ -> sweep_apps
+  | _ -> List.filteri (fun i _ -> i < 4) Workloads.Apps.all
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let options jobs =
+  { Experiments.Runner.default_options with gc_scale = 0.25; jobs }
+
+let run_sweep jobs =
+  let rows = Experiments.Fig5_gc_time.compute ~apps:sweep_apps (options jobs) in
+  ignore (Sys.opaque_identity rows)
+
+let run_fuzz jobs =
+  let report =
+    Simcheck.Fuzz.run ~jobs ~cases:12 ~seed:7
+      ~variants:[ "g1-baseline"; "ps-all" ]
+      ()
+  in
+  if not (Simcheck.Fuzz.ok report) then
+    failwith "bench_parallel: fuzz campaign unexpectedly failed"
+
+type sample = { jobs : int; sweep_s : float; fuzz_s : float }
+
+let () =
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let samples =
+    List.map
+      (fun jobs ->
+        let (), sweep_s = time (fun () -> run_sweep jobs) in
+        let (), fuzz_s = time (fun () -> run_fuzz jobs) in
+        Printf.printf "jobs=%d sweep %.3fs fuzz %.3fs\n%!" jobs sweep_s fuzz_s;
+        { jobs; sweep_s; fuzz_s })
+      job_counts
+  in
+  let base = List.hd samples in
+  let out = open_out "BENCH_parallel.json" in
+  let emit fmt = Printf.fprintf out fmt in
+  emit "{\n  \"benchmark\": \"parallel-experiment-engine\",\n";
+  emit "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
+  emit "  \"samples\": [\n";
+  List.iteri
+    (fun i s ->
+      emit
+        "    {\"jobs\": %d, \"sweep_wall_s\": %.6f, \"fuzz_wall_s\": %.6f, \
+         \"sweep_speedup\": %.3f, \"fuzz_speedup\": %.3f}%s\n"
+        s.jobs s.sweep_s s.fuzz_s
+        (base.sweep_s /. Float.max 1e-9 s.sweep_s)
+        (base.fuzz_s /. Float.max 1e-9 s.fuzz_s)
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  emit "  ]\n}\n";
+  close_out out;
+  Printf.printf "wrote BENCH_parallel.json\n%!"

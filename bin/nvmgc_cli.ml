@@ -89,8 +89,18 @@ let options_term =
             "GC console-log level (error|warning|info|debug): JVM-unified- \
              logging-style [gc] / [gc,phases] lines on stdout.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Exec.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for sweep parallelism (default: the \
+             recommended domain count).  Output is byte-identical at any \
+             value.")
+  in
   let make seed threads gc_scale no_verify verbose trace_file metrics_file
-      log_gc =
+      log_gc jobs =
     {
       Experiments.Runner.seed;
       threads;
@@ -100,11 +110,12 @@ let options_term =
       trace_file;
       metrics_file;
       log_gc;
+      jobs = max 1 jobs;
     }
   in
   Term.(
     const make $ seed $ threads $ gc_scale $ no_verify $ verbose $ trace
-    $ metrics $ log_gc)
+    $ metrics $ log_gc $ jobs)
 
 let list_apps_cmd =
   let doc = "List the 26 application profiles." in
@@ -304,8 +315,17 @@ let fuzz_cmd =
             "On failure, write the shrunk reproducers (replay command + \
              minimal heap spec) to $(docv) — uploaded as a CI artifact.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Exec.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running fuzz cases (default: the recommended \
+             domain count).  The report is identical at any value.")
+  in
   let run cases seed schedule configs max_objects time_budget shrink_budget
-      repro_file =
+      repro_file jobs =
     guarded @@ fun () ->
     match
       match schedule with
@@ -316,8 +336,8 @@ let fuzz_cmd =
           let time_budget_s =
             if time_budget <= 0.0 then infinity else time_budget
           in
-          Simcheck.Fuzz.run ~max_objects ~shrink_budget ~time_budget_s
-            ~variants:configs ~cases ~seed ()
+          Simcheck.Fuzz.run ~jobs:(max 1 jobs) ~max_objects ~shrink_budget
+            ~time_budget_s ~variants:configs ~cases ~seed ()
     with
     | report ->
         print_endline (Simcheck.Fuzz.report_to_string report);
@@ -350,7 +370,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ cases $ seed $ schedule $ configs $ max_objects
-       $ time_budget $ shrink_budget $ repro_file))
+       $ time_budget $ shrink_budget $ repro_file $ jobs))
 
 let validate_trace_cmd =
   let doc =

@@ -24,3 +24,14 @@ dune exec bin/nvmgc_cli.exe -- run page-rank --threads 8 --gc-scale 0.1 \
 dune exec bin/nvmgc_cli.exe -- validate-trace "$tmp/trace.json"
 test -s "$tmp/metrics.csv"
 test -s "$tmp/trace.jsonl"
+
+# Multicore engine smoke: the whole figure/table sweep driven through the
+# work-stealing domain pool (`--jobs`).  Output is byte-identical at any
+# job count, so parallelism here is pure wall-clock; the timing line
+# makes the win (or any regression) visible in the CI log.
+jobs=$( (nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2) )
+start=$(date +%s)
+dune exec bin/nvmgc_cli.exe -- all --gc-scale 0.05 --jobs "$jobs" \
+  > "$tmp/all.out"
+echo "all-figures smoke (--jobs $jobs): $(($(date +%s) - start))s," \
+  "$(wc -l < "$tmp/all.out") lines"

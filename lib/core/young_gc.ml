@@ -70,11 +70,15 @@ type verify_hooks = {
           header map cleared) — invariant checking and oracle diffing *)
 }
 
-let verify_hooks : verify_hooks option ref = ref None
+(* Atomic rather than a plain ref: the slot is process-global and read
+   from every domain running a collector.  Installation still happens
+   once, before workers spawn; the Atomic makes the publication safe. *)
+let verify_hooks : verify_hooks option Atomic.t = Atomic.make None
 
-let set_verify_hooks hooks = verify_hooks := hooks
+let set_verify_hooks hooks = Atomic.set verify_hooks hooks
 
-let verifying t = Gc_config.verify_active t.config && !verify_hooks <> None
+let verifying t =
+  Gc_config.verify_active t.config && Atomic.get verify_hooks <> None
 
 (* Seed initial work: remembered-set entries of every collection-set region
    plus the mutator roots, distributed round-robin across GC threads in
@@ -186,7 +190,7 @@ let collect t ~now_ns =
   let pause_start_ns = now_ns in
   let cset = Simheap.Heap.young_regions t.heap in
   List.iter (fun (r : R.t) -> r.R.in_cset <- true) cset;
-  (match !verify_hooks with
+  (match Atomic.get verify_hooks with
   | Some hooks when Gc_config.verify_active t.config -> hooks.before_pause t
   | Some _ | None -> ());
   (* Safepoint arrival + serial VM-root scanning: a fixed,
@@ -297,7 +301,7 @@ let collect t ~now_ns =
         (float_of_int pause.Gc_stats.bytes_copied /. 1e6)
         t.config.Gc_config.threads);
   Phases_log.debug (fun m -> m ~tags "GC(%d) %a" gc_n Gc_stats.pp_pause pause);
-  (match !verify_hooks with
+  (match Atomic.get verify_hooks with
   | Some hooks when Gc_config.verify_active t.config ->
       hooks.after_pause t pause
   | Some _ | None -> ());

@@ -1,0 +1,193 @@
+(** Work-stealing domain pool (contract in the interface). *)
+
+(* A batch's tasks are fixed up front (tasks never spawn tasks), so the
+   deque is a frozen index array with two cursors: the owner takes from
+   the front, thieves from the back.  A mutex per deque is plenty — tasks
+   are coarse (whole simulation runs), so contention is nil. *)
+module Deque = struct
+  type t = {
+    m : Mutex.t;
+    buf : int array;
+    mutable lo : int;  (** next owner slot *)
+    mutable hi : int;  (** one past the last thief slot *)
+  }
+
+  let of_indices buf = { m = Mutex.create (); buf; lo = 0; hi = Array.length buf }
+
+  let pop_front d =
+    Mutex.lock d.m;
+    let r =
+      if d.lo < d.hi then begin
+        let v = d.buf.(d.lo) in
+        d.lo <- d.lo + 1;
+        Some v
+      end
+      else None
+    in
+    Mutex.unlock d.m;
+    r
+
+  let steal_back d =
+    Mutex.lock d.m;
+    let r =
+      if d.lo < d.hi then begin
+        d.hi <- d.hi - 1;
+        Some d.buf.(d.hi)
+      end
+      else None
+    in
+    Mutex.unlock d.m;
+    r
+end
+
+type batch = {
+  run_task : int -> unit;  (** never raises: wraps the user task *)
+  deques : Deque.t array;  (** one per worker *)
+  pending : int Atomic.t;  (** tasks not yet completed *)
+}
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable seq : int;  (** batch sequence number, guarded by [lock] *)
+  mutable batch : batch option;
+      (** the latest batch; kept (drained) after completion so a worker
+          that wakes late never observes [None] for a seen sequence *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let size t = t.size
+
+(* Drain the batch from worker [wid]: own deque front-first, then steal
+   one task at a time from neighbours.  Returns when no work is findable
+   anywhere — in-flight tasks on other workers are theirs to finish. *)
+let run_batch t (b : batch) wid =
+  let workers = Array.length b.deques in
+  let rec steal k =
+    if k >= workers then None
+    else
+      match Deque.steal_back b.deques.((wid + k) mod workers) with
+      | Some _ as r -> r
+      | None -> steal (k + 1)
+  in
+  let take () =
+    match Deque.pop_front b.deques.(wid) with
+    | Some _ as r -> r
+    | None -> steal 1
+  in
+  let rec loop () =
+    match take () with
+    | None -> ()
+    | Some i ->
+        b.run_task i;
+        (* The completer of the last task wakes the submitter. *)
+        if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+          Mutex.lock t.lock;
+          Condition.broadcast t.batch_done;
+          Mutex.unlock t.lock
+        end;
+        loop ()
+  in
+  loop ()
+
+let worker_main t wid =
+  let rec wait last_seq =
+    Mutex.lock t.lock;
+    while (not t.stop) && t.seq = last_seq do
+      Condition.wait t.work_ready t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      let seq = t.seq in
+      let b = Option.get t.batch in
+      Mutex.unlock t.lock;
+      run_batch t b wid;
+      wait seq
+    end
+  in
+  wait 0
+
+let create ?domains () =
+  let size = max 1 (Option.value domains ~default:(default_jobs ())) in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      seq = 0;
+      batch = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_main t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run (type a) t (f : int -> a) n =
+  if n <= 0 then [||]
+  else begin
+    let results : a option array = Array.make n None in
+    let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+    let run_task i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    if t.size = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        run_task i
+      done
+    else begin
+      let deques =
+        Array.init t.size (fun wid ->
+            (* worker [wid] owns indices wid, wid + size, wid + 2*size, … *)
+            let count = if wid >= n then 0 else ((n - wid - 1) / t.size) + 1 in
+            let ids = Array.init count (fun k -> wid + (k * t.size)) in
+            Deque.of_indices ids)
+      in
+      let b = { run_task; deques; pending = Atomic.make n } in
+      Mutex.lock t.lock;
+      t.seq <- t.seq + 1;
+      t.batch <- Some b;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.lock;
+      run_batch t b 0;
+      Mutex.lock t.lock;
+      while Atomic.get b.pending > 0 do
+        Condition.wait t.batch_done t.lock
+      done;
+      Mutex.unlock t.lock
+    end;
+    (* Deterministic failure propagation: lowest task index wins. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array t f arr = run t (fun i -> f arr.(i)) (Array.length arr)
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map_array t f arr)

@@ -1,0 +1,54 @@
+(** A work-stealing pool of OCaml 5 domains for embarrassingly-parallel
+    outer loops: figure/table sweeps and fuzz campaigns.
+
+    The pool executes {e batches} of independent tasks identified by
+    index.  Each worker owns a deque seeded round-robin with task
+    indices; owners take from the front (ascending index order, which
+    keeps per-worker work contiguous), idle workers steal from the back
+    of their neighbours.  The submitting domain participates as worker 0,
+    so a pool of size [n] spawns [n - 1] extra domains.
+
+    Determinism contract: results are collected {e by task index}, never
+    by completion order, and a task that raises poisons only its own
+    slot — after the batch completes, the exception of the
+    lowest-indexed failing task is re-raised (with its backtrace).
+    Consequently [run pool f n] is observably equivalent to
+    [Array.init n f] for pure [f], at any pool size.
+
+    Tasks must be independent: they run concurrently on separate domains
+    and must not share non-atomic mutable state.  Ambient per-domain
+    state (e.g. {!Domain.DLS}-scoped telemetry hooks) is each task's own
+    responsibility — see [Experiments.Runner.parallel_map] for the
+    canonical wrapper.  Process-global registration (e.g.
+    [Verify.Hooks.ensure_installed]) must happen before the pool is
+    created so the spawned domains observe it. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] builds a pool of [domains] total workers
+    (clamped to at least 1), spawning [domains - 1] OCaml domains that
+    idle until a batch is submitted.  Defaults to {!default_jobs}. *)
+
+val size : t -> int
+(** Total worker count, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool is unusable after. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on the
+    way out (also on exception). *)
+
+val run : t -> (int -> 'a) -> int -> 'a array
+(** [run pool f n] evaluates [f i] for [i] in [0 .. n-1] across the
+    pool's workers and returns the results indexed by [i].  Blocks until
+    every task has finished.  Only one batch may run at a time (batches
+    are submitted from the domain that created the pool). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the machine's useful
+    parallelism (1 on a single-core host, i.e. sequential). *)

@@ -21,18 +21,15 @@ let sweep ~title ~col_name ~values ~tweak ?(apps = default_apps)
       (T.col ~align:T.Left "app"
       :: List.map (fun v -> T.col (col_name v)) values)
   in
-  List.iter
-    (fun app ->
-      T.add_row table
-        (app.Workloads.App_profile.name
-        :: List.map
-             (fun v ->
-               let run =
-                 Runner.execute ~config_tweak:(tweak v) options app setup
-               in
-               T.fs3 (Runner.gc_seconds run *. 1e3))
-             values))
-    apps;
+  Runner.parallel_cells options ~setups:values
+    ~f:(fun app v ->
+      let run = Runner.execute ~config_tweak:(tweak v) options app setup in
+      Runner.gc_seconds run)
+    apps
+  |> List.iter (fun ((app : Workloads.App_profile.t), times) ->
+         T.add_row table
+           (app.Workloads.App_profile.name
+           :: List.map (fun s -> T.fs3 (s *. 1e3)) times));
   T.print table
 
 let rec print ?apps options =
@@ -98,16 +95,21 @@ and device_sensitivity ?(apps = default_apps) options =
       (T.col ~align:T.Left "app"
       :: List.map (fun (name, _) -> T.col name) variants)
   in
-  List.iter
-    (fun app ->
-      T.add_row table
-        (app.Workloads.App_profile.name
-        :: List.map
-             (fun (_, nvm) ->
-               let g setup =
-                 Runner.gc_seconds (Runner.execute ~nvm options app setup)
-               in
-               T.fx (g Runner.Vanilla /. g Runner.All_opts))
-             variants))
-    apps;
+  let cells =
+    List.concat_map
+      (fun (_, nvm) ->
+        [ (nvm, Runner.Vanilla); (nvm, Runner.All_opts) ])
+      variants
+  in
+  Runner.parallel_cells options ~setups:cells
+    ~f:(fun app (nvm, setup) ->
+      Runner.gc_seconds (Runner.execute ~nvm options app setup))
+    apps
+  |> List.iter (fun ((app : Workloads.App_profile.t), times) ->
+         let rec ratios = function
+           | vanilla :: all :: rest -> T.fx (vanilla /. all) :: ratios rest
+           | [] -> []
+           | _ -> assert false
+         in
+         T.add_row table (app.Workloads.App_profile.name :: ratios times));
   T.print table

@@ -14,14 +14,13 @@ let default_apps =
   ]
 
 let compute ?(apps = default_apps) options =
-  List.map
-    (fun app ->
-      let g llc_scale =
-        Runner.gc_seconds
-          (Runner.execute ~llc_scale options app Runner.Vanilla)
-      in
-      (app.Workloads.App_profile.name, g 1.0, g (1.0 /. 16.0)))
+  Runner.parallel_cells options ~setups:[ 1.0; 1.0 /. 16.0 ]
+    ~f:(fun app llc_scale ->
+      Runner.gc_seconds (Runner.execute ~llc_scale options app Runner.Vanilla))
     apps
+  |> List.map (function
+       | app, [ full; small ] -> (app.Workloads.App_profile.name, full, small)
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -29,17 +29,21 @@ type row = {
 }
 
 let compute ?(apps = default_apps) options =
-  List.map
-    (fun app ->
-      let g setup = Runner.gc_seconds (Runner.execute options app setup) in
-      {
-        app = app.Workloads.App_profile.name;
-        vanilla_s = g Runner.Vanilla;
-        all_s = g Runner.All_opts;
-        young_dram_s = g Runner.Young_gen_dram;
-        combined_s = g Runner.Young_dram_plus_opts;
-      })
+  Runner.parallel_cells options
+    ~setups:
+      [
+        Runner.Vanilla; Runner.All_opts; Runner.Young_gen_dram;
+        Runner.Young_dram_plus_opts;
+      ]
+    ~f:(fun app setup -> Runner.gc_seconds (Runner.execute options app setup))
     apps
+  |> List.map (function
+       | app, [ vanilla_s; all_s; young_dram_s; combined_s ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             vanilla_s; all_s; young_dram_s; combined_s;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

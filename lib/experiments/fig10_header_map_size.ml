@@ -26,40 +26,34 @@ let factors (suite : Workloads.App_profile.suite) =
 let size_labels = [| "512M"; "1G"; "2G" |]
 
 let compute ?(apps = Workloads.Apps.all) options =
-  List.map
-    (fun (app : Workloads.App_profile.t) ->
-      let facs = factors app.Workloads.App_profile.suite in
-      let runs =
-        Array.map
-          (fun f ->
-            let tweak c =
-              {
-                c with
-                Nvmgc.Gc_config.header_map_bytes =
-                  int_of_float
-                    (f *. float_of_int c.Nvmgc.Gc_config.header_map_bytes);
-              }
-            in
-            Runner.execute ~config_tweak:tweak options app Runner.All_opts)
-          facs
+  Runner.parallel_cells options ~setups:[ 0; 1; 2 ]
+    ~f:(fun (app : Workloads.App_profile.t) i ->
+      let f = (factors app.Workloads.App_profile.suite).(i) in
+      let tweak c =
+        {
+          c with
+          Nvmgc.Gc_config.header_map_bytes =
+            int_of_float (f *. float_of_int c.Nvmgc.Gc_config.header_map_bytes);
+        }
       in
-      {
-        app = app.Workloads.App_profile.name;
-        suite = app.Workloads.App_profile.suite;
-        gc_s = Array.map Runner.gc_seconds runs;
-        occupancy =
-          Array.map
-            (fun run ->
-              match
-                List.rev run.Runner.result.Workloads.Mutator.pauses
-              with
-              | last :: _ ->
-                  last.Workloads.Mutator.pause
-                    .Nvmgc.Gc_stats.header_map_occupancy
-              | [] -> 0.0)
-            runs;
-      })
+      Runner.execute ~config_tweak:tweak options app Runner.All_opts)
     apps
+  |> List.map (fun ((app : Workloads.App_profile.t), runs) ->
+         let runs = Array.of_list runs in
+         {
+           app = app.Workloads.App_profile.name;
+           suite = app.Workloads.App_profile.suite;
+           gc_s = Array.map Runner.gc_seconds runs;
+           occupancy =
+             Array.map
+               (fun run ->
+                 match List.rev run.Runner.result.Workloads.Mutator.pauses with
+                 | last :: _ ->
+                     last.Workloads.Mutator.pause
+                       .Nvmgc.Gc_stats.header_map_occupancy
+                 | [] -> 0.0)
+               runs;
+         })
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -22,25 +22,30 @@ type row = {
 
 let async_slowdown r = (r.async_s -. r.sync_s) /. r.sync_s
 
+(* The five cells per app: (setup, config tweak). *)
+let variants =
+  [
+    (Runner.All_opts, fun c -> c);
+    ( Runner.All_opts,
+      fun c -> { c with Nvmgc.Gc_config.write_cache_limit_bytes = None } );
+    ( Runner.All_opts,
+      fun c -> { c with Nvmgc.Gc_config.flush_mode = Nvmgc.Gc_config.Async } );
+    (Runner.Vanilla_dram, fun c -> c);
+    (Runner.Vanilla, fun c -> c);
+  ]
+
 let compute ?(apps = Workloads.Apps.all) options =
-  List.map
-    (fun app ->
-      let run ?(setup = Runner.All_opts) tweak =
-        Runner.gc_seconds (Runner.execute ~config_tweak:tweak options app setup)
-      in
-      {
-        app = app.Workloads.App_profile.name;
-        sync_s = run (fun c -> c);
-        sync_unlimited_s =
-          run (fun c ->
-              { c with Nvmgc.Gc_config.write_cache_limit_bytes = None });
-        async_s =
-          run (fun c ->
-              { c with Nvmgc.Gc_config.flush_mode = Nvmgc.Gc_config.Async });
-        dram_s = run ~setup:Runner.Vanilla_dram (fun c -> c);
-        vanilla_s = run ~setup:Runner.Vanilla (fun c -> c);
-      })
+  Runner.parallel_cells options ~setups:variants
+    ~f:(fun app (setup, tweak) ->
+      Runner.gc_seconds (Runner.execute ~config_tweak:tweak options app setup))
     apps
+  |> List.map (function
+       | app, [ sync_s; sync_unlimited_s; async_s; dram_s; vanilla_s ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             sync_s; sync_unlimited_s; async_s; dram_s; vanilla_s;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

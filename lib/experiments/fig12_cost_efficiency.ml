@@ -30,26 +30,28 @@ let dollars_of_bytes ~scale ~price_per_gb bytes =
 let compute ?(apps = Workloads.Apps.all) options =
   let dram_price = Memsim.Device.dram.Memsim.Device.price_per_gb in
   let nvm_price = Memsim.Device.optane.Memsim.Device.price_per_gb in
-  List.map
-    (fun (app : Workloads.App_profile.t) ->
-      let g setup = Runner.gc_seconds (Runner.execute options app setup) in
-      let vanilla = g Runner.Vanilla in
-      let scale = app.Workloads.App_profile.scale in
-      {
-        app = app.Workloads.App_profile.name;
-        suite = app.Workloads.App_profile.suite;
-        opt_gain_s = vanilla -. g Runner.All_opts;
-        opt_dollars =
-          dollars_of_bytes ~scale ~price_per_gb:dram_price
-            (app.Workloads.App_profile.header_map_bytes
-            + app.Workloads.App_profile.write_cache_bytes);
-        dram_gain_s = vanilla -. g Runner.Vanilla_dram;
-        dram_dollars =
-          dollars_of_bytes ~scale
-            ~price_per_gb:(dram_price -. nvm_price)
-            app.Workloads.App_profile.heap_bytes;
-      })
+  Runner.parallel_cells options
+    ~setups:[ Runner.Vanilla; Runner.All_opts; Runner.Vanilla_dram ]
+    ~f:(fun app setup -> Runner.gc_seconds (Runner.execute options app setup))
     apps
+  |> List.map (function
+       | (app : Workloads.App_profile.t), [ vanilla; all_opts; dram ] ->
+           let scale = app.Workloads.App_profile.scale in
+           {
+             app = app.Workloads.App_profile.name;
+             suite = app.Workloads.App_profile.suite;
+             opt_gain_s = vanilla -. all_opts;
+             opt_dollars =
+               dollars_of_bytes ~scale ~price_per_gb:dram_price
+                 (app.Workloads.App_profile.header_map_bytes
+                 + app.Workloads.App_profile.write_cache_bytes);
+             dram_gain_s = vanilla -. dram;
+             dram_dollars =
+               dollars_of_bytes ~scale
+                 ~price_per_gb:(dram_price -. nvm_price)
+                 app.Workloads.App_profile.heap_bytes;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

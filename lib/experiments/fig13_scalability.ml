@@ -26,23 +26,24 @@ let best_threads r =
 let setups = [ Runner.Vanilla; Runner.Write_cache_only; Runner.All_opts ]
 
 let compute ?(apps = Workloads.Apps.all) options =
-  List.concat_map
-    (fun app ->
-      List.map
-        (fun setup ->
-          {
-            app = app.Workloads.App_profile.name;
-            setup;
-            gc_s =
-              Array.of_list
-                (List.map
-                   (fun threads ->
-                     Runner.gc_seconds
-                       (Runner.execute ~threads options app setup))
-                   thread_counts);
-          })
-        setups)
+  let variants =
+    List.concat_map (fun s -> List.map (fun t -> (s, t)) thread_counts) setups
+  in
+  let nt = List.length thread_counts in
+  Runner.parallel_cells options ~setups:variants
+    ~f:(fun app (setup, threads) ->
+      Runner.gc_seconds (Runner.execute ~threads options app setup))
     apps
+  |> List.concat_map (fun (app, values) ->
+         let arr = Array.of_list values in
+         List.mapi
+           (fun i setup ->
+             {
+               app = app.Workloads.App_profile.name;
+               setup;
+               gc_s = Array.sub arr (i * nt) nt;
+             })
+           setups)
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -18,30 +18,31 @@ type row = {
 let speedup r = r.vanilla_s /. r.all_s
 let prefetch_gain r = (r.no_prefetch_s -. r.all_s) /. r.no_prefetch_s
 
+let presets =
+  [
+    (`Vanilla_ps, fun c -> c);
+    (`All_ps, fun c -> c);
+    (`All_ps, fun c -> { c with Nvmgc.Gc_config.prefetch = false });
+  ]
+
 let compute ?(apps = Workloads.Apps.renaissance_apps) options =
-  List.map
-    (fun app ->
-      let g preset tweak =
-        let config =
-          tweak
-            (Workloads.Apps.gc_config app ~preset
-               ~threads:options.Runner.threads)
-        in
-        let result, gc, _memory, _heap =
-          Workloads.Mutator.run_fresh ~profile:app ~seed:options.Runner.seed
-            ~gcs:(Runner.gcs_for options app) config
-        in
-        ignore result;
-        Nvmgc.Gc_stats.total_pause_s (Nvmgc.Young_gc.totals gc)
+  Runner.parallel_cells options ~setups:presets
+    ~f:(fun app (preset, tweak) ->
+      let config =
+        tweak
+          (Workloads.Apps.gc_config app ~preset ~threads:options.Runner.threads)
       in
-      {
-        app = app.Workloads.App_profile.name;
-        vanilla_s = g `Vanilla_ps (fun c -> c);
-        all_s = g `All_ps (fun c -> c);
-        no_prefetch_s =
-          g `All_ps (fun c -> { c with Nvmgc.Gc_config.prefetch = false });
-      })
+      let _result, gc, _memory, _heap =
+        Workloads.Mutator.run_fresh ~profile:app ~seed:options.Runner.seed
+          ~gcs:(Runner.gcs_for options app) config
+      in
+      Nvmgc.Gc_stats.total_pause_s (Nvmgc.Young_gc.totals gc))
     apps
+  |> List.map (function
+       | app, [ vanilla_s; all_s; no_prefetch_s ] ->
+           { app = app.Workloads.App_profile.name; vanilla_s; all_s;
+             no_prefetch_s }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -23,18 +23,20 @@ let nvm_gc_share r = r.nvm_gc_s /. (r.nvm_gc_s +. r.nvm_app_s)
 let dram_gc_share r = r.dram_gc_s /. (r.dram_gc_s +. r.dram_app_s)
 
 let compute options =
-  List.map
-    (fun app ->
-      let dram = Runner.execute options app Runner.Vanilla_dram in
-      let nvm = Runner.execute options app Runner.Vanilla in
-      {
-        app = app.Workloads.App_profile.name;
-        dram_app_s = Runner.app_seconds dram;
-        dram_gc_s = Runner.gc_seconds dram;
-        nvm_app_s = Runner.app_seconds nvm;
-        nvm_gc_s = Runner.gc_seconds nvm;
-      })
+  Runner.parallel_cells options
+    ~setups:[ Runner.Vanilla_dram; Runner.Vanilla ]
+    ~f:(fun app setup -> Runner.execute options app setup)
     Workloads.Apps.figure1_apps
+  |> List.map (function
+       | app, [ dram; nvm ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             dram_app_s = Runner.app_seconds dram;
+             dram_gc_s = Runner.gc_seconds dram;
+             nvm_app_s = Runner.app_seconds nvm;
+             nvm_gc_s = Runner.gc_seconds nvm;
+           }
+       | _ -> assert false)
 
 let print options =
   let rows = compute options in

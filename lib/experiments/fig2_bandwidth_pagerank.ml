@@ -17,51 +17,58 @@ let print_scalability options ~setup ~space ~title =
     T.create ~title
       [ T.col "threads"; T.col "avg-bw(MB/s)"; T.col "gc-time(ms)" ]
   in
+  let rows =
+    Runner.parallel_map options
+      ~f:(fun threads ->
+        let run =
+          Runner.execute ~threads options Workloads.Apps.page_rank setup
+        in
+        let totals = Nvmgc.Young_gc.totals run.Runner.gc in
+        let bw =
+          match space with
+          | Memsim.Access.Nvm -> Nvmgc.Gc_stats.avg_nvm_bandwidth_mbps totals
+          | Memsim.Access.Dram ->
+              (* DRAM-heap configuration: all pause traffic is DRAM *)
+              let p = totals.Nvmgc.Gc_stats.total_pause_ns in
+              if p <= 0.0 then 0.0
+              else begin
+                let last =
+                  List.fold_left
+                    (fun acc (pr : Workloads.Mutator.pause_record) ->
+                      acc
+                      +. pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.traffic
+                           .Memsim.Memory.dram_read_bytes
+                      +. pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.traffic
+                           .Memsim.Memory.dram_write_bytes)
+                    0.0 run.Runner.result.Workloads.Mutator.pauses
+                in
+                last /. 1e6 /. (p /. 1e9)
+              end
+        in
+        (threads, bw, Runner.gc_seconds run))
+      thread_counts
+  in
   List.iter
-    (fun threads ->
-      let run =
-        Runner.execute ~threads options Workloads.Apps.page_rank setup
-      in
-      let totals = Nvmgc.Young_gc.totals run.Runner.gc in
-      let bw =
-        match space with
-        | Memsim.Access.Nvm -> Nvmgc.Gc_stats.avg_nvm_bandwidth_mbps totals
-        | Memsim.Access.Dram ->
-            (* DRAM-heap configuration: all pause traffic is DRAM *)
-            let p = totals.Nvmgc.Gc_stats.total_pause_ns in
-            if p <= 0.0 then 0.0
-            else begin
-              let last =
-                List.fold_left
-                  (fun acc (pr : Workloads.Mutator.pause_record) ->
-                    acc
-                    +. pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.traffic
-                         .Memsim.Memory.dram_read_bytes
-                    +. pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.traffic
-                         .Memsim.Memory.dram_write_bytes)
-                  0.0 run.Runner.result.Workloads.Mutator.pauses
-              in
-              last /. 1e6 /. (p /. 1e9)
-            end
-      in
-      T.add_row table
-        [ T.fint threads; T.fs1 bw; T.fs (Runner.gc_seconds run *. 1e3) ])
-    thread_counts;
+    (fun (threads, bw, gc_s) ->
+      T.add_row table [ T.fint threads; T.fs1 bw; T.fs (gc_s *. 1e3) ])
+    rows;
   T.print table
 
 let print options =
-  let traced_dram =
-    Trace_util.run_traced options Workloads.Apps.page_rank Runner.Vanilla_dram
-  in
-  Trace_util.print_window
-    ~title:"Figure 2a: page-rank bandwidth atop DRAM (vanilla G1)"
-    ~space:Memsim.Access.Dram traced_dram;
-  let traced_nvm =
-    Trace_util.run_traced options Workloads.Apps.page_rank Runner.Vanilla
-  in
-  Trace_util.print_window
-    ~title:"Figure 2b: page-rank bandwidth atop NVM (vanilla G1)"
-    ~space:Memsim.Access.Nvm traced_nvm;
+  (match
+     Runner.parallel_map options
+       ~f:(fun setup ->
+         Trace_util.run_traced options Workloads.Apps.page_rank setup)
+       [ Runner.Vanilla_dram; Runner.Vanilla ]
+   with
+  | [ traced_dram; traced_nvm ] ->
+      Trace_util.print_window
+        ~title:"Figure 2a: page-rank bandwidth atop DRAM (vanilla G1)"
+        ~space:Memsim.Access.Dram traced_dram;
+      Trace_util.print_window
+        ~title:"Figure 2b: page-rank bandwidth atop NVM (vanilla G1)"
+        ~space:Memsim.Access.Nvm traced_nvm
+  | _ -> assert false);
   print_scalability options ~setup:Runner.Vanilla ~space:Memsim.Access.Nvm
     ~title:"Figure 2c: NVM bandwidth & GC time vs threads (page-rank, vanilla)";
   print_scalability options ~setup:Runner.Vanilla_dram ~space:Memsim.Access.Dram

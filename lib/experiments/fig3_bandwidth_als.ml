@@ -6,13 +6,16 @@
     time is much less affected than page-rank's. *)
 
 let print options =
-  let dram =
-    Trace_util.run_traced options Workloads.Apps.als Runner.Vanilla_dram
-  in
-  Trace_util.print_window
-    ~title:"Figure 3a: als bandwidth atop DRAM (vanilla G1)"
-    ~space:Memsim.Access.Dram dram;
-  let nvm = Trace_util.run_traced options Workloads.Apps.als Runner.Vanilla in
-  Trace_util.print_window
-    ~title:"Figure 3b: als bandwidth atop NVM (vanilla G1)"
-    ~space:Memsim.Access.Nvm nvm
+  match
+    Runner.parallel_map options
+      ~f:(fun setup -> Trace_util.run_traced options Workloads.Apps.als setup)
+      [ Runner.Vanilla_dram; Runner.Vanilla ]
+  with
+  | [ dram; nvm ] ->
+      Trace_util.print_window
+        ~title:"Figure 3a: als bandwidth atop DRAM (vanilla G1)"
+        ~space:Memsim.Access.Dram dram;
+      Trace_util.print_window
+        ~title:"Figure 3b: als bandwidth atop NVM (vanilla G1)"
+        ~space:Memsim.Access.Nvm nvm
+  | _ -> assert false

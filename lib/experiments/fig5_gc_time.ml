@@ -24,18 +24,21 @@ let gap_vanilla r = r.vanilla_s /. r.dram_s
 let gap_opt r = r.all_s /. r.dram_s
 
 let compute ?(apps = Workloads.Apps.all) options =
-  List.map
-    (fun app ->
-      let g setup = Runner.gc_seconds (Runner.execute options app setup) in
-      {
-        app = app.Workloads.App_profile.name;
-        all_s = g Runner.All_opts;
-        wc_s = g Runner.Write_cache_only;
-        vanilla_s = g Runner.Vanilla;
-        dram_s = g Runner.Vanilla_dram;
-        young_dram_s = g Runner.Young_gen_dram;
-      })
+  Runner.parallel_cells options
+    ~setups:
+      [
+        Runner.All_opts; Runner.Write_cache_only; Runner.Vanilla;
+        Runner.Vanilla_dram; Runner.Young_gen_dram;
+      ]
+    ~f:(fun app setup -> Runner.gc_seconds (Runner.execute options app setup))
     apps
+  |> List.map (function
+       | app, [ all_s; wc_s; vanilla_s; dram_s; young_dram_s ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             all_s; wc_s; vanilla_s; dram_s; young_dram_s;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -17,18 +17,18 @@ type row = {
 let gain r = (r.opt_mbps -. r.vanilla_mbps) /. r.vanilla_mbps
 
 let compute ?(apps = Workloads.Apps.all) options =
-  List.map
-    (fun app ->
-      let bw setup =
-        Runner.avg_nvm_bandwidth (Runner.execute ~threads:56 options app setup)
-      in
-      {
-        app = app.Workloads.App_profile.name;
-        suite = app.Workloads.App_profile.suite;
-        vanilla_mbps = bw Runner.Vanilla;
-        opt_mbps = bw Runner.All_opts;
-      })
+  Runner.parallel_cells options ~setups:[ Runner.Vanilla; Runner.All_opts ]
+    ~f:(fun app setup ->
+      Runner.avg_nvm_bandwidth (Runner.execute ~threads:56 options app setup))
     apps
+  |> List.map (function
+       | app, [ vanilla_mbps; opt_mbps ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             suite = app.Workloads.App_profile.suite;
+             vanilla_mbps; opt_mbps;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

@@ -18,16 +18,19 @@ let apps =
     Workloads.Apps.akka_uct;
   ]
 
+let variants = [ ("optimized", Runner.All_opts); ("vanilla", Runner.Vanilla) ]
+
 let print options =
-  List.iter
-    (fun (app : Workloads.App_profile.t) ->
-      List.iter
-        (fun (label, setup) ->
-          let traced = Trace_util.run_traced ~threads:56 options app setup in
-          Trace_util.print_window
-            ~title:
-              (Printf.sprintf "Figure 7: %s (%s) split NVM bandwidth"
-                 app.Workloads.App_profile.name label)
-            ~space:Memsim.Access.Nvm traced)
-        [ ("optimized", Runner.All_opts); ("vanilla", Runner.Vanilla) ])
+  Runner.parallel_cells options ~setups:variants
+    ~f:(fun app (_label, setup) ->
+      Trace_util.run_traced ~threads:56 options app setup)
     apps
+  |> List.iter (fun ((app : Workloads.App_profile.t), traceds) ->
+         List.iter2
+           (fun (label, _setup) traced ->
+             Trace_util.print_window
+               ~title:
+                 (Printf.sprintf "Figure 7: %s (%s) split NVM bandwidth"
+                    app.Workloads.App_profile.name label)
+               ~space:Memsim.Access.Nvm traced)
+           variants traceds)

@@ -7,9 +7,33 @@
 
 module T = Simstats.Table
 
+let phases = [ ("read", false); ("write", true) ]
+
 let print options =
-  List.iter
-    (fun (phase_label, write_phase) ->
+  let throughputs = Workloads.Cassandra.default_throughputs in
+  let nt = List.length throughputs in
+  (* Every (phase, throughput, optimized?) point is one independent task;
+     rendering happens afterwards, from the collected points. *)
+  let cells =
+    List.concat_map
+      (fun (_, write_phase) ->
+        List.map (fun thr -> (write_phase, thr)) throughputs)
+      phases
+  in
+  let points =
+    Runner.parallel_map options
+      ~f:(fun (write_phase, thr) ->
+        let point optimized =
+          Workloads.Cassandra.simulate ~write_phase ~optimized
+            ~threads:options.Runner.threads ~throughput_kqps:thr
+            ~seed:options.Runner.seed ()
+        in
+        (point true, point false))
+      cells
+    |> Array.of_list
+  in
+  List.iteri
+    (fun pi (phase_label, write_phase) ->
       let table =
         T.create
           ~title:
@@ -23,14 +47,9 @@ let print options =
           ]
       in
       let last = ref None in
-      List.iter
-        (fun thr ->
-          let point optimized =
-            Workloads.Cassandra.simulate ~write_phase ~optimized
-              ~threads:options.Runner.threads ~throughput_kqps:thr
-              ~seed:options.Runner.seed ()
-          in
-          let opt = point true and van = point false in
+      List.iteri
+        (fun ti thr ->
+          let opt, van = points.((pi * nt) + ti) in
           let p95i = van.Workloads.Cassandra.p95_ms /. opt.Workloads.Cassandra.p95_ms in
           let p99i = van.Workloads.Cassandra.p99_ms /. opt.Workloads.Cassandra.p99_ms in
           last := Some (thr, p95i, p99i);
@@ -43,7 +62,7 @@ let print options =
               T.fs3 van.Workloads.Cassandra.p99_ms;
               T.fx p95i; T.fx p99i;
             ])
-        Workloads.Cassandra.default_throughputs;
+        throughputs;
       T.print table;
       match !last with
       | Some (thr, p95i, p99i) ->
@@ -54,4 +73,4 @@ let print options =
             "summary: at %.0f kQPS %s p95 %.2fx, p99 %.2fx (%s)\n\n" thr
             phase_label p95i p99i paper
       | None -> ())
-    [ ("read", false); ("write", true) ]
+    phases

@@ -16,16 +16,18 @@ type row = {
 let reduction r = (r.vanilla_s -. r.opt_s) /. r.vanilla_s
 
 let compute ?(apps = Workloads.Apps.all) options =
-  List.map
-    (fun app ->
-      let total setup = Runner.total_seconds (Runner.execute options app setup) in
-      {
-        app = app.Workloads.App_profile.name;
-        suite = app.Workloads.App_profile.suite;
-        vanilla_s = total Runner.Vanilla;
-        opt_s = total Runner.All_opts;
-      })
+  Runner.parallel_cells options ~setups:[ Runner.Vanilla; Runner.All_opts ]
+    ~f:(fun app setup ->
+      Runner.total_seconds (Runner.execute options app setup))
     apps
+  |> List.map (function
+       | app, [ vanilla_s; opt_s ] ->
+           {
+             app = app.Workloads.App_profile.name;
+             suite = app.Workloads.App_profile.suite;
+             vanilla_s; opt_s;
+           }
+       | _ -> assert false)
 
 let print ?apps options =
   let rows = compute ?apps options in

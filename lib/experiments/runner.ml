@@ -24,6 +24,10 @@ type options = {
       (** write the metrics-registry CSV dump to this path *)
   log_gc : Logs.level option;
       (** GC console-log level ([--log-gc]); [None] defers to [verbose] *)
+  jobs : int;
+      (** worker domains for sweep/campaign parallelism ([--jobs]); 1 =
+          sequential.  Serialized outputs are byte-identical at any
+          value (see {!parallel_map}). *)
 }
 
 let default_options =
@@ -36,6 +40,7 @@ let default_options =
     trace_file = None;
     metrics_file = None;
     log_gc = None;
+    jobs = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -67,7 +72,7 @@ let with_telemetry options f =
     Option.map (fun _ -> Nvmtrace.Metrics.create ()) options.metrics_file
   in
   (match console_level options with
-  | Some level -> Nvmtrace.Console.install ~level
+  | Some level -> Nvmtrace.Console.install ~level ()
   | None -> ());
   Nvmtrace.Hooks.set_tracer tracer;
   Nvmtrace.Hooks.set_metrics metrics;
@@ -90,10 +95,116 @@ let with_telemetry options f =
       | _ -> ())
     f
 
+(* A gc_scale small enough to round a profile's GC count to zero silently
+   turns "scaled-down run" into "minimum-length run" — worth one warning
+   per process, not one per cell of a sweep. *)
+let warned_gc_clamp = Atomic.make false
+
 let gcs_for options (profile : P.t) =
-  max 1
-    (int_of_float
-       (Float.round (float_of_int profile.P.gcs_per_run *. options.gc_scale)))
+  let scaled =
+    int_of_float
+      (Float.round (float_of_int profile.P.gcs_per_run *. options.gc_scale))
+  in
+  if scaled < 1 && not (Atomic.exchange warned_gc_clamp true) then
+    Printf.eprintf
+      "nvmgc: warning: --gc-scale %g rounds %s's %d GCs to %d; clamping to 1 \
+       GC per run (further clamps not reported)\n%!"
+      options.gc_scale profile.P.name profile.P.gcs_per_run scaled;
+  max 1 scaled
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic parallel mapping.
+
+   Each item becomes one task in a work-stealing domain pool
+   ([Exec.Pool]); tasks must therefore be independent — each builds its
+   own heap/memory/GC via [execute].  Telemetry stays deterministic
+   because every task records into {e private} sinks (fresh tracer,
+   fresh metrics registry, console capture buffer) installed on the
+   worker domain for the duration of that task, and the private sinks
+   are merged into the caller's ambient sinks in task {e submission}
+   order after the pool joins.  [jobs = 1] takes the same
+   capture-and-merge path, so serialized traces, metrics CSVs and
+   console output are byte-identical at any [--jobs] value. *)
+
+let parallel_map options ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let parent = Nvmtrace.Hooks.ambient () in
+    let want_tracer = parent.Nvmtrace.Hooks.tracer <> None in
+    let want_metrics = parent.Nvmtrace.Hooks.metrics <> None in
+    let want_console = Nvmtrace.Console.installed () in
+    (* Process-global registration must precede the spawn of any worker
+       domain (see Verify.Hooks). *)
+    if options.verify then Verify.Hooks.ensure_installed ();
+    let task i =
+      let tracer =
+        if want_tracer then Some (Nvmtrace.Tracer.create ()) else None
+      in
+      let metrics =
+        if want_metrics then Some (Nvmtrace.Metrics.create ()) else None
+      in
+      let console = if want_console then Some (Buffer.create 256) else None in
+      let saved_scope = Nvmtrace.Hooks.ambient () in
+      let saved_capture = Nvmtrace.Console.capture () in
+      Nvmtrace.Hooks.set_ambient { Nvmtrace.Hooks.tracer; metrics };
+      Nvmtrace.Console.set_capture console;
+      let value =
+        Fun.protect
+          ~finally:(fun () ->
+            Nvmtrace.Hooks.set_ambient saved_scope;
+            Nvmtrace.Console.set_capture saved_capture)
+          (fun () -> f items.(i))
+      in
+      (value, tracer, metrics, console)
+    in
+    let results =
+      Exec.Pool.with_pool ~domains:(max 1 options.jobs) (fun pool ->
+          Exec.Pool.run pool task n)
+    in
+    Array.iter
+      (fun (_, tracer, metrics, console) ->
+        (match (parent.Nvmtrace.Hooks.tracer, tracer) with
+        | Some into, Some src -> Nvmtrace.Tracer.append ~into src
+        | _ -> ());
+        (match (parent.Nvmtrace.Hooks.metrics, metrics) with
+        | Some into, Some src -> Nvmtrace.Metrics.merge ~into src
+        | _ -> ());
+        Option.iter Nvmtrace.Console.replay console)
+      results;
+    Array.to_list (Array.map (fun (v, _, _, _) -> v) results)
+  end
+
+(* The common sweep shape: every (app, setup) cell independently, then
+   one row per app.  Cells are submitted app-major / setup-minor — the
+   exact order the sequential nested loops used — so replayed console
+   output and merged telemetry match the pre-parallel harnesses. *)
+let parallel_cells options ~setups ~f apps =
+  let cells =
+    List.concat_map (fun app -> List.map (fun s -> (app, s)) setups) apps
+  in
+  let values = parallel_map options ~f:(fun (app, s) -> f app s) cells in
+  let k = List.length setups in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | x :: xs ->
+          let row, rest = take (n - 1) xs in
+          (x :: row, rest)
+      | [] -> assert false
+  in
+  let rec group apps values =
+    match apps with
+    | [] ->
+        assert (values = []);
+        []
+    | app :: apps ->
+        let row, rest = take k values in
+        (app, row) :: group apps rest
+  in
+  group apps values
 
 (** The named configurations of Figures 5/13. *)
 type setup =

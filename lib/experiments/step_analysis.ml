@@ -9,43 +9,47 @@
 
 module T = Simstats.Table
 
+let configs =
+  [
+    ("vanilla", Runner.Vanilla);
+    ("+writecache", Runner.Write_cache_only);
+    ("+all", Runner.All_opts);
+  ]
+
 let print ?(apps = [ Workloads.Apps.page_rank; Workloads.Apps.reactors ])
     options =
-  List.iter
-    (fun (app : Workloads.App_profile.t) ->
-      let table =
-        T.create
-          ~title:
-            (Printf.sprintf
-               "Sec. 3.1 analysis: %s GC-thread time by step (summed ms)"
-               app.Workloads.App_profile.name)
-          (T.col ~align:T.Left "config"
-          :: List.map
-               (fun c -> T.col (Nvmgc.Evacuation.category_name c))
-               Nvmgc.Evacuation.all_categories)
-      in
+  Runner.parallel_cells options ~setups:configs
+    ~f:(fun app (_label, setup) ->
+      let run = Runner.execute options app setup in
+      let sums = Array.make Nvmgc.Evacuation.category_count 0.0 in
       List.iter
-        (fun (label, setup) ->
-          let run = Runner.execute options app setup in
-          let sums = Array.make Nvmgc.Evacuation.category_count 0.0 in
-          List.iter
-            (fun (pr : Workloads.Mutator.pause_record) ->
-              Array.iteri
-                (fun i v -> sums.(i) <- sums.(i) +. v)
-                pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.breakdown)
-            run.Runner.result.Workloads.Mutator.pauses;
-          T.add_row table
-            (label
-            :: List.map
-                 (fun c ->
-                   T.fs
-                     (sums.(Nvmgc.Evacuation.category_index c) /. 1e6))
-                 Nvmgc.Evacuation.all_categories))
-        [
-          ("vanilla", Runner.Vanilla);
-          ("+writecache", Runner.Write_cache_only);
-          ("+all", Runner.All_opts);
-        ];
-      T.print table;
-      print_newline ())
+        (fun (pr : Workloads.Mutator.pause_record) ->
+          Array.iteri
+            (fun i v -> sums.(i) <- sums.(i) +. v)
+            pr.Workloads.Mutator.pause.Nvmgc.Gc_stats.breakdown)
+        run.Runner.result.Workloads.Mutator.pauses;
+      sums)
     apps
+  |> List.iter (fun ((app : Workloads.App_profile.t), rows) ->
+         let table =
+           T.create
+             ~title:
+               (Printf.sprintf
+                  "Sec. 3.1 analysis: %s GC-thread time by step (summed ms)"
+                  app.Workloads.App_profile.name)
+             (T.col ~align:T.Left "config"
+             :: List.map
+                  (fun c -> T.col (Nvmgc.Evacuation.category_name c))
+                  Nvmgc.Evacuation.all_categories)
+         in
+         List.iter2
+           (fun (label, _setup) sums ->
+             T.add_row table
+               (label
+               :: List.map
+                    (fun c ->
+                      T.fs (sums.(Nvmgc.Evacuation.category_index c) /. 1e6))
+                    Nvmgc.Evacuation.all_categories))
+           configs rows;
+         T.print table;
+         print_newline ())

@@ -120,7 +120,7 @@ let derive_case ~index ~heap_seed ~sched_seed ~max_objects =
   let spec = Spec.generate rng ~max_objects in
   { index; heap_seed; sched_seed; threads; spec }
 
-let run_variant ~spec ~threads ~sched_seed (v : variant) =
+let run_variant ?tamper ~spec ~threads ~sched_seed (v : variant) =
   let inst = Spec.instantiate spec in
   let memory = Memsim.Memory.create Memsim.Memory.default_config in
   let config = v.make ~threads in
@@ -131,7 +131,12 @@ let run_variant ~spec ~threads ~sched_seed (v : variant) =
     Nvmgc.Young_gc.create ?schedule ~heap:inst.Spec.heap ~memory config
   in
   match Nvmgc.Young_gc.collect gc ~now_ns:0.0 with
-  | pause -> Ok (G.capture inst.Spec.heap, pause)
+  | pause ->
+      (* Mutation-testing seam: corrupt the post-pause heap of selected
+         variants before the graph capture, so tests can inject a
+         deterministic differential failure. *)
+      (match tamper with Some f -> f v.name inst | None -> ());
+      Ok (G.capture inst.Spec.heap, pause)
   | exception Verify.Hooks.Verification_failure (desc, msgs) ->
       Error (Printf.sprintf "verification failure under %s" desc :: msgs)
   | exception Nvmgc.Evacuation.Evacuation_failure msg ->
@@ -139,9 +144,11 @@ let run_variant ~spec ~threads ~sched_seed (v : variant) =
 
 (* Run one case through every variant; the first variant's live graph is
    the reference the others must reproduce. *)
-let run_case ~variants ~spec ~threads ~sched_seed =
+let run_case ?tamper ~variants ~spec ~threads ~sched_seed () =
   let results =
-    List.map (fun v -> (v, run_variant ~spec ~threads ~sched_seed v)) variants
+    List.map
+      (fun v -> (v, run_variant ?tamper ~spec ~threads ~sched_seed v))
+      variants
   in
   let reference = ref None in
   let failure = ref None in
@@ -182,9 +189,11 @@ type failure = {
   shrunk_messages : string list;
 }
 
-let shrink_failure ~variants ~budget (case : case) (variant, messages) =
+let shrink_failure ?tamper ~variants ~budget (case : case) (variant, messages)
+    =
   let fails spec threads sched_seed =
-    Option.is_some (snd (run_case ~variants ~spec ~threads ~sched_seed))
+    Option.is_some
+      (snd (run_case ?tamper ~variants ~spec ~threads ~sched_seed ()))
   in
   let threads = ref case.threads and sched = ref case.sched_seed in
   (* Schedule and thread count first: a reproducer that fails under the
@@ -202,8 +211,8 @@ let shrink_failure ~variants ~budget (case : case) (variant, messages) =
   in
   let shrunk_variant, shrunk_messages =
     match
-      snd (run_case ~variants ~spec:shrunk_spec ~threads:!threads
-             ~sched_seed:!sched)
+      snd (run_case ?tamper ~variants ~spec:shrunk_spec ~threads:!threads
+             ~sched_seed:!sched ())
     with
     | Some (v, m) -> (v, m)
     | None -> (variant, messages)
@@ -241,74 +250,97 @@ type report = {
 
 let ok report = report.failures = []
 
-let run ?(max_objects = 40) ?(shrink_budget = 400) ?(time_budget_s = infinity)
-    ?(variants = []) ~cases ~seed () =
+let run ?(jobs = 1) ?(max_objects = 40) ?(shrink_budget = 400)
+    ?(time_budget_s = infinity) ?(variants = []) ?tamper ~cases ~seed () =
+  (* Process-global hook registration happens before any worker domain
+     spawns (install-before-spawn). *)
   Verify.Hooks.ensure_installed ();
   let variants = select_variants variants in
   if variants = [] then invalid_arg "Simcheck.Fuzz.run: empty variant list";
+  (* Both seeds come off the master stream, drawn serially for every case
+     before any task runs — the exact draw order of the sequential
+     engine, so a campaign is a pure function of [seed] at any job
+     count; roughly one case in ten runs the default min-clock engine
+     instead of a random schedule. *)
   let master = Simstats.Prng.create seed in
+  let seeds = Array.make (max cases 0) (0, 0) in
+  for i = 0 to cases - 1 do
+    let heap_seed = Simstats.Prng.bits master in
+    let sched_seed =
+      if Simstats.Prng.int master 10 = 0 then 0 else Simstats.Prng.bits master
+    in
+    seeds.(i) <- (heap_seed, sched_seed)
+  done;
   let start = Sys.time () in
-  let pauses = List.map (fun (v : variant) -> (v.name, ref [])) variants in
-  let failures = ref [] and cases_run = ref 0 in
-  (try
-     for index = 0 to cases - 1 do
-       if Sys.time () -. start > time_budget_s then raise Exit;
-       (* Both seeds come off the master stream, so a campaign is a pure
-          function of [seed]; roughly one case in ten runs the default
-          min-clock engine instead of a random schedule. *)
-       let heap_seed = Simstats.Prng.bits master in
-       let sched_seed =
-         if Simstats.Prng.int master 10 = 0 then 0
-         else Simstats.Prng.bits master
-       in
-       let (case : case) = derive_case ~index ~heap_seed ~sched_seed ~max_objects in
-       let results, failure =
-         run_case ~variants ~spec:case.spec ~threads:case.threads ~sched_seed
-       in
-       incr cases_run;
-       List.iter
-         (fun ((v : variant), r) ->
-           match r with
-           | Ok (_, pause) -> (
-               match List.assoc_opt v.name pauses with
-               | Some acc -> acc := pause :: !acc
-               | None -> ())
-           | Error _ -> ())
-         results;
-       match failure with
-       | None -> ()
-       | Some f ->
-           let budget = ref shrink_budget in
-           failures := shrink_failure ~variants ~budget case f :: !failures
-     done
-   with Exit -> ());
+  (* One case = one task; shrinking a failure stays inside the task, on
+     the domain that found it.  The time budget is checked at task start
+     (CPU seconds of the whole process, as in the sequential engine). *)
+  let task index =
+    if Sys.time () -. start > time_budget_s then None
+    else begin
+      let heap_seed, sched_seed = seeds.(index) in
+      let (case : case) =
+        derive_case ~index ~heap_seed ~sched_seed ~max_objects
+      in
+      let results, failure =
+        run_case ?tamper ~variants ~spec:case.spec ~threads:case.threads
+          ~sched_seed ()
+      in
+      let pauses =
+        List.map
+          (fun ((_ : variant), r) ->
+            match r with Ok (_, pause) -> Some pause | Error _ -> None)
+          results
+      in
+      let failure =
+        Option.map
+          (fun f ->
+            let budget = ref shrink_budget in
+            shrink_failure ?tamper ~variants ~budget case f)
+          failure
+      in
+      Some (pauses, failure)
+    end
+  in
+  let outcomes =
+    Exec.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+        Exec.Pool.run pool task cases)
+  in
+  (* Summaries and failures are rebuilt by case index, so the report is
+     independent of completion order. *)
+  let ran = Array.to_list outcomes |> List.filter_map Fun.id in
   {
     seed;
     cases_requested = cases;
-    cases_run = !cases_run;
+    cases_run = List.length ran;
     variants_run = List.map (fun (v : variant) -> v.name) variants;
     summaries =
-      List.map
-        (fun (name, acc) -> { variant = name; pauses = List.rev !acc })
-        pauses;
-    failures = List.rev !failures;
+      List.mapi
+        (fun vi (v : variant) ->
+          {
+            variant = v.name;
+            pauses = List.filter_map (fun (pauses, _) -> List.nth pauses vi) ran;
+          })
+        variants;
+    failures = List.filter_map snd ran;
   }
 
-let replay ?(max_objects = 40) ?(shrink_budget = 400) ?(variants = [])
+let replay ?(max_objects = 40) ?(shrink_budget = 400) ?(variants = []) ?tamper
     ~heap_seed ~sched_seed () =
   Verify.Hooks.ensure_installed ();
   let variants = select_variants variants in
   if variants = [] then invalid_arg "Simcheck.Fuzz.replay: empty variant list";
   let (case : case) = derive_case ~index:0 ~heap_seed ~sched_seed ~max_objects in
   let results, failure =
-    run_case ~variants ~spec:case.spec ~threads:case.threads ~sched_seed
+    run_case ?tamper ~variants ~spec:case.spec ~threads:case.threads
+      ~sched_seed ()
   in
   let failures =
     match failure with
     | None -> []
     | Some f ->
         let budget = ref shrink_budget in
-        [ shrink_failure ~variants ~budget case f ]
+        [ shrink_failure ?tamper ~variants ~budget case f ]
   in
   {
     seed = heap_seed;

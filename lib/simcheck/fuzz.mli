@@ -21,6 +21,7 @@ val derive_case :
 (** Expand a seed pair into a concrete case (thread count + heap spec). *)
 
 val run_variant :
+  ?tamper:(string -> Spec.instance -> unit) ->
   spec:Spec.t ->
   threads:int ->
   sched_seed:int ->
@@ -29,7 +30,12 @@ val run_variant :
 (** Instantiate the spec on a fresh heap, collect once under the variant
     (verification hooks armed; [sched_seed = 0] = min-clock engine) and
     capture the post-pause live graph.  [Error] carries verifier/oracle
-    or evacuation failure messages. *)
+    or evacuation failure messages.
+
+    [tamper], a mutation-testing seam, runs after the pause and before
+    the graph capture with the variant's name and its live instance —
+    tests use it to corrupt one variant's heap and check the engine
+    reports (and shrinks) the injected differential failure. *)
 
 type failure = {
   case_index : int;
@@ -62,24 +68,33 @@ type report = {
 val ok : report -> bool
 
 val run :
+  ?jobs:int ->
   ?max_objects:int ->
   ?shrink_budget:int ->
   ?time_budget_s:float ->
   ?variants:string list ->
+  ?tamper:(string -> Spec.instance -> unit) ->
   cases:int ->
   seed:int ->
   unit ->
   report
 (** Run a campaign.  A campaign is a pure function of [seed] (plus the
     option arguments): rerunning it yields a structurally identical
-    report.  [variants] filters the matrix by name ([] = all);
-    [time_budget_s] stops early once exceeded (CPU seconds);
-    [shrink_budget] caps re-executions per failure during shrinking. *)
+    report.  [jobs] runs cases on a work-stealing domain pool (default 1
+    = sequential); both case seeds are drawn serially before any case
+    runs and the report is rebuilt in case order, so the report is
+    identical at every job count (a failure still shrinks on the domain
+    that found it).  [variants] filters the matrix by name ([] = all);
+    [time_budget_s] stops scheduling new cases once exceeded (CPU
+    seconds of the whole process, so a parallel campaign burns it up to
+    [jobs] times faster); [shrink_budget] caps re-executions per failure
+    during shrinking; [tamper] is threaded to {!run_variant}. *)
 
 val replay :
   ?max_objects:int ->
   ?shrink_budget:int ->
   ?variants:string list ->
+  ?tamper:(string -> Spec.instance -> unit) ->
   heap_seed:int ->
   sched_seed:int ->
   unit ->

@@ -28,9 +28,24 @@ let level_label = function
   | Logs.Info -> "info "
   | Logs.Debug -> "debug"
 
+(* Per-domain capture redirection.  When a capture buffer is installed on
+   the calling domain, the reporter renders into it instead of the
+   channel; parallel drivers give each task a private buffer and replay
+   the buffers to the real channel in task submission order, so console
+   output is identical at any worker count. *)
+let capture_key : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_capture b = Domain.DLS.set capture_key b
+let capture () = Domain.DLS.get capture_key
+
 let reporter ?(channel = stdout) () =
-  let ppf = Format.formatter_of_out_channel channel in
+  let chan_ppf = Format.formatter_of_out_channel channel in
   let report src level ~over k msgf =
+    let ppf =
+      match Domain.DLS.get capture_key with
+      | Some buf -> Format.formatter_of_buffer buf
+      | None -> chan_ppf
+    in
     let k _ =
       Format.pp_print_flush ppf ();
       over ();
@@ -49,10 +64,25 @@ let reporter ?(channel = stdout) () =
   in
   { Logs.report }
 
-let install ~level =
-  Logs.set_reporter (reporter ());
+let installed_flag = Atomic.make false
+
+let installed () = Atomic.get installed_flag
+
+(* Where [install]'s reporter writes — kept so [replay] can send captured
+   buffers to the same place.  Set once, at install time (before any
+   domains spawn), read afterwards. *)
+let sink_channel = ref stdout
+
+let install ?(channel = stdout) ~level () =
+  Atomic.set installed_flag true;
+  sink_channel := channel;
+  Logs.set_reporter (reporter ~channel ());
   Logs.Src.set_level src (Some level);
   Logs.Src.set_level phases_src (Some level)
+
+let replay buf =
+  output_string !sink_channel (Buffer.contents buf);
+  flush !sink_channel
 
 let level_of_string s =
   match String.lowercase_ascii s with

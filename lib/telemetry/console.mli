@@ -27,11 +27,30 @@ val tags : now_ns:float -> Logs.Tag.set
 
 val reporter : ?channel:out_channel -> unit -> Logs.reporter
 (** A reporter rendering the UL-style prefix (defaults to [stdout],
-    flushed per line). *)
+    flushed per line).  When the calling domain has a capture buffer
+    installed ({!set_capture}) the line goes there instead of the
+    channel. *)
 
-val install : level:Logs.level -> unit
+val install : ?channel:out_channel -> level:Logs.level -> unit -> unit
 (** Set {!reporter} as the global {!Logs} reporter and both GC sources
-    to [level].  Intended for the CLI's [--log-gc]/[-v] paths. *)
+    to [level].  Intended for the CLI's [--log-gc]/[-v] paths.  {!Logs}'s
+    reporter slot is process-global: install before spawning domains. *)
+
+val installed : unit -> bool
+(** Whether {!install} has run in this process — parallel drivers use
+    this to decide whether per-task console capture is needed. *)
+
+val set_capture : Buffer.t option -> unit
+(** Redirect the calling domain's console lines into the buffer (or back
+    to the reporter's channel with [None]).  Per-domain ({!Domain.DLS});
+    the save/install/restore primitive for deterministic parallel runs. *)
+
+val capture : unit -> Buffer.t option
+(** The calling domain's capture buffer, if any. *)
+
+val replay : Buffer.t -> unit
+(** Write a captured buffer to {!install}'s channel (and flush) — how
+    parallel drivers emit per-task console output in submission order. *)
 
 val level_of_string : string -> (Logs.level, string) result
 (** Parse "error" | "warning" | "info" | "debug" (for CLI flags). *)

@@ -1,41 +1,53 @@
-(** Process-wide telemetry registration points (taxonomy and cost
-    contract in the interface). *)
+(** Domain-scoped telemetry registration points (taxonomy and cost
+    contract in the interface).
 
-let current_tracer : Tracer.t option ref = ref None
-let current_metrics : Metrics.t option ref = ref None
+    The installed tracer/metrics pair is {!Domain.DLS} state: each domain
+    sees only its own installation, so parallel sweep workers can record
+    into private per-task sinks that the driver merges deterministically
+    at join time (see [Experiments.Runner.parallel_map]).  A freshly
+    spawned domain starts with nothing installed. *)
 
-let set_tracer t = current_tracer := t
-let tracer () = !current_tracer
-let tracing () = !current_tracer <> None
-let set_metrics m = current_metrics := m
-let metrics () = !current_metrics
+type scope = { tracer : Tracer.t option; metrics : Metrics.t option }
+
+let empty = { tracer = None; metrics = None }
+
+let scope_key : scope Domain.DLS.key = Domain.DLS.new_key (fun () -> empty)
+
+let ambient () = Domain.DLS.get scope_key
+let set_ambient s = Domain.DLS.set scope_key s
+
+let set_tracer t = set_ambient { (ambient ()) with tracer = t }
+let tracer () = (ambient ()).tracer
+let tracing () = (ambient ()).tracer <> None
+let set_metrics m = set_ambient { (ambient ()) with metrics = m }
+let metrics () = (ambient ()).metrics
 
 let span ~lane ~name ~start_ns ~end_ns ?args () =
-  match !current_tracer with
+  match (ambient ()).tracer with
   | None -> ()
   | Some t -> Tracer.span t ~lane ~name ~start_ns ~end_ns ?args ()
 
 let instant ~lane ~name ~ts_ns ?args () =
-  match !current_tracer with
+  match (ambient ()).tracer with
   | None -> ()
   | Some t -> Tracer.instant t ~lane ~name ~ts_ns ?args ()
 
 let lane_name ~lane name =
-  match !current_tracer with
+  match (ambient ()).tracer with
   | None -> ()
   | Some t -> Tracer.set_lane_name t ~lane name
 
 let count ?by name =
-  match !current_metrics with
+  match (ambient ()).metrics with
   | None -> ()
   | Some m -> Metrics.incr m ?by name
 
 let observe name v =
-  match !current_metrics with
+  match (ambient ()).metrics with
   | None -> ()
   | Some m -> Metrics.observe m name v
 
 let gauge name v =
-  match !current_metrics with
+  match (ambient ()).metrics with
   | None -> ()
   | Some m -> Metrics.set_gauge m name v

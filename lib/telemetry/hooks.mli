@@ -16,7 +16,25 @@
     - span ["evacuate"] per GC-thread lane — that thread's
       copy-and-traverse work including termination spinning;
     - instants ["steal"], ["hm-fallback"], ["region-grab"],
-      ["flush-start"], ["flush-complete"] on GC-thread lanes. *)
+      ["flush-start"], ["flush-complete"] on GC-thread lanes.
+
+    Installations are {e per-domain} ({!Domain.DLS}): a spawned domain
+    starts with no tracer and no registry, and [set_tracer]/[set_metrics]
+    affect only the calling domain.  Parallel drivers install fresh
+    per-task sinks on the worker domain and merge them into the parent
+    scope at join time ({!Tracer.append}, {!Metrics.merge}) in task
+    submission order, which keeps serialized output independent of the
+    worker count. *)
+
+type scope = { tracer : Tracer.t option; metrics : Metrics.t option }
+(** One domain's complete installation. *)
+
+val ambient : unit -> scope
+(** The calling domain's installation (both slots [None] initially). *)
+
+val set_ambient : scope -> unit
+(** Replace the calling domain's installation wholesale — the
+    save/install/restore primitive for scoped per-task sinks. *)
 
 val set_tracer : Tracer.t option -> unit
 val tracer : unit -> Tracer.t option

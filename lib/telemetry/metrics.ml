@@ -52,24 +52,25 @@ let bucket_index bounds v =
     !lo
   end
 
+let find_or_create_hist t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          bounds = default_buckets;
+          buckets = Array.make (Array.length default_buckets + 1) 0;
+          n = 0;
+          sum = 0.0;
+          lo = nan;
+          hi = nan;
+        }
+      in
+      Hashtbl.replace t.histograms name h;
+      h
+
 let observe t name v =
-  let h =
-    match Hashtbl.find_opt t.histograms name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            bounds = default_buckets;
-            buckets = Array.make (Array.length default_buckets + 1) 0;
-            n = 0;
-            sum = 0.0;
-            lo = nan;
-            hi = nan;
-          }
-        in
-        Hashtbl.replace t.histograms name h;
-        h
-  in
+  let h = find_or_create_hist t name in
   let idx = bucket_index h.bounds v in
   h.buckets.(idx) <- h.buckets.(idx) + 1;
   h.n <- h.n + 1;
@@ -82,6 +83,30 @@ let observe t name v =
     h.lo <- Float.min h.lo v;
     h.hi <- Float.max h.hi v
   end
+
+let merge ~into src =
+  Hashtbl.iter (fun name (c : counter) -> incr into ~by:c.count name) src.counters;
+  Hashtbl.iter (fun name (g : gauge) -> set_gauge into name g.value) src.gauges;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      if h.n > 0 then begin
+        (* Every registry uses [default_buckets], so the bucket ladders
+           always line up. *)
+        let dst = find_or_create_hist into name in
+        assert (Array.length dst.bounds = Array.length h.bounds);
+        Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) h.buckets;
+        if dst.n = 0 then begin
+          dst.lo <- h.lo;
+          dst.hi <- h.hi
+        end
+        else begin
+          dst.lo <- Float.min dst.lo h.lo;
+          dst.hi <- Float.max dst.hi h.hi
+        end;
+        dst.n <- dst.n + h.n;
+        dst.sum <- dst.sum +. h.sum
+      end)
+    src.histograms
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

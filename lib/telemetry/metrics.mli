@@ -21,6 +21,12 @@ val observe : t -> string -> float -> unit
 (** Get-or-create the named histogram (with {!default_buckets}) and
     record one observation. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s contents into [into]: counters and
+    histogram buckets/n/sum add, histogram min/max widen, gauges take
+    [src]'s value (last-wins, so merge in submission order).  [src] must
+    use {!default_buckets} (every registry does).  [src] is unchanged. *)
+
 val default_buckets : float array
 (** Geometric ladder [1e3 * 2^i], i in 0..23 — covers 1 µs .. ~8.4 s as
     nanosecond durations and 1 kB .. ~8.4 GB as byte volumes. *)

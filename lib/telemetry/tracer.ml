@@ -53,6 +53,11 @@ let lane_names t =
   Hashtbl.fold (fun lane name acc -> (lane, name) :: acc) t.lanes []
   |> List.sort compare
 
+let append ~into src =
+  Simstats.Vec.iter (fun e -> Simstats.Vec.push into.events e) src.events;
+  Hashtbl.iter (fun lane name -> Hashtbl.replace into.lanes lane name) src.lanes;
+  into.pauses <- into.pauses + src.pauses
+
 let events t = Simstats.Vec.to_list t.events
 
 let event_count t = Simstats.Vec.length t.events

@@ -61,6 +61,13 @@ val instant :
 val set_lane_name : t -> lane:int -> string -> unit
 (** Name a lane (idempotent; last name wins). *)
 
+val append : into:t -> t -> unit
+(** [append ~into src] replays [src]'s recording at the end of [into]:
+    events keep their order, lane names overwrite ([src] is "later"),
+    pause counts add.  Appending task recordings in submission order
+    reproduces exactly the event stream a sequential run would have
+    emitted.  [src] is not modified; do not emit into it afterwards. *)
+
 val lane_names : t -> (int * string) list
 (** Registered lanes, sorted by lane id. *)
 

@@ -20,13 +20,18 @@ let () =
     | _ -> None)
 
 (* The snapshot taken when the current pause began.  [collect] is not
-   reentrant, so one slot suffices; the guard against a foreign [gc]
-   covers a before-hook that raised mid-registration. *)
-let pending : (Nvmgc.Young_gc.t * Oracle.snapshot) option ref = ref None
+   reentrant within a domain, so one slot per domain suffices; the slot
+   is domain-local ({!Domain.DLS}) so parallel sweep workers collecting
+   concurrently never see each other's snapshots.  The guard against a
+   foreign [gc] covers a before-hook that raised mid-registration. *)
+let pending_key : (Nvmgc.Young_gc.t * Oracle.snapshot) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let before_pause gc = pending := Some (gc, Oracle.snapshot gc)
+let before_pause gc =
+  Domain.DLS.get pending_key := Some (gc, Oracle.snapshot gc)
 
 let after_pause gc pause =
+  let pending = Domain.DLS.get pending_key in
   let snap =
     match !pending with
     | Some (owner, snap) when owner == gc ->
@@ -47,11 +52,14 @@ let after_pause gc pause =
         (Verification_failure
            (Nvmgc.Gc_config.describe (Nvmgc.Young_gc.config gc), msgs))
 
-let installed = ref false
+(* Registration is process-global and must happen at most once even
+   under concurrent callers: the compare-and-set elects a single
+   installer.  Parallel drivers additionally call this before spawning
+   workers (install-before-spawn), so worker domains only ever read the
+   hook slot. *)
+let installed = Atomic.make false
 
 let ensure_installed () =
-  if not !installed then begin
-    installed := true;
+  if Atomic.compare_and_set installed false true then
     Nvmgc.Young_gc.set_verify_hooks
       (Some { Nvmgc.Young_gc.before_pause; after_pause })
-  end

@@ -1,0 +1,203 @@
+(* The multicore execution engine: the work-stealing domain pool itself,
+   and the determinism contract layered on top of it — figure sweeps and
+   fuzz campaigns must produce byte-identical output at any --jobs
+   value. *)
+
+module Pool = Exec.Pool
+module Runner = Experiments.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                      *)
+
+let test_pool_order_and_exactly_once () =
+  let n = 103 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let results =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.run pool
+          (fun i ->
+            Atomic.incr hits.(i);
+            i * i)
+          n)
+  in
+  Alcotest.(check int) "result count" n (Array.length results);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "result %d in submission order" i)
+        (i * i) v)
+    results;
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check int) (Printf.sprintf "task %d ran exactly once" i) 1
+        (Atomic.get h))
+    hits
+
+let test_pool_empty_and_single () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "n = 0 -> empty" 0 (Array.length (Pool.run pool (fun i -> i) 0));
+      let one = Pool.run pool (fun i -> i + 7) 1 in
+      Alcotest.(check (array int)) "n = 1" [| 7 |] one)
+
+exception Boom of int
+
+let test_pool_reraises_lowest_failure () =
+  let raised =
+    try
+      Pool.with_pool ~domains:4 (fun pool ->
+          ignore
+            (Pool.run pool
+               (fun i -> if i = 3 || i = 7 then raise (Boom i) else i)
+               12);
+          None)
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "lowest failing index wins" (Some 3) raised
+
+let test_pool_reusable_across_batches () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      for round = 1 to 5 do
+        let r = Pool.run pool (fun i -> (round * 100) + i) 9 in
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check int) "batch value" ((round * 100) + i) v)
+          r
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: a figure harness with full telemetry enabled must
+   emit byte-identical trace JSON, metrics CSV and console log at
+   jobs = 1 and jobs = 4. *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let sweep_apps =
+  List.filter
+    (fun a -> List.mem a.Workloads.App_profile.name [ "page-rank"; "als" ])
+    Workloads.Apps.all
+
+let run_sweep_with_telemetry ~jobs ~tag =
+  let dir = Filename.get_temp_dir_name () in
+  let trace = Filename.concat dir (Printf.sprintf "exec_%s.trace.json" tag) in
+  let metrics = Filename.concat dir (Printf.sprintf "exec_%s.metrics.csv" tag) in
+  let console = Filename.concat dir (Printf.sprintf "exec_%s.console.log" tag) in
+  let options =
+    { Runner.default_options with gc_scale = 0.2; jobs; threads = 8 }
+  in
+  let tracer = Nvmtrace.Tracer.create () in
+  let registry = Nvmtrace.Metrics.create () in
+  let console_oc = open_out console in
+  Nvmtrace.Console.install ~channel:console_oc ~level:Logs.Info ();
+  Nvmtrace.Hooks.set_tracer (Some tracer);
+  Nvmtrace.Hooks.set_metrics (Some registry);
+  let rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Nvmtrace.Hooks.set_tracer None;
+        Nvmtrace.Hooks.set_metrics None;
+        Nvmtrace.Console.install ~channel:stdout ~level:Logs.Error ();
+        flush console_oc;
+        close_out console_oc)
+      (fun () -> Experiments.Fig5_gc_time.compute ~apps:sweep_apps options)
+  in
+  Out_channel.with_open_bin trace (fun oc ->
+      Nvmtrace.Sinks.write_chrome_trace oc tracer);
+  Out_channel.with_open_bin metrics (fun oc ->
+      Nvmtrace.Sinks.write_metrics_csv oc (Nvmtrace.Metrics.snapshot registry));
+  (rows, read_file trace, read_file metrics, read_file console)
+
+let test_sweep_byte_identical_across_jobs () =
+  let rows1, trace1, metrics1, console1 =
+    run_sweep_with_telemetry ~jobs:1 ~tag:"j1"
+  in
+  let rows4, trace4, metrics4, console4 =
+    run_sweep_with_telemetry ~jobs:4 ~tag:"j4"
+  in
+  Alcotest.(check bool) "rows equal" true (rows1 = rows4);
+  Alcotest.(check string) "chrome trace byte-identical" trace1 trace4;
+  Alcotest.(check string) "metrics CSV byte-identical" metrics1 metrics4;
+  Alcotest.(check bool) "console log non-empty" true
+    (String.length console1 > 0);
+  Alcotest.(check string) "console log byte-identical" console1 console4
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz determinism                                                    *)
+
+let fuzz_variants = [ "g1-baseline"; "ps-all" ]
+
+let test_fuzz_report_identical_across_jobs () =
+  let campaign jobs =
+    Simcheck.Fuzz.run ~jobs ~cases:8 ~seed:123 ~variants:fuzz_variants ()
+  in
+  let r1 = campaign 1 and r4 = campaign 4 in
+  Alcotest.(check bool) "jobs=1 campaign passes" true (Simcheck.Fuzz.ok r1);
+  Alcotest.(check int) "all cases ran" 8 r1.Simcheck.Fuzz.cases_run;
+  Alcotest.(check string) "report byte-identical"
+    (Simcheck.Fuzz.report_to_string r1)
+    (Simcheck.Fuzz.report_to_string r4)
+
+(* Corrupt one variant's post-pause heap (mutation-testing seam): both
+   job counts must detect the same injected differential failure and
+   shrink it to the same minimal reproducer. *)
+let tamper name (inst : Simcheck.Spec.instance) =
+  if name = "ps-all" then begin
+    let unbound = ref false in
+    let try_unbind (o : Simheap.Objmodel.t) =
+      if
+        (not !unbound)
+        && Option.is_some (Simheap.Heap.lookup inst.Simcheck.Spec.heap o.addr)
+      then begin
+        Simheap.Heap.unbind inst.Simcheck.Spec.heap o.addr;
+        unbound := true
+      end
+    in
+    Array.iter try_unbind inst.Simcheck.Spec.holders;
+    Array.iter try_unbind inst.Simcheck.Spec.objects
+  end
+
+let test_fuzz_tamper_same_failure_across_jobs () =
+  let campaign jobs =
+    Simcheck.Fuzz.run ~jobs ~cases:4 ~seed:99 ~variants:fuzz_variants ~tamper ()
+  in
+  let r1 = campaign 1 and r4 = campaign 4 in
+  Alcotest.(check bool) "tampered campaign fails" false (Simcheck.Fuzz.ok r1);
+  Alcotest.(check bool) "at least one failure" true
+    (List.length r1.Simcheck.Fuzz.failures > 0);
+  let f1 = List.hd r1.Simcheck.Fuzz.failures in
+  let f4 = List.hd r4.Simcheck.Fuzz.failures in
+  Alcotest.(check string) "same failing variant" f1.Simcheck.Fuzz.variant
+    f4.Simcheck.Fuzz.variant;
+  Alcotest.(check int) "same case index" f1.Simcheck.Fuzz.case_index
+    f4.Simcheck.Fuzz.case_index;
+  Alcotest.(check bool) "same shrunk reproducer" true
+    (f1.Simcheck.Fuzz.shrunk_spec = f4.Simcheck.Fuzz.shrunk_spec
+    && f1.Simcheck.Fuzz.shrunk_threads = f4.Simcheck.Fuzz.shrunk_threads
+    && f1.Simcheck.Fuzz.shrunk_sched_seed = f4.Simcheck.Fuzz.shrunk_sched_seed
+    && f1.Simcheck.Fuzz.shrunk_variant = f4.Simcheck.Fuzz.shrunk_variant);
+  Alcotest.(check string) "whole report byte-identical"
+    (Simcheck.Fuzz.report_to_string r1)
+    (Simcheck.Fuzz.report_to_string r4)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order and exactly-once" `Quick
+            test_pool_order_and_exactly_once;
+          Alcotest.test_case "empty and single batches" `Quick
+            test_pool_empty_and_single;
+          Alcotest.test_case "lowest-index failure reraised" `Quick
+            test_pool_reraises_lowest_failure;
+          Alcotest.test_case "pool reusable across batches" `Quick
+            test_pool_reusable_across_batches;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sweep byte-identical at jobs 1 vs 4" `Slow
+            test_sweep_byte_identical_across_jobs;
+          Alcotest.test_case "fuzz report identical at jobs 1 vs 4" `Slow
+            test_fuzz_report_identical_across_jobs;
+          Alcotest.test_case "fuzz tamper: same failure and shrink" `Slow
+            test_fuzz_tamper_same_failure_across_jobs;
+        ] );
+    ]
