@@ -1,0 +1,47 @@
+(* Output fingerprint of the representative sweep: an MD5 over the
+   marshalled figure-5 rows (simulated GC seconds for 4 apps x 5 setups).
+
+   Simulated results must be bit-identical across --jobs values and
+   across pure host-side optimizations (LLC bookkeeping, scheduler data
+   structures, allocation-avoidance in the hot path).  Run this before
+   and after such a change — any difference in the printed digest means
+   the change perturbed simulated behaviour and is NOT a pure
+   optimization.
+
+   Usage: dune exec bench/digest_sweep.exe [-- --jobs N] *)
+
+let sweep_apps =
+  let preferred =
+    List.filter
+      (fun a ->
+        List.mem a.Workloads.App_profile.name
+          [ "page-rank"; "als"; "movie-lens"; "kmeans" ])
+      Workloads.Apps.all
+  in
+  match preferred with
+  | _ :: _ :: _ -> preferred
+  | _ -> List.filteri (fun i _ -> i < 4) Workloads.Apps.all
+
+let () =
+  let jobs = ref 1 in
+  let i = ref 1 in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+    | "--jobs" when !i + 1 < Array.length Sys.argv ->
+        incr i;
+        jobs := int_of_string Sys.argv.(!i)
+    | arg -> failwith ("digest_sweep: unknown argument " ^ arg));
+    incr i
+  done;
+  let options =
+    {
+      Experiments.Runner.default_options with
+      gc_scale = 0.25;
+      jobs = !jobs;
+      verify = false;
+    }
+  in
+  let rows = Experiments.Fig5_gc_time.compute ~apps:sweep_apps options in
+  let digest = Digest.string (Marshal.to_string rows []) in
+  Printf.printf "fig5 sweep digest (jobs=%d): %s\n" !jobs
+    (Digest.to_hex digest)

@@ -1,0 +1,55 @@
+(* Sampling host-time profile of a representative serial sweep.
+
+   Drives a SIGPROF interval timer into Simstats.Hostprof while running
+   the same figure-5 sweep slice that bench_parallel and
+   bench_throughput time, then prints where host wall-clock went
+   (memory-model inner loop, LLC, evacuation engine, verifier, graph
+   generation, other) plus OCaml allocation counters.  This is the tool
+   that justified the memsim/evacuation hot-path optimizations — rerun
+   it before claiming any further serial speedup (see EXPERIMENTS.md).
+
+   Usage: dune exec bench/profile_sweep.exe [-- --no-verify] *)
+
+let sweep_apps =
+  let preferred =
+    List.filter
+      (fun a ->
+        List.mem a.Workloads.App_profile.name
+          [ "page-rank"; "als"; "movie-lens"; "kmeans" ])
+      Workloads.Apps.all
+  in
+  match preferred with
+  | _ :: _ :: _ -> preferred
+  | _ -> List.filteri (fun i _ -> i < 4) Workloads.Apps.all
+
+let () =
+  let verify = not (Array.exists (( = ) "--no-verify") Sys.argv) in
+  let options =
+    {
+      Experiments.Runner.default_options with
+      gc_scale = 0.25;
+      jobs = 1;
+      verify;
+    }
+  in
+  (* 1 kHz SIGPROF sampling: coarse but plenty to rank phases over a
+     multi-second sweep. *)
+  Sys.set_signal Sys.sigprof
+    (Sys.Signal_handle (fun _ -> Simstats.Hostprof.tick ()));
+  ignore
+    (Unix.setitimer Unix.ITIMER_PROF
+       { Unix.it_interval = 0.001; it_value = 0.001 });
+  Simstats.Hostprof.reset ();
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let rows = Experiments.Fig5_gc_time.compute ~apps:sweep_apps options in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  ignore
+    (Unix.setitimer Unix.ITIMER_PROF
+       { Unix.it_interval = 0.0; it_value = 0.0 });
+  ignore (Sys.opaque_identity rows);
+  Printf.printf "sweep (%d apps x 5 setups, verify=%b): %.3fs wall, %.1f MW \
+                 minor allocation (%.1f MW/s)\n"
+    (List.length sweep_apps) verify wall (minor /. 1e6) (minor /. 1e6 /. wall);
+  Format.printf "%a" Simstats.Hostprof.pp ()

@@ -35,3 +35,23 @@ dune exec bin/nvmgc_cli.exe -- all --gc-scale 0.05 --jobs "$jobs" \
   > "$tmp/all.out"
 echo "all-figures smoke (--jobs $jobs): $(($(date +%s) - start))s," \
   "$(wc -l < "$tmp/all.out") lines"
+
+# Engine-throughput gates.  bench_throughput re-times the serial sweep
+# (best of 3 rounds — the floor is the engine, the rest is host jitter)
+# and emits BENCH_throughput.json; --check fails the build when the rate
+# drops below 0.9x the recorded pre-optimization baseline.
+dune exec bench/bench_throughput.exe -- --check
+
+# Parallel non-degradation gate: bench_parallel times the same sweep at
+# --jobs 1/2/4/8 inside one process and emits BENCH_parallel.json.  The
+# pool clamps to the host's domain count, so --jobs > 1 must never be
+# slower than serial beyond dispatch overhead + timing noise; fail if
+# any sweep_speedup falls below 0.75x serial.
+dune exec bench/bench_parallel.exe
+awk -F'"sweep_speedup": ' '/sweep_speedup/ {
+  split($2, a, ","); if (a[1] + 0 < 0.75) bad = 1
+} END { exit bad }' BENCH_parallel.json || {
+  echo "ci: --jobs > 1 sweep slower than serial beyond tolerance" \
+    "(sweep_speedup < 0.75 in BENCH_parallel.json)" >&2
+  exit 1
+}

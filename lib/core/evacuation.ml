@@ -82,7 +82,9 @@ let all_categories =
 type thread = {
   tid : int;
   stack : Work_stack.t;
-  mutable clock : float;
+  clock : float ref;
+      (** a [float ref] rather than a mutable field: refs to floats are
+          flat, so the tens of clock stores per work item never box *)
   mutable terminated : bool;
   mutable pair : Write_cache.pair option;
   mutable survivor : R.t option;
@@ -98,7 +100,7 @@ type thread = {
   mutable hm_fallbacks : int;
   mutable steals : int;
   mutable async_flushes : int;
-  mutable spin_ns : float;
+  spin_ns : float ref;
       (** time spent in the termination protocol waiting for stealable
           work — the visible face of load imbalance *)
   breakdown : float array;  (** time by {!category} *)
@@ -128,7 +130,7 @@ let make_thread ~start_ns tid =
   {
     tid;
     stack = Work_stack.create ();
-    clock = start_ns;
+    clock = ref start_ns;
     terminated = false;
     pair = None;
     survivor = None;
@@ -143,7 +145,7 @@ let make_thread ~start_ns tid =
     hm_fallbacks = 0;
     steals = 0;
     async_flushes = 0;
-    spin_ns = 0.0;
+    spin_ns = ref 0.0;
     breakdown = Array.make category_count 0.0;
   }
 
@@ -204,17 +206,16 @@ let defer_async_flush t th =
 (* Cost charging                                                       *)
 
 let charge ?force_device t th ~cat ~addr ~space ~kind ~pattern ~bytes =
-  let access = Memsim.Access.v ~space ~kind ~pattern bytes in
-  let d =
-    Memsim.Memory.access ?force_device t.memory ~now_ns:th.clock ~addr access
-  in
+  Memsim.Memory.access_into ?force_device t.memory ~now_ns:!(th.clock) ~addr
+    ~space ~kind ~pattern ~bytes;
+  let d = Memsim.Memory.last_duration t.memory in
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. d;
-  th.clock <- th.clock +. d
+  th.clock := !(th.clock) +. d
 
 let charge_cpu th ns =
   th.breakdown.(category_index Cat_cpu) <-
     th.breakdown.(category_index Cat_cpu) +. ns;
-  th.clock <- th.clock +. ns
+  th.clock := !(th.clock) +. ns
 
 let add_breakdown th cat ns =
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. ns
@@ -235,7 +236,7 @@ let slot_space t (slot : O.slot) =
 let flush_pair t th (pair : Write_cache.pair) =
   let used = R.used_bytes pair.Write_cache.cache in
   if Nvmtrace.Hooks.tracing () then
-    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-start" ~ts_ns:th.clock
+    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-start" ~ts_ns:!(th.clock)
       ~args:
         [
           ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx);
@@ -257,7 +258,7 @@ let flush_pair t th (pair : Write_cache.pair) =
   Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
   if Nvmtrace.Hooks.tracing () then
     Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-complete"
-      ~ts_ns:th.clock
+      ~ts_ns:!(th.clock)
       ~args:[ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
       ();
   match t.write_cache with
@@ -330,7 +331,7 @@ let rec alloc_cached t th size =
               th.pair <- Some pair;
               if Nvmtrace.Hooks.tracing () then
                 Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"region-grab"
-                  ~ts_ns:th.clock
+                  ~ts_ns:!(th.clock)
                   ~args:
                     [ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
                   ();
@@ -415,33 +416,32 @@ let lookup_forward t th ~old_addr (obj : O.t) =
     end
   | None -> if obj.O.forward <> Simheap.Layout.null then Some obj.O.forward else None
 
+(* The header is written twice on the old copy: the CAS claiming the
+   object and the final forwarding value (paper §3.1).  Both are atomic
+   and reach the device uncoalesced.  (Top-level rather than local to
+   [install_forward] so the per-object hot path allocates no closure.) *)
+let install_in_header t th ~old_addr ~old_space ~new_addr (obj : O.t) =
+  charge ~force_device:true t th ~cat:Cat_forward ~addr:old_addr
+    ~space:old_space ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
+    ~bytes:Simheap.Layout.ref_bytes;
+  charge t th ~cat:Cat_forward ~addr:old_addr ~space:old_space
+    ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
+    ~bytes:Simheap.Layout.ref_bytes;
+  obj.O.forward <- new_addr
+
 (* Install the forwarding pointer for a just-copied object. *)
 let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
-  let install_in_header () =
-    (* The header is written twice on the old copy: the CAS claiming the
-       object and the final forwarding value (paper §3.1).  Both are
-       atomic and reach the device uncoalesced. *)
-    charge ~force_device:true t th ~cat:Cat_forward ~addr:old_addr
-      ~space:old_space ~kind:Memsim.Access.Write
-      ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
-    charge t th ~cat:Cat_forward ~addr:old_addr ~space:old_space
-      ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
-      ~bytes:Simheap.Layout.ref_bytes;
-    obj.O.forward <- new_addr
-  in
-  let forced_fallback () =
-    (* Schedule seam: behave exactly as a [Full] probe without touching
-       the map — the header on NVM stays authoritative for this object. *)
-    th.hm_fallbacks <- th.hm_fallbacks + 1;
-    if Nvmtrace.Hooks.tracing () then
-      Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
-        ~ts_ns:th.clock
-        ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
-        ();
-    install_in_header ()
-  in
   match t.header_map with
-  | Some _ when force_hm_fallback t th -> forced_fallback ()
+  | Some _ when force_hm_fallback t th ->
+      (* Schedule seam: behave exactly as a [Full] probe without touching
+         the map — the header on NVM stays authoritative for this object. *)
+      th.hm_fallbacks <- th.hm_fallbacks + 1;
+      if Nvmtrace.Hooks.tracing () then
+        Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
+          ~ts_ns:!(th.clock)
+          ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
+          ();
+      install_in_header t th ~old_addr ~old_space ~new_addr obj
   | Some map -> begin
       let result, probes = Header_map.put map ~key:old_addr ~value:new_addr in
       (* probe reads + the claiming CAS + the value store, all DRAM *)
@@ -465,19 +465,19 @@ let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
           th.hm_fallbacks <- th.hm_fallbacks + 1;
           if Nvmtrace.Hooks.tracing () then
             Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
-              ~ts_ns:th.clock
+              ~ts_ns:!(th.clock)
               ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
               ();
-          install_in_header ()
+          install_in_header t th ~old_addr ~old_space ~new_addr obj
     end
-  | None -> install_in_header ()
+  | None -> install_in_header t th ~old_addr ~old_space ~new_addr obj
 
 (* ------------------------------------------------------------------ *)
 (* Copy-and-traverse                                                   *)
 
 let push_item t th item =
   if Work_stack.is_empty th.stack then t.busy <- t.busy + 1;
-  Work_stack.push th.stack ~clock:th.clock item
+  Work_stack.push th.stack ~clock:!(th.clock) item
 
 let copy_object t th ~old_addr ~old_space (obj : O.t) =
   let dest = alloc_destination t th obj.O.size in
@@ -535,12 +535,12 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
             else Memsim.Access.Dram
           in
           charge_cpu th
-            (Memsim.Memory.prefetch t.memory ~now_ns:th.clock ~addr:target
+            (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock) ~addr:target
                space);
           match t.header_map with
           | Some map ->
               charge_cpu th
-                (Memsim.Memory.prefetch t.memory ~now_ns:th.clock
+                (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock)
                    ~addr:(Header_map.probe_addr map ~key:target)
                    Memsim.Access.Dram)
           | None -> ()
@@ -554,73 +554,85 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
   | None -> ());
   (dest.dest_addr, !first_item)
 
+(* Step 4 first half: write the referent's new address into the slot
+   (random write wherever the slot physically lives).  (Top-level rather
+   than local to [process_item] so the per-item hot path allocates no
+   closure.) *)
+let update_slot t th slot ~ref_addr new_addr =
+  if new_addr <> ref_addr then begin
+    charge t th ~cat:Cat_ref_update ~addr:(O.slot_addr slot)
+      ~space:(slot_space t slot) ~kind:Memsim.Access.Write
+      ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
+    O.slot_write slot new_addr
+  end
+
 (* Process a single popped work item: the §3.1 four-step loop. *)
 let process_item t th (item : Work_stack.item) =
   charge_cpu th ref_cpu_ns;
   th.refs_processed <- th.refs_processed + 1;
   let slot = item.Work_stack.slot in
   let ref_addr = O.slot_referent slot in
+  (* The home pair must be resolved before processing: copying the
+     referent can retire this very pair (flush completion) or grab a new
+     one, and the flush tracker must see the pair that held the slot when
+     the item was popped. *)
   let home_pair =
     match item.Work_stack.home with
     | Some region -> Hashtbl.find_opt t.pair_of_cache_region region.R.idx
     | None -> None
   in
-  let finish ~referent_first_item =
-    match home_pair with
-    | Some pair ->
-        maybe_async_flush t th
-          (Flush_tracker.on_processed pair ~item ~referent_first_item)
-    | None -> ()
-  in
-  if ref_addr = Simheap.Layout.null
-     || not (Simheap.Heap.in_heap_range t.heap ref_addr)
-  then finish ~referent_first_item:None
-  else begin
-    let region = Simheap.Heap.region_of_addr t.heap ref_addr in
-    (* Step 1: locate the referent — random read of its header. *)
-    charge t th ~cat:Cat_locate ~addr:ref_addr ~space:region.R.space
-      ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Random
-      ~bytes:Simheap.Layout.header_bytes;
-    if not region.R.in_cset then
-      (* Outside the collection set: nothing to copy or update. *)
-      finish ~referent_first_item:None
+  let referent_first_item =
+    if ref_addr = Simheap.Layout.null
+       || not (Simheap.Heap.in_heap_range t.heap ref_addr)
+    then None
     else begin
-      let obj = Simheap.Heap.lookup_exn t.heap ref_addr in
-      let update_slot new_addr =
-        if new_addr <> ref_addr then begin
-          (* Step 4 first half: write the new address into the slot
-             (random write wherever the slot physically lives). *)
-          charge t th ~cat:Cat_ref_update ~addr:(O.slot_addr slot)
-            ~space:(slot_space t slot) ~kind:Memsim.Access.Write
-            ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
-          O.slot_write slot new_addr
-        end
-      in
-      match lookup_forward t th ~old_addr:ref_addr obj with
-      | Some fwd ->
-          update_slot fwd;
-          finish ~referent_first_item:None
-      | None ->
-          let new_addr, first_item =
-            copy_object t th ~old_addr:ref_addr ~old_space:region.R.space obj
-          in
-          update_slot new_addr;
-          finish ~referent_first_item:first_item
+      let region = Simheap.Heap.region_of_addr t.heap ref_addr in
+      (* Step 1: locate the referent — random read of its header. *)
+      charge t th ~cat:Cat_locate ~addr:ref_addr ~space:region.R.space
+        ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Random
+        ~bytes:Simheap.Layout.header_bytes;
+      if not region.R.in_cset then
+        (* Outside the collection set: nothing to copy or update. *)
+        None
+      else begin
+        let obj = Simheap.Heap.lookup_exn t.heap ref_addr in
+        match lookup_forward t th ~old_addr:ref_addr obj with
+        | Some fwd ->
+            update_slot t th slot ~ref_addr fwd;
+            None
+        | None ->
+            let new_addr, first_item =
+              copy_object t th ~old_addr:ref_addr ~old_space:region.R.space obj
+            in
+            update_slot t th slot ~ref_addr new_addr;
+            first_item
+      end
     end
-  end
+  in
+  match home_pair with
+  | Some pair ->
+      maybe_async_flush t th
+        (Flush_tracker.on_processed pair ~item ~referent_first_item)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
 
+(* Index of the non-terminated thread with the smallest clock (ties by
+   lowest tid), -1 when all are terminated.  Allocation-free: this runs
+   once per popped work item, scanning every thread. *)
 let min_clock_thread t =
-  let best = ref None in
-  Array.iter
-    (fun th ->
-      if not th.terminated then
-        match !best with
-        | Some b when b.clock <= th.clock -> ()
-        | _ -> best := Some th)
-    t.threads;
+  let threads = t.threads in
+  let n = Array.length threads in
+  let best = ref (-1) in
+  let best_clock = ref infinity in
+  for i = 0 to n - 1 do
+    let th = threads.(i) in
+    if (not th.terminated) && !(th.clock) < !best_clock then begin
+      best := i;
+      best_clock := !(th.clock)
+    end
+  done;
   !best
 
 (* Steal from the victim with the largest stack, but only if it has at
@@ -628,17 +640,19 @@ let min_clock_thread t =
    owner, which is what makes chain-shaped graphs serialize.  A schedule
    picks any eligible victim instead. *)
 let pick_victim_default t thief =
-  let victim = ref None in
-  Array.iter
-    (fun th ->
-      if th.tid <> thief.tid && Work_stack.length th.stack >= 2 then
-        match !victim with
-        | Some v when Work_stack.length v.stack >= Work_stack.length th.stack
-          ->
-            ()
-        | _ -> victim := Some th)
+  let best = ref (-1) in
+  let best_len = ref 1 in
+  Array.iteri
+    (fun i th ->
+      if th.tid <> thief.tid then begin
+        let len = Work_stack.length th.stack in
+        if len >= 2 && len > !best_len then begin
+          best := i;
+          best_len := len
+        end
+      end)
     t.threads;
-  !victim
+  if !best < 0 then None else Some t.threads.(!best)
 
 let pick_victim_scheduled t (s : Schedule.t) thief =
   let victims = ref [] in
@@ -671,12 +685,12 @@ let try_steal t thief =
       in
       let stolen = Work_stack.steal victim.stack ~chunk in
       if Work_stack.length victim.stack = 0 then t.busy <- t.busy - 1;
-      thief.clock <-
-        Float.max thief.clock (Work_stack.last_push_clock victim.stack);
+      thief.clock :=
+        Float.max !(thief.clock) (Work_stack.last_push_clock victim.stack);
       thief.steals <- thief.steals + 1;
       if Nvmtrace.Hooks.tracing () then
         Nvmtrace.Hooks.instant ~lane:(lane thief) ~name:"steal"
-          ~ts_ns:thief.clock
+          ~ts_ns:!(thief.clock)
           ~args:
             [
               ("victim", Nvmtrace.Tracer.Int victim.tid);
@@ -706,22 +720,22 @@ let run_min_clock t =
   let continue_ = ref true in
   while !continue_ do
     match min_clock_thread t with
-    | None -> continue_ := false
-    | Some th -> begin
-        match Work_stack.pop th.stack with
-        | Some item ->
-            if Work_stack.is_empty th.stack then t.busy <- t.busy - 1
-            else ();
-            (* popping may empty the stack; pushes during processing
-               re-mark it busy *)
-            process_item t th item
-        | None ->
-            if not (try_steal t th) then begin
+    | -1 -> continue_ := false
+    | i -> begin
+        let th = t.threads.(i) in
+        if not (Work_stack.is_empty th.stack) then begin
+          let item = Work_stack.pop_nonempty th.stack in
+          if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
+          (* popping may empty the stack; pushes during processing
+             re-mark it busy *)
+          process_item t th item
+        end
+        else if not (try_steal t th) then begin
               if all_stacks_empty t then th.terminated <- true
               else begin
                 (* Someone still holds unstealable work (e.g. a chain):
                    spin in the termination protocol and retry. *)
-                th.spin_ns <- th.spin_ns +. idle_spin_ns;
+                th.spin_ns := !(th.spin_ns) +. idle_spin_ns;
                 charge_cpu th idle_spin_ns
               end
             end
@@ -762,43 +776,48 @@ let run_scheduled t (s : Schedule.t) =
         let n = Array.length runnable in
         let i = s.Schedule.pick_thread ~runnable in
         let th = t.threads.(runnable.(((i mod n) + n) mod n)) in
-        match Work_stack.pop th.stack with
-        | Some item ->
-            if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
-            process_item t th item
-        | None ->
-            (* runnable with an empty stack means a victim with >= 2
-               items exists, so the steal succeeds *)
-            ignore (try_steal t th)
+        if not (Work_stack.is_empty th.stack) then begin
+          let item = Work_stack.pop_nonempty th.stack in
+          if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
+          process_item t th item
+        end
+        else
+          (* runnable with an empty stack means a victim with >= 2
+             items exists, so the steal succeeds *)
+          ignore (try_steal t th)
       end
   done
 
 (** Run copy-and-traverse to global termination.  Returns the simulated
     instant the last thread finished. *)
+let prof_evacuate = Simstats.Hostprof.register "gc.evacuate"
+
 let run t =
+  let prof_prev = Simstats.Hostprof.enter prof_evacuate in
   (match t.schedule with
   | None -> run_min_clock t
   | Some s -> run_scheduled t s);
+  Simstats.Hostprof.leave prof_prev;
   (* One "evacuate" span per GC-thread lane: that thread's whole
      copy-and-traverse window (spinning included), so Perfetto shows the
      load imbalance directly. *)
   if Nvmtrace.Hooks.tracing () then
     Array.iter
       (fun th ->
-        if th.clock > t.start_ns then
+        if !(th.clock) > t.start_ns then
           Nvmtrace.Hooks.span ~lane:(lane th) ~name:"evacuate"
-            ~start_ns:t.start_ns ~end_ns:th.clock
+            ~start_ns:t.start_ns ~end_ns:!(th.clock)
             ~args:
               [
                 ("refs", Nvmtrace.Tracer.Int th.refs_processed);
                 ("objects", Nvmtrace.Tracer.Int th.objects_copied);
                 ("bytes", Nvmtrace.Tracer.Int th.bytes_copied);
                 ("steals", Nvmtrace.Tracer.Int th.steals);
-                ("spin_ns", Nvmtrace.Tracer.Float th.spin_ns);
+                ("spin_ns", Nvmtrace.Tracer.Float !(th.spin_ns));
               ]
             ())
       t.threads;
-  Array.fold_left (fun acc th -> Float.max acc th.clock) t.start_ns t.threads
+  Array.fold_left (fun acc th -> Float.max acc !(th.clock)) t.start_ns t.threads
 
 (** Synchronous write-only sub-phase: flush every remaining cache region,
     distributed round-robin over threads starting at the barrier. *)
@@ -807,7 +826,7 @@ let flush_remaining t ~barrier_ns =
   | None -> (barrier_ns, 0)
   | Some wc ->
       let pairs = Write_cache.unflushed_pairs wc in
-      Array.iter (fun th -> th.clock <- Float.max th.clock barrier_ns) t.threads;
+      Array.iter (fun th -> th.clock := Float.max !(th.clock) barrier_ns) t.threads;
       let n = Array.length t.threads in
       (* only threads that actually got a region contend for bandwidth *)
       t.busy <- min n (List.length pairs);
@@ -818,7 +837,7 @@ let flush_remaining t ~barrier_ns =
         pairs;
       t.busy <- 0;
       let finish =
-        Array.fold_left (fun acc th -> Float.max acc th.clock) barrier_ns
+        Array.fold_left (fun acc th -> Float.max acc !(th.clock)) barrier_ns
           t.threads
       in
       (finish, List.length pairs)

@@ -29,7 +29,9 @@ val all_categories : category list
 type thread = {
   tid : int;
   stack : Work_stack.t;
-  mutable clock : float;
+  clock : float ref;
+      (** flat float cell: hot-path clock stores must not box (a mutable
+          float field in this mixed record would) *)
   mutable terminated : bool;
   mutable pair : Write_cache.pair option;
   mutable survivor : Simheap.Region.t option;
@@ -44,7 +46,7 @@ type thread = {
   mutable hm_fallbacks : int;
   mutable steals : int;
   mutable async_flushes : int;
-  mutable spin_ns : float;
+  spin_ns : float ref;
   breakdown : float array;
 }
 

@@ -25,6 +25,12 @@ val push : t -> clock:float -> item -> unit
 val pop : t -> item option
 (** Owner end (LIFO). *)
 
+val pop_nonempty : t -> item
+(** Owner-end pop without the option wrapper; the stack must be
+    non-empty (check {!is_empty} first).  On an empty stack it returns
+    [dummy_item] and still counts a pop — hot loops already guard, so
+    no bounds branch is duplicated here. *)
+
 val steal : t -> chunk:int -> item list
 (** Take up to [chunk] items from the bottom, marking their home regions
     stolen-from. *)

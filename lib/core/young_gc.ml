@@ -135,9 +135,10 @@ let cleanup_header_map t evac ~from_ns =
       Array.iteri
         (fun i (th : Evacuation.thread) ->
           let slice = slices.(i) in
-          th.Evacuation.clock <- Float.max th.Evacuation.clock from_ns;
+          th.Evacuation.clock :=
+            Float.max !(th.Evacuation.clock) from_ns;
           let d =
-            Memsim.Memory.access t.memory ~now_ns:th.Evacuation.clock
+            Memsim.Memory.access t.memory ~now_ns:!(th.Evacuation.clock)
               ~addr:(Simheap.Layout.header_map_base + !offset)
               (Memsim.Access.v ~space:Memsim.Access.Dram
                  ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
@@ -145,8 +146,8 @@ let cleanup_header_map t evac ~from_ns =
           in
           offset := !offset + slice;
           Evacuation.add_breakdown th Evacuation.Cat_cleanup d;
-          th.Evacuation.clock <- th.Evacuation.clock +. d;
-          finish := Float.max !finish th.Evacuation.clock)
+          th.Evacuation.clock := !(th.Evacuation.clock) +. d;
+          finish := Float.max !finish !(th.Evacuation.clock))
         (Evacuation.threads evac);
       Header_map.clear map;
       !finish
@@ -216,8 +217,8 @@ let collect t ~now_ns =
     Array.fold_left
       (fun acc (th : Evacuation.thread) ->
         acc
-        +. (traverse_end -. th.Evacuation.clock)
-        +. th.Evacuation.spin_ns)
+        +. (traverse_end -. !(th.Evacuation.clock))
+        +. !(th.Evacuation.spin_ns))
       0.0 threads
   in
   let flush_end, sync_flushes =

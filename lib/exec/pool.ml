@@ -1,7 +1,7 @@
 (** Work-stealing domain pool (contract in the interface). *)
 
 (* A batch's tasks are fixed up front (tasks never spawn tasks), so the
-   deque is a frozen index array with two cursors: the owner takes from
+   deque is a frozen block array with two cursors: the owner takes from
    the front, thieves from the back.  A mutex per deque is plenty — tasks
    are coarse (whole simulation runs), so contention is nil. *)
 module Deque = struct
@@ -11,6 +11,8 @@ module Deque = struct
     mutable lo : int;  (** next owner slot *)
     mutable hi : int;  (** one past the last thief slot *)
   }
+
+  let empty = { m = Mutex.create (); buf = [||]; lo = 0; hi = 0 }
 
   let of_indices buf = { m = Mutex.create (); buf; lo = 0; hi = Array.length buf }
 
@@ -40,60 +42,97 @@ module Deque = struct
     r
 end
 
+(* Deque entries are *blocks* of [block] consecutive task indices (the
+   last block may be short).  Batching tiny tasks this way keeps the
+   per-task overhead — two mutexed cursor moves and one atomic decrement
+   per block — amortized over the whole block, so dispatch cost never
+   dominates sub-millisecond tasks. *)
 type batch = {
-  run_task : int -> unit;  (** never raises: wraps the user task *)
+  run_block : int -> unit;  (** never raises: runs one block of tasks *)
   deques : Deque.t array;  (** one per worker *)
-  pending : int Atomic.t;  (** tasks not yet completed *)
+  pending : int Atomic.t;  (** blocks not yet completed *)
 }
 
 type t = {
-  size : int;
+  size : int;  (** effective workers, clamped to the host's domains *)
+  requested : int;  (** what the caller asked for, pre-clamp *)
   lock : Mutex.t;
   work_ready : Condition.t;
   batch_done : Condition.t;
   mutable seq : int;  (** batch sequence number, guarded by [lock] *)
-  mutable batch : batch option;
-      (** the latest batch; kept (drained) after completion so a worker
-          that wakes late never observes [None] for a seen sequence *)
+  mutable batch : batch;
+      (** the latest batch; swapped for [drained] after completion so a
+          worker that wakes late finds only empty deques for a seen
+          sequence — and the finished batch's closure (and everything it
+          captures: per-task sinks, result arrays) is not retained *)
+  drained : batch;  (** permanent empty sentinel *)
   mutable stop : bool;
   mutable workers : unit Domain.t array;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+let host_domains = default_jobs
+
+(* Spawning more domains than the host can run in parallel is a pure
+   loss: the extra domains contend for the same cores (and, under OCaml's
+   stop-the-world minor GC, for every collection barrier).  Requests are
+   clamped; warn once per process, like the gc_scale clamp in
+   Experiments.Runner. *)
+let effective_jobs requested = max 1 (min requested (host_domains ()))
+
+let warned_clamp = Atomic.make false
+
+let warn_clamp ~requested ~host =
+  if not (Atomic.exchange warned_clamp true) then
+    Printf.eprintf
+      "nvmgc: warning: --jobs %d exceeds this host's %d recommended \
+       domain(s); clamping the pool to %d worker(s) (further clamps not \
+       reported)\n%!"
+      requested host (effective_jobs requested)
+
 let size t = t.size
 
+let requested t = t.requested
+
+let drained_sentinel () =
+  { run_block = ignore; deques = [||]; pending = Atomic.make 0 }
+
 (* Drain the batch from worker [wid]: own deque front-first, then steal
-   one task at a time from neighbours.  Returns when no work is findable
-   anywhere — in-flight tasks on other workers are theirs to finish. *)
+   one block at a time from neighbours.  Returns when no work is findable
+   anywhere — in-flight blocks on other workers are theirs to finish.
+   The sentinel batch has no deques at all; late wakers fall straight
+   through. *)
 let run_batch t (b : batch) wid =
   let workers = Array.length b.deques in
-  let rec steal k =
-    if k >= workers then None
-    else
-      match Deque.steal_back b.deques.((wid + k) mod workers) with
+  if workers > 0 then begin
+    let rec steal k =
+      if k >= workers then None
+      else
+        match Deque.steal_back b.deques.((wid + k) mod workers) with
+        | Some _ as r -> r
+        | None -> steal (k + 1)
+    in
+    let take () =
+      match Deque.pop_front b.deques.(wid) with
       | Some _ as r -> r
-      | None -> steal (k + 1)
-  in
-  let take () =
-    match Deque.pop_front b.deques.(wid) with
-    | Some _ as r -> r
-    | None -> steal 1
-  in
-  let rec loop () =
-    match take () with
-    | None -> ()
-    | Some i ->
-        b.run_task i;
-        (* The completer of the last task wakes the submitter. *)
-        if Atomic.fetch_and_add b.pending (-1) = 1 then begin
-          Mutex.lock t.lock;
-          Condition.broadcast t.batch_done;
-          Mutex.unlock t.lock
-        end;
-        loop ()
-  in
-  loop ()
+      | None -> steal 1
+    in
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some blk ->
+          b.run_block blk;
+          (* The completer of the last block wakes the submitter. *)
+          if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+            Mutex.lock t.lock;
+            Condition.broadcast t.batch_done;
+            Mutex.unlock t.lock
+          end;
+          loop ()
+    in
+    loop ()
+  end
 
 let worker_main t wid =
   let rec wait last_seq =
@@ -104,7 +143,7 @@ let worker_main t wid =
     if t.stop then Mutex.unlock t.lock
     else begin
       let seq = t.seq in
-      let b = Option.get t.batch in
+      let b = t.batch in
       Mutex.unlock t.lock;
       run_batch t b wid;
       wait seq
@@ -113,15 +152,21 @@ let worker_main t wid =
   wait 0
 
 let create ?domains () =
-  let size = max 1 (Option.value domains ~default:(default_jobs ())) in
+  let requested = max 1 (Option.value domains ~default:(default_jobs ())) in
+  let host = host_domains () in
+  let size = effective_jobs requested in
+  if requested > size then warn_clamp ~requested ~host;
+  let drained = drained_sentinel () in
   let t =
     {
       size;
+      requested;
       lock = Mutex.create ();
       work_ready = Condition.create ();
       batch_done = Condition.create ();
       seq = 0;
-      batch = None;
+      batch = drained;
+      drained;
       stop = false;
       workers = [||];
     }
@@ -142,6 +187,10 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Aim for a few blocks per worker so stealing can still rebalance, but
+   never more than one mutexed dispatch per task. *)
+let blocks_per_worker = 4
+
 let run (type a) t (f : int -> a) n =
   if n <= 0 then [||]
   else begin
@@ -153,21 +202,35 @@ let run (type a) t (f : int -> a) n =
       | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
     in
     if t.size = 1 || n = 1 then
+      (* Serial fast path: no deques, no condition variables, no atomics —
+         overhead over a plain loop is one closure call per task. *)
       for i = 0 to n - 1 do
         run_task i
       done
     else begin
+      let block_len = max 1 (n / (t.size * blocks_per_worker)) in
+      let nblocks = (n + block_len - 1) / block_len in
+      let run_block blk =
+        let lo = blk * block_len in
+        let hi = min n (lo + block_len) - 1 in
+        for i = lo to hi do
+          run_task i
+        done
+      in
       let deques =
         Array.init t.size (fun wid ->
-            (* worker [wid] owns indices wid, wid + size, wid + 2*size, … *)
-            let count = if wid >= n then 0 else ((n - wid - 1) / t.size) + 1 in
-            let ids = Array.init count (fun k -> wid + (k * t.size)) in
-            Deque.of_indices ids)
+            (* worker [wid] owns blocks wid, wid + size, wid + 2*size, … *)
+            if wid >= nblocks then Deque.empty
+            else begin
+              let count = ((nblocks - wid - 1) / t.size) + 1 in
+              let ids = Array.init count (fun k -> wid + (k * t.size)) in
+              Deque.of_indices ids
+            end)
       in
-      let b = { run_task; deques; pending = Atomic.make n } in
+      let b = { run_block; deques; pending = Atomic.make nblocks } in
       Mutex.lock t.lock;
       t.seq <- t.seq + 1;
-      t.batch <- Some b;
+      t.batch <- b;
       Condition.broadcast t.work_ready;
       Mutex.unlock t.lock;
       run_batch t b 0;
@@ -175,6 +238,12 @@ let run (type a) t (f : int -> a) n =
       while Atomic.get b.pending > 0 do
         Condition.wait t.batch_done t.lock
       done;
+      (* Swap in the sentinel while still holding the lock: a late waker
+         that saw this batch's sequence number finds the (empty) sentinel,
+         and the drained batch — with the closures and per-task sinks its
+         [run_block] captures — becomes garbage immediately rather than
+         living until the next sweep. *)
+      t.batch <- t.drained;
       Mutex.unlock t.lock
     end;
     (* Deterministic failure propagation: lowest task index wins. *)

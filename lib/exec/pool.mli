@@ -2,11 +2,25 @@
     outer loops: figure/table sweeps and fuzz campaigns.
 
     The pool executes {e batches} of independent tasks identified by
-    index.  Each worker owns a deque seeded round-robin with task
-    indices; owners take from the front (ascending index order, which
-    keeps per-worker work contiguous), idle workers steal from the back
-    of their neighbours.  The submitting domain participates as worker 0,
-    so a pool of size [n] spawns [n - 1] extra domains.
+    index.  Tasks are grouped into contiguous {e blocks} (a few blocks
+    per worker) so that dispatch overhead is amortized even when
+    individual tasks are sub-millisecond; each worker owns a deque seeded
+    round-robin with blocks, owners take from the front (ascending index
+    order, which keeps per-worker work contiguous), idle workers steal
+    blocks from the back of their neighbours.  The submitting domain
+    participates as worker 0, so a pool of size [n] spawns [n - 1] extra
+    domains.
+
+    Sizing: the pool never runs more workers than
+    {!Domain.recommended_domain_count} — spawning domains beyond the
+    host's parallelism is a pure loss (they contend for the same cores
+    and for every stop-the-world minor-GC barrier), which is exactly the
+    slowdown the pre-clamp engine measured in BENCH_parallel.json.
+    Requests above the host limit are clamped with a once-per-process
+    warning; {!requested} preserves the pre-clamp value for reporting.
+    A pool clamped to one worker runs batches on a serial fast path with
+    no deques, condition variables or atomics — its overhead over a
+    plain loop is one closure call per task.
 
     Determinism contract: results are collected {e by task index}, never
     by completion order, and a task that raises poisons only its own
@@ -14,6 +28,12 @@
     lowest-indexed failing task is re-raised (with its backtrace).
     Consequently [run pool f n] is observably equivalent to
     [Array.init n f] for pure [f], at any pool size.
+
+    Retention: a completed batch is dropped as soon as it finishes (the
+    pool swaps in a permanent drained sentinel), so the batch's task
+    closure — and everything it captures, e.g. per-task tracer/metrics
+    sinks — becomes garbage between sweeps instead of living until the
+    next submission.
 
     Tasks must be independent: they run concurrently on separate domains
     and must not share non-atomic mutable state.  Ambient per-domain
@@ -26,12 +46,17 @@
 type t
 
 val create : ?domains:int -> unit -> t
-(** [create ~domains ()] builds a pool of [domains] total workers
-    (clamped to at least 1), spawning [domains - 1] OCaml domains that
-    idle until a batch is submitted.  Defaults to {!default_jobs}. *)
+(** [create ~domains ()] builds a pool of [effective_jobs domains] total
+    workers, spawning that many minus one OCaml domains that idle until
+    a batch is submitted.  Defaults to {!default_jobs}.  Warns once per
+    process when the request exceeds the host's domain count. *)
 
 val size : t -> int
-(** Total worker count, including the submitting domain. *)
+(** Effective worker count (post-clamp), including the submitting
+    domain. *)
+
+val requested : t -> int
+(** The worker count the caller asked for, before clamping. *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
@@ -52,3 +77,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the machine's useful
     parallelism (1 on a single-core host, i.e. sequential). *)
+
+val host_domains : unit -> int
+(** Alias of {!default_jobs}, named for reporting. *)
+
+val effective_jobs : int -> int
+(** [effective_jobs requested] is the worker count a pool created with
+    [~domains:requested] will actually run:
+    [max 1 (min requested (host_domains ()))]. *)

@@ -5,6 +5,18 @@ val mix_penalty : Device.t -> write_frac:float -> float
 (** Multiplier in (0, 1]; 1 for pure-read or pure-write streams, minimal
     for 50/50 mixes on high-interference devices. *)
 
+val mix_bowl : write_frac:float -> float
+(** Device-independent part of the penalty ([(4w(1-w))^0.3]) — the one
+    [**] on the hot path.  Compute once per access and feed the [_b]
+    variants below; [f_b d k p ~bowl:(mix_bowl ~write_frac)] is
+    float-identical to [f d k p ~write_frac]. *)
+
+val service_gbps_b :
+  Device.t -> Access.kind -> Access.pattern -> bowl:float -> float
+
+val effective_gbps_b :
+  Device.t -> Access.kind -> Access.pattern -> bowl:float -> float
+
 val device_cap : Device.t -> Access.kind -> Access.pattern -> write_frac:float -> float
 (** Device-level bandwidth cap (GB/s) for an access class under the
     current read/write mix.  Non-temporal writes bypass the mix penalty. *)

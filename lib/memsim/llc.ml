@@ -25,13 +25,32 @@ type set = {
   mutable seqw : int;
       (** bitmask: line was dirtied by a sequential (streaming) write, so
           its eventual write-back drains at the sequential rate *)
-  lru : int array;  (** lru.(i) = age rank of way i; 0 = most recent *)
+  stamp : int array;
+      (** stamp.(i) = cache-global tick of way i's last touch; the victim
+          is the smallest stamp.  Initialized to distinct negative values
+          so untouched ways are evicted highest-index-first, matching the
+          age-rank scheme this replaces (stamps stay pairwise distinct,
+          so the LRU choice is always unique). *)
+  mutable hint : int;
+      (** way of the most recent hit/install — checked before the full
+          way scan.  A line is resident in at most one way, so the hint
+          can only short-circuit to the same answer the scan would give
+          (header + field accesses to one object often share a line). *)
 }
 
 type t = {
   nsets : int;
+  set_mask : int;  (** nsets - 1; nsets is a power of two *)
   ways : int;
   sets : set array;
+  mutable tick : int;  (** monotone touch counter feeding [stamp] *)
+  (* Pending write-back slots: the [_q] entry points record a dirty
+     eviction here instead of allocating an option — the hot path runs
+     millions of times per simulated pause. *)
+  mutable wb_pending : bool;
+  mutable wb_addr_q : int;
+  mutable wb_nvm_q : bool;
+  mutable wb_seq_q : bool;
   mutable hits : int;
   mutable misses : int;
   mutable prefetch_hits : int;
@@ -48,6 +67,7 @@ let create ~capacity_bytes ~ways =
   let nsets = pow2 1 in
   {
     nsets;
+    set_mask = nsets - 1;
     ways;
     sets =
       Array.init nsets (fun _ ->
@@ -57,8 +77,14 @@ let create ~capacity_bytes ~ways =
             dirty = 0;
             nvm = 0;
             seqw = 0;
-            lru = Array.init ways (fun i -> i);
+            stamp = Array.init ways (fun i -> -i);
+            hint = 0;
           });
+    tick = 1;
+    wb_pending = false;
+    wb_addr_q = 0;
+    wb_nvm_q = false;
+    wb_seq_q = false;
     hits = 0;
     misses = 0;
     prefetch_hits = 0;
@@ -68,28 +94,32 @@ let create ~capacity_bytes ~ways =
 
 let capacity_bytes t = t.nsets * t.ways * line_bytes
 
-(* Mix the line id so that strided heap layouts spread over sets. *)
-let set_of t line = (line * 0x9E3779B1) land max_int mod t.nsets
+(* Mix the line id so that strided heap layouts spread over sets.  The
+   multiply keeps the id non-negative on 63-bit ints for any heap-sized
+   line id, and nsets is a power of two, so masking == mod. *)
+let set_of t line = (line * 0x9E3779B1) land max_int land t.set_mask
 
-let touch set way =
-  let old_rank = set.lru.(way) in
-  for i = 0 to Array.length set.lru - 1 do
-    if set.lru.(i) < old_rank then set.lru.(i) <- set.lru.(i) + 1
-  done;
-  set.lru.(way) <- 0
+let touch t set way =
+  set.stamp.(way) <- t.tick;
+  t.tick <- t.tick + 1
 
 let find_way set line =
-  let n = Array.length set.tags in
-  let rec loop i =
-    if i >= n then None else if set.tags.(i) = line then Some i else loop (i + 1)
-  in
-  loop 0
+  if set.tags.(set.hint) = line then set.hint
+  else begin
+    let n = Array.length set.tags in
+    let rec loop i =
+      if i >= n then -1 else if set.tags.(i) = line then i else loop (i + 1)
+    in
+    let way = loop 0 in
+    if way >= 0 then set.hint <- way;
+    way
+  end
 
 let victim_way set =
-  let n = Array.length set.lru in
+  let n = Array.length set.stamp in
   let rec loop i best =
     if i >= n then best
-    else if set.lru.(i) > set.lru.(best) then loop (i + 1) i
+    else if set.stamp.(i) < set.stamp.(best) then loop (i + 1) i
     else loop (i + 1) best
   in
   loop 1 0
@@ -100,79 +130,100 @@ type outcome = Hit | Miss | Prefetched_hit
     NVM space — the caller charges the device write-back. *)
 type writeback = { wb_addr : int; wb_nvm : bool; wb_seq : bool }
 
-(* Install [line] in [set], evicting the LRU way.  Returns the way used
-   and the write-back the eviction causes, if any. *)
+(* Install [line] in [set], evicting the LRU way.  Returns the way used;
+   a dirty eviction is recorded in the pending write-back slots. *)
 let install t set line ~write ~seq ~nvm =
   let way = victim_way set in
   let bit = 1 lsl way in
-  let evicted =
-    if set.dirty land bit <> 0 && set.tags.(way) >= 0 then begin
-      t.writebacks <- t.writebacks + 1;
-      Some
-        {
-          wb_addr = set.tags.(way) * line_bytes;
-          wb_nvm = set.nvm land bit <> 0;
-          wb_seq = set.seqw land bit <> 0;
-        }
-    end
-    else None
-  in
+  if set.dirty land bit <> 0 && set.tags.(way) >= 0 then begin
+    t.writebacks <- t.writebacks + 1;
+    t.wb_pending <- true;
+    t.wb_addr_q <- set.tags.(way) * line_bytes;
+    t.wb_nvm_q <- set.nvm land bit <> 0;
+    t.wb_seq_q <- set.seqw land bit <> 0
+  end;
   set.tags.(way) <- line;
   set.prefetched <- set.prefetched land lnot bit;
   set.dirty <- (if write then set.dirty lor bit else set.dirty land lnot bit);
   set.seqw <-
     (if write && seq then set.seqw lor bit else set.seqw land lnot bit);
   set.nvm <- (if nvm then set.nvm lor bit else set.nvm land lnot bit);
-  touch set way;
-  (way, evicted)
+  set.hint <- way;
+  touch t set way;
+  way
 
-(** [access t addr ~write ~nvm] looks up (and on miss, fills) the line
-    containing [addr].  Returns the outcome and, when the fill evicted a
-    dirty line, the write-back it caused. *)
-let access t addr ~write ~seq ~nvm =
+(** [access_q t addr ~write ~nvm] looks up (and on miss, fills) the line
+    containing [addr].  Returns the outcome; when the fill evicted a
+    dirty line, the write-back is left in the pending slots (query with
+    {!wb_pending} before the next access).  Allocation-free. *)
+let access_q t addr ~write ~seq ~nvm =
+  t.wb_pending <- false;
   let line = addr / line_bytes in
   let set = t.sets.(set_of t line) in
-  match find_way set line with
-  | Some way ->
-      touch set way;
-      let bit = 1 lsl way in
-      if write then begin
-        set.dirty <- set.dirty lor bit;
-        if seq then set.seqw <- set.seqw lor bit
-      end;
-      if set.prefetched land bit <> 0 then begin
-        set.prefetched <- set.prefetched land lnot bit;
-        t.prefetch_hits <- t.prefetch_hits + 1;
-        (Prefetched_hit, None)
-      end
-      else begin
-        t.hits <- t.hits + 1;
-        (Hit, None)
-      end
-  | None ->
-      t.misses <- t.misses + 1;
-      let _, wb = install t set line ~write ~seq ~nvm in
-      (Miss, wb)
+  let way = find_way set line in
+  if way >= 0 then begin
+    touch t set way;
+    let bit = 1 lsl way in
+    if write then begin
+      set.dirty <- set.dirty lor bit;
+      if seq then set.seqw <- set.seqw lor bit
+    end;
+    if set.prefetched land bit <> 0 then begin
+      set.prefetched <- set.prefetched land lnot bit;
+      t.prefetch_hits <- t.prefetch_hits + 1;
+      Prefetched_hit
+    end
+    else begin
+      t.hits <- t.hits + 1;
+      Hit
+    end
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    ignore (install t set line ~write ~seq ~nvm : int);
+    Miss
+  end
+
+let wb_pending t = t.wb_pending
+let wb_nvm t = t.wb_nvm_q
+let wb_seq t = t.wb_seq_q
+let wb_addr t = t.wb_addr_q
+
+let pending_writeback t =
+  if t.wb_pending then
+    Some { wb_addr = t.wb_addr_q; wb_nvm = t.wb_nvm_q; wb_seq = t.wb_seq_q }
+  else None
+
+let access t addr ~write ~seq ~nvm =
+  let outcome = access_q t addr ~write ~seq ~nvm in
+  (outcome, pending_writeback t)
 
 (** Insert a line ahead of use; the next demand access reports
-    [Prefetched_hit].  Idempotent on resident lines.  Returns
-    [(fetched, writeback)]: [fetched] is false when the line was already
-    resident (no device traffic); the write-back is any dirty eviction the
-    insertion forced. *)
-let prefetch t addr ~nvm =
+    [Prefetched_hit].  Idempotent on resident lines.  Returns whether the
+    line was actually fetched (false = already resident, no device
+    traffic); any dirty eviction the insertion forced is left in the
+    pending write-back slots.  Allocation-free. *)
+let prefetch_q t addr ~nvm =
+  t.wb_pending <- false;
   let line = addr / line_bytes in
   let set = t.sets.(set_of t line) in
   t.prefetch_issued <- t.prefetch_issued + 1;
-  match find_way set line with
-  | Some way ->
-      (* Already resident: re-mark so the consumer still sees the cheap
-         path (prefetching a resident line costs nothing extra). *)
-      set.prefetched <- set.prefetched lor (1 lsl way);
-      (false, None)
-  | None ->
-      let way, wb = install t set line ~write:false ~seq:false ~nvm in
-      set.prefetched <- set.prefetched lor (1 lsl way);
-      (true, wb)
+  let way = find_way set line in
+  if way >= 0 then begin
+    (* Already resident: re-mark so the consumer still sees the cheap
+       path (prefetching a resident line costs nothing extra). *)
+    set.prefetched <- set.prefetched lor (1 lsl way);
+    false
+  end
+  else begin
+    let way = install t set line ~write:false ~seq:false ~nvm in
+    set.prefetched <- set.prefetched lor (1 lsl way);
+    true
+  end
+
+let prefetch t addr ~nvm =
+  let fetched = prefetch_q t addr ~nvm in
+  (fetched, pending_writeback t)
 
 (** Invalidate everything (used between independent simulation phases);
     dirty contents are discarded, not written back. *)

@@ -26,6 +26,19 @@ val prefetch : t -> int -> nvm:bool -> bool * writeback option
     access reports [Prefetched_hit].  Returns whether the line was
     actually fetched (false = already resident, no device traffic). *)
 
+(** Allocation-free variants of {!access}/{!prefetch} for the simulation
+    hot path: instead of materializing a [writeback option], a dirty
+    eviction is recorded in pending slots on [t], valid until the next
+    [_q] call.  Query with {!wb_pending} / {!wb_nvm} / {!wb_seq} /
+    {!wb_addr} immediately after the call. *)
+
+val access_q : t -> int -> write:bool -> seq:bool -> nvm:bool -> outcome
+val prefetch_q : t -> int -> nvm:bool -> bool
+val wb_pending : t -> bool
+val wb_nvm : t -> bool
+val wb_seq : t -> bool
+val wb_addr : t -> int
+
 val clear : t -> unit
 
 val hits : t -> int

@@ -84,9 +84,19 @@ type t = {
           write-seq, nt, writeback) — diagnostic *)
   trace_read : Simstats.Timeseries.t array;
   trace_write : Simstats.Timeseries.t array;
+  dur : float ref;
+      (** duration of the last {!access_into} charge — an out-parameter
+          cell so the hot path never boxes a returned float *)
 }
 
 let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
+
+(* Host-profiling phases ({!Simstats.Hostprof}): the memory model is the
+   innermost layer every simulated component funnels through, so its
+   share of host wall-clock is the first thing the serial-throughput
+   work needs to see. *)
+let prof_access = Simstats.Hostprof.register "memsim.access"
+let prof_llc = Simstats.Hostprof.register "memsim.llc"
 
 let class_idx (kind : Access.kind) (pattern : Access.pattern) =
   match kind, pattern with
@@ -117,11 +127,11 @@ let pipe_consume t idx ~now_ns ~service_ns =
 
 (* Random accesses cost the device a full line regardless of useful
    bytes. *)
-let service_bytes (a : Access.t) =
-  match a.Access.pattern with
+let service_bytes ~(pattern : Access.pattern) ~bytes =
+  match pattern with
   | Access.Random ->
-      Llc.line_bytes * ((a.Access.bytes + Llc.line_bytes - 1) / Llc.line_bytes)
-  | Access.Sequential -> a.Access.bytes
+      Llc.line_bytes * ((bytes + Llc.line_bytes - 1) / Llc.line_bytes)
+  | Access.Sequential -> bytes
 
 let device t : Access.space -> Device.t = function
   | Access.Dram -> t.config.dram
@@ -154,6 +164,7 @@ let create config =
     trace_write =
       Array.init 2 (fun _ ->
           Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
+    dur = ref 0.0;
   }
 
 let llc t = t.llc
@@ -216,9 +227,9 @@ let record_mix t space ~now_ns ~bytes (kind : Access.kind)
    consumes device-pipe bandwidth and counts as write traffic — this is
    how cached random header/reference updates become the NVM writes the
    paper measures. *)
-let charge_writeback t ~now_ns (wb : Llc.writeback) =
-  let space = if wb.Llc.wb_nvm then Access.Nvm else Access.Dram in
-  let pattern = if wb.Llc.wb_seq then Access.Sequential else Access.Random in
+let charge_writeback_sc t ~now_ns ~nvm ~seq =
+  let space = if nvm then Access.Nvm else Access.Dram in
+  let pattern = if seq then Access.Sequential else Access.Random in
   let idx = space_index space in
   let w = write_frac t space ~now_ns in
   record_mix t space ~now_ns ~bytes:Llc.line_bytes Access.Write pattern;
@@ -234,22 +245,29 @@ let charge_writeback t ~now_ns (wb : Llc.writeback) =
     Simstats.Timeseries.add t.trace_write.(idx) ~time_ns:now_ns
       (float_of_int Llc.line_bytes)
 
+(* Charge the dirty eviction (if any) left pending by the last [Llc]
+   [_q] call. *)
+let charge_pending_wb t ~now_ns =
+  if Llc.wb_pending t.llc then
+    charge_writeback_sc t ~now_ns ~nvm:(Llc.wb_nvm t.llc)
+      ~seq:(Llc.wb_seq t.llc)
+
 (* Touch every line of a multi-line access so the cache model reflects the
    pollution of bulk copies.  Only the first line's outcome decides the
    latency charge; subsequent lines ride the stream.  Dirty evictions are
    charged as posted write-backs. *)
 let llc_touch_lines t ~now_ns ~write ~seq ~nvm addr bytes =
-  let charge_wb = function
-    | Some wb -> charge_writeback t ~now_ns wb
-    | None -> ()
-  in
-  let first, wb = Llc.access t.llc addr ~write ~seq ~nvm in
-  charge_wb wb;
+  let prev = Simstats.Hostprof.enter prof_llc in
+  let first = Llc.access_q t.llc addr ~write ~seq ~nvm in
+  charge_pending_wb t ~now_ns;
   let lines = (bytes + Llc.line_bytes - 1) / Llc.line_bytes in
   for i = 1 to lines - 1 do
-    let _, wb = Llc.access t.llc (addr + (i * Llc.line_bytes)) ~write ~seq ~nvm in
-    charge_wb wb
+    ignore
+      (Llc.access_q t.llc (addr + (i * Llc.line_bytes)) ~write ~seq ~nvm
+        : Llc.outcome);
+    charge_pending_wb t ~now_ns
   done;
+  Simstats.Hostprof.leave prev;
   first
 
 (** [access t ~now_ns ~addr a] charges access [a] at address [addr] and
@@ -260,75 +278,71 @@ let llc_touch_lines t ~now_ns ~write ~seq ~nvm addr bytes =
     [bytes / service-rate]; when concurrent simulated threads out-demand
     the device, the pipe backlog grows and every subsequent access queues —
     the hard bandwidth ceiling that makes NVM GC non-scalable (§2.3). *)
-let access ?(force_device = false) t ~now_ns ~addr (a : Access.t) =
-  let dev = device t a.Access.space in
-  let is_write = Access.is_write a in
+let llc_gbps = 64.0
+
+let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
+    ~pattern ~bytes =
+  let prof_prev = Simstats.Hostprof.enter prof_access in
+  let dev = device t space in
+  let is_write = kind <> Access.Read in
   (* Mix is read before this access is recorded, so a single large
      transfer does not interfere with itself. *)
-  let w = write_frac t a.Access.space ~now_ns in
-  record_mix t a.Access.space ~now_ns ~bytes:a.Access.bytes a.Access.kind
-    a.Access.pattern;
+  let w = write_frac t space ~now_ns in
+  record_mix t space ~now_ns ~bytes kind pattern;
   let latency =
-    match a.Access.kind with
+    match kind with
     | Access.Nt_write ->
         (* Non-temporal stores bypass the cache hierarchy entirely. *)
         dev.Device.write_latency_ns
     | (Access.Read | Access.Write) when force_device ->
         (* Atomic/uncoalesced operations (forwarding-pointer CAS): always
            reach the device, regardless of cache residency. *)
-        Device.latency_ns dev a.Access.kind a.Access.pattern
+        Device.latency_ns dev kind pattern
     | Access.Read | Access.Write -> begin
         match
           llc_touch_lines t ~now_ns ~write:is_write
-            ~seq:(a.Access.pattern = Access.Sequential)
-            ~nvm:(a.Access.space = Access.Nvm) addr a.Access.bytes
+            ~seq:(pattern = Access.Sequential)
+            ~nvm:(space = Access.Nvm) addr bytes
         with
         | Llc.Hit -> t.config.llc_hit_ns
         | Llc.Prefetched_hit ->
             t.config.llc_hit_ns
             +. (t.config.prefetch_residual
-               *. Device.latency_ns dev a.Access.kind a.Access.pattern)
-        | Llc.Miss -> Device.latency_ns dev a.Access.kind a.Access.pattern
+               *. Device.latency_ns dev kind pattern)
+        | Llc.Miss -> Device.latency_ns dev kind pattern
       end
   in
   let hit = latency <= t.config.llc_hit_ns in
-  let idx_pipe = space_index a.Access.space in
-  let queue_wait, service =
-    if hit then (0.0, 0.0)
+  let duration =
+    (* LLC hits never reach the device pipe, and their duration does not
+       depend on the device rates — skip the bandwidth model entirely
+       (the fast path for the cache-friendly majority of accesses). *)
+    if hit then latency +. Bandwidth.transfer_ns ~bytes ~gbps:llc_gbps
     else begin
-      (* LLC hits never reach the device pipe. *)
-      let rate =
-        Bandwidth.service_gbps dev a.Access.kind a.Access.pattern ~write_frac:w
-      in
-      let sbytes = service_bytes a in
+      let bowl = Bandwidth.mix_bowl ~write_frac:w in
+      let idx_pipe = space_index space in
+      let rate = Bandwidth.service_gbps_b dev kind pattern ~bowl in
+      let sbytes = service_bytes ~pattern ~bytes in
       let sbytes =
         (* Uncoalesced RMWs on Optane touch a full 256-byte internal
            block (the XPLine). *)
-        if force_device && a.Access.space = Access.Nvm then max sbytes 128
-        else sbytes
+        if force_device && space = Access.Nvm then max sbytes 128 else sbytes
       in
       let service = Bandwidth.transfer_ns ~bytes:sbytes ~gbps:rate in
-      let wait = pipe_consume t idx_pipe ~now_ns ~service_ns:service in
-      t.service_by_class.(idx_pipe).(class_idx a.Access.kind a.Access.pattern) <-
-        t.service_by_class.(idx_pipe).(class_idx a.Access.kind a.Access.pattern)
-        +. service;
-      (wait, service)
+      let queue_wait = pipe_consume t idx_pipe ~now_ns ~service_ns:service in
+      let ci = class_idx kind pattern in
+      t.service_by_class.(idx_pipe).(ci) <-
+        t.service_by_class.(idx_pipe).(ci) +. service;
+      let gbps = Bandwidth.effective_gbps_b dev kind pattern ~bowl in
+      let transfer =
+        Float.max service (Bandwidth.transfer_ns ~bytes ~gbps)
+      in
+      queue_wait +. latency +. transfer
     end
   in
-  let gbps =
-    Bandwidth.effective_gbps dev a.Access.kind a.Access.pattern ~write_frac:w
-  in
-  let transfer =
-    Float.max service (Bandwidth.transfer_ns ~bytes:a.Access.bytes ~gbps)
-  in
-  let llc_gbps = 64.0 in
-  let duration =
-    if hit then latency +. Bandwidth.transfer_ns ~bytes:a.Access.bytes ~gbps:llc_gbps
-    else queue_wait +. latency +. transfer
-  in
-  let idx = space_index a.Access.space in
+  let idx = space_index space in
   let tot = t.totals.(idx) in
-  let b = float_of_int a.Access.bytes in
+  let b = float_of_int bytes in
   if is_write then begin
     tot.write_bytes <- tot.write_bytes +. b;
     tot.write_ns <- tot.write_ns +. duration
@@ -342,15 +356,24 @@ let access ?(force_device = false) t ~now_ns ~addr (a : Access.t) =
     Simstats.Timeseries.add_spread series ~from_ns:now_ns
       ~until_ns:(now_ns +. duration) b
   end;
-  duration
+  t.dur := duration;
+  Simstats.Hostprof.leave prof_prev
+
+let last_duration t = !(t.dur)
+
+let access_scalar ?force_device t ~now_ns ~addr ~space ~kind ~pattern ~bytes =
+  access_into ?force_device t ~now_ns ~addr ~space ~kind ~pattern ~bytes;
+  !(t.dur)
+
+let access ?force_device t ~now_ns ~addr (a : Access.t) =
+  access_scalar ?force_device t ~now_ns ~addr ~space:a.Access.space
+    ~kind:a.Access.kind ~pattern:a.Access.pattern ~bytes:a.Access.bytes
 
 (** Issue a software prefetch for the line at [addr]: marks the LLC and
     consumes read bandwidth.  Returns the (small) issue cost. *)
 let prefetch t ~now_ns ~addr space =
-  let fetched, wb = Llc.prefetch t.llc addr ~nvm:(space = Access.Nvm) in
-  (match wb with
-  | Some wb -> charge_writeback t ~now_ns wb
-  | None -> ());
+  let fetched = Llc.prefetch_q t.llc addr ~nvm:(space = Access.Nvm) in
+  charge_pending_wb t ~now_ns;
   if fetched then begin
     (* the prefetched line occupies the device pipe like any other read *)
     record_mix t space ~now_ns ~bytes:Llc.line_bytes Access.Read Access.Random;

@@ -37,6 +37,38 @@ val access : ?force_device:bool -> t -> now_ns:float -> addr:int -> Access.t -> 
     [force_device] models atomic/uncoalesced operations that always reach
     the device regardless of cache residency (forwarding-pointer CAS). *)
 
+val access_scalar :
+  ?force_device:bool ->
+  t ->
+  now_ns:float ->
+  addr:int ->
+  space:Access.space ->
+  kind:Access.kind ->
+  pattern:Access.pattern ->
+  bytes:int ->
+  float
+(** Exactly {!access} with the descriptor passed as scalars — the
+    allocation-free entry point for the evacuation inner loop ({!access}
+    is a thin wrapper over this). *)
+
+val access_into :
+  ?force_device:bool ->
+  t ->
+  now_ns:float ->
+  addr:int ->
+  space:Access.space ->
+  kind:Access.kind ->
+  pattern:Access.pattern ->
+  bytes:int ->
+  unit
+(** Exactly {!access_scalar}, but the duration is left in an internal
+    cell (read with {!last_duration}) instead of returned — a returned
+    float boxes on every call, and the evacuation engine charges millions
+    of accesses per pause. *)
+
+val last_duration : t -> float
+(** Duration of the most recent {!access_into} charge, in nanoseconds. *)
+
 val prefetch : t -> now_ns:float -> addr:int -> Access.space -> float
 (** Software prefetch of one line; returns the issue cost in nanoseconds. *)
 

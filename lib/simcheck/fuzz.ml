@@ -250,6 +250,18 @@ type report = {
 
 let ok report = report.failures = []
 
+(* A fuzz case is sub-millisecond work (a single pause over a <=
+   [max_objects]-object heap, once per variant), while dispatching a
+   campaign through the pool costs domain spawns and joins — milliseconds
+   on their own.  Estimate campaign size in object-pause units and keep
+   small campaigns on the submitting domain; the report is rebuilt in
+   case order either way, so the fallback is invisible in the output. *)
+let serial_unit_threshold = 20_000
+
+let effective_jobs ~cases ~variants ~max_objects jobs =
+  let units = cases * variants * max_objects in
+  if units < serial_unit_threshold then 1 else max 1 jobs
+
 let run ?(jobs = 1) ?(max_objects = 40) ?(shrink_budget = 400)
     ?(time_budget_s = infinity) ?(variants = []) ?tamper ~cases ~seed () =
   (* Process-global hook registration happens before any worker domain
@@ -257,6 +269,9 @@ let run ?(jobs = 1) ?(max_objects = 40) ?(shrink_budget = 400)
   Verify.Hooks.ensure_installed ();
   let variants = select_variants variants in
   if variants = [] then invalid_arg "Simcheck.Fuzz.run: empty variant list";
+  let jobs =
+    effective_jobs ~cases ~variants:(List.length variants) ~max_objects jobs
+  in
   (* Both seeds come off the master stream, drawn serially for every case
      before any task runs — the exact draw order of the sequential
      engine, so a campaign is a pure function of [seed] at any job
@@ -303,8 +318,10 @@ let run ?(jobs = 1) ?(max_objects = 40) ?(shrink_budget = 400)
     end
   in
   let outcomes =
-    Exec.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
-        Exec.Pool.run pool task cases)
+    if jobs = 1 then Array.init cases task
+    else
+      Exec.Pool.with_pool ~domains:jobs (fun pool ->
+          Exec.Pool.run pool task cases)
   in
   (* Summaries and failures are rebuilt by case index, so the report is
      independent of completion order. *)

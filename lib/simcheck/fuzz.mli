@@ -67,6 +67,13 @@ type report = {
 
 val ok : report -> bool
 
+val effective_jobs :
+  cases:int -> variants:int -> max_objects:int -> int -> int
+(** The job count {!run} will actually dispatch with: campaigns whose
+    estimated work ([cases * variants * max_objects] object-pause units)
+    is too small to amortize pool dispatch run serially regardless of
+    the requested [jobs].  Pure; exposed for tests and reporting. *)
+
 val run :
   ?jobs:int ->
   ?max_objects:int ->
@@ -81,10 +88,11 @@ val run :
 (** Run a campaign.  A campaign is a pure function of [seed] (plus the
     option arguments): rerunning it yields a structurally identical
     report.  [jobs] runs cases on a work-stealing domain pool (default 1
-    = sequential); both case seeds are drawn serially before any case
-    runs and the report is rebuilt in case order, so the report is
-    identical at every job count (a failure still shrinks on the domain
-    that found it).  [variants] filters the matrix by name ([] = all);
+    = sequential); campaigns too small to amortize pool dispatch fall
+    back to the submitting domain (see {!effective_jobs}).  Both case
+    seeds are drawn serially before any case runs and the report is
+    rebuilt in case order, so the report is identical at every job count
+    (a failure still shrinks on the domain that found it).  [variants] filters the matrix by name ([] = all);
     [time_budget_s] stops scheduling new cases once exceeded (CPU
     seconds of the whole process, so a parallel campaign burns it up to
     [jobs] times faster); [shrink_budget] caps re-executions per failure

@@ -1,0 +1,118 @@
+(** Open-addressing address→object table backing {!Heap}'s object map.
+
+    The evacuation inner loop performs one lookup per reference slot and
+    the workload generator one insert per live object, so the generic
+    [Hashtbl] (seeded-hash call, bucket-list traversal, [Some] allocation
+    per probe) showed up as a top allocation site in sweep profiles.  This
+    table is specialized to the heap's access pattern:
+
+    - keys are heap addresses: strictly positive ints, so [0] can mark an
+      empty slot and [-1] a tombstone;
+    - multiplicative hashing + linear probing over a power-of-two array —
+      no per-probe allocation, no runtime hash call;
+    - [find] returns the probe index (or [-1]) so callers can fetch the
+      value without materializing an option.
+
+    Iteration order differs from [Hashtbl]'s; every consumer of
+    {!Heap.iter_bindings} folds into order-insensitive sets, so this is
+    unobservable in simulated results. *)
+
+type t = {
+  mutable keys : int array;  (** 0 = empty, -1 = tombstone, else address *)
+  mutable vals : Objmodel.t array;
+  mutable mask : int;  (** capacity - 1; capacity is a power of two *)
+  mutable live : int;  (** bound keys *)
+  mutable fill : int;  (** bound keys + tombstones *)
+}
+
+let empty_key = 0
+let tombstone = -1
+
+(* Knuth multiplicative hash; addresses are 8-byte aligned so the low bits
+   alone would collide systematically. *)
+let slot_of mask addr = addr * 0x9E3779B1 land max_int land mask
+
+let initial_capacity = 4096
+
+let create () =
+  {
+    keys = Array.make initial_capacity empty_key;
+    vals = Array.make initial_capacity Region.dummy_obj;
+    mask = initial_capacity - 1;
+    live = 0;
+    fill = 0;
+  }
+
+let length t = t.live
+
+(** Probe index of [addr], or [-1] when unbound. *)
+let find t addr =
+  let keys = t.keys and mask = t.mask in
+  let i = ref (slot_of mask addr) in
+  let res = ref (-2) in
+  while !res = -2 do
+    let k = keys.(!i) in
+    if k = addr then res := !i
+    else if k = empty_key then res := -1
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let value t i = t.vals.(i)
+
+let rec insert t addr obj =
+  let keys = t.keys and mask = t.mask in
+  (* First tombstone seen is reusable, but only if [addr] is absent. *)
+  let i = ref (slot_of mask addr) in
+  let grave = ref (-1) in
+  let dest = ref (-2) in
+  while !dest = -2 do
+    let k = keys.(!i) in
+    if k = addr then dest := !i
+    else if k = empty_key then
+      dest := if !grave >= 0 then !grave else !i
+    else begin
+      if k = tombstone && !grave < 0 then grave := !i;
+      i := (!i + 1) land mask
+    end
+  done;
+  let d = !dest in
+  if keys.(d) = addr then t.vals.(d) <- obj
+  else begin
+    if keys.(d) = empty_key then t.fill <- t.fill + 1;
+    keys.(d) <- addr;
+    t.vals.(d) <- obj;
+    t.live <- t.live + 1;
+    (* Keep at least 1/4 of slots empty so probe chains stay short. *)
+    if t.fill * 4 > 3 * (mask + 1) then grow t
+  end
+
+and grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  (* Double only when live entries justify it; otherwise the rebuild just
+     clears accumulated tombstones. *)
+  let cap =
+    let c = t.mask + 1 in
+    if t.live * 2 > c then c * 2 else c
+  in
+  t.keys <- Array.make cap empty_key;
+  t.vals <- Array.make cap Region.dummy_obj;
+  t.mask <- cap - 1;
+  t.live <- 0;
+  t.fill <- 0;
+  Array.iteri
+    (fun i k -> if k <> empty_key && k <> tombstone then insert t k old_vals.(i))
+    old_keys
+
+let remove t addr =
+  let i = find t addr in
+  if i >= 0 then begin
+    t.keys.(i) <- tombstone;
+    t.vals.(i) <- Region.dummy_obj;
+    t.live <- t.live - 1
+  end
+
+let iter f t =
+  Array.iteri
+    (fun i k -> if k <> empty_key && k <> tombstone then f k t.vals.(i))
+    t.keys

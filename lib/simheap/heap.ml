@@ -30,11 +30,16 @@ let default_config =
 
 type t = {
   config : config;
+  heap_limit : int;  (** heap_base + heap_regions * region_bytes *)
+  region_shift : int;
+      (** log2 of region_bytes when it is a power of two (the default),
+          -1 otherwise — [region_of_addr] runs several times per
+          evacuated reference, and a shift beats a division *)
   regions : Region.t array;
   free : int Simstats.Vec.t;  (** indices of free heap regions *)
   scratch : Region.t array;
   scratch_free : int Simstats.Vec.t;
-  addr_map : (int, Objmodel.t) Hashtbl.t;
+  addr_map : Addr_table.t;
   roots : Objmodel.root Simstats.Vec.t;
   mutable next_obj_id : int;
   mutable next_root_id : int;
@@ -56,11 +61,19 @@ let create config =
   let t =
     {
       config;
+      heap_limit =
+        Layout.heap_base + (config.heap_regions * config.region_bytes);
+      region_shift =
+        (let b = config.region_bytes in
+         if b > 0 && b land (b - 1) = 0 then
+           let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+           log2 b 0
+         else -1);
       regions = Array.init config.heap_regions region;
       free = Simstats.Vec.create (-1);
       scratch = Array.init config.dram_scratch_regions scratch;
       scratch_free = Simstats.Vec.create (-1);
-      addr_map = Hashtbl.create 4096;
+      addr_map = Addr_table.create ();
       roots = Simstats.Vec.create dummy_root;
       next_obj_id = 0;
       next_root_id = 0;
@@ -131,24 +144,26 @@ let release_cache_region t (r : Region.t) =
 let free_regions t = Simstats.Vec.length t.free
 let free_cache_regions t = Simstats.Vec.length t.scratch_free
 
-let in_heap_range t addr =
-  addr >= Layout.heap_base
-  && addr < Layout.heap_base + (t.config.heap_regions * t.config.region_bytes)
+let in_heap_range t addr = addr >= Layout.heap_base && addr < t.heap_limit
 
 let region_of_addr t addr =
   if not (in_heap_range t addr) then
     invalid_arg "Heap.region_of_addr: address outside heap";
-  t.regions.((addr - Layout.heap_base) / t.config.region_bytes)
+  let off = addr - Layout.heap_base in
+  t.regions.(if t.region_shift >= 0 then off lsr t.region_shift
+             else off / t.config.region_bytes)
 
-let lookup t addr = Hashtbl.find_opt t.addr_map addr
+let lookup t addr =
+  let i = Addr_table.find t.addr_map addr in
+  if i < 0 then None else Some (Addr_table.value t.addr_map i)
 
 let lookup_exn t addr =
-  match lookup t addr with
-  | Some o -> o
-  | None -> invalid_arg "Heap.lookup_exn: unmapped address"
+  let i = Addr_table.find t.addr_map addr in
+  if i < 0 then invalid_arg "Heap.lookup_exn: unmapped address"
+  else Addr_table.value t.addr_map i
 
-let bind t addr obj = Hashtbl.replace t.addr_map addr obj
-let unbind t addr = Hashtbl.remove t.addr_map addr
+let bind t addr obj = Addr_table.insert t.addr_map addr obj
+let unbind t addr = Addr_table.remove t.addr_map addr
 
 (** Allocate an object of [size] bytes with [nfields] (null) reference
     fields inside [region].  [None] when the region is full. *)
@@ -181,7 +196,7 @@ let iter_scratch_regions f t = Array.iter f t.scratch
 
 let scratch_regions t = t.config.dram_scratch_regions
 
-let iter_bindings f t = Hashtbl.iter f t.addr_map
+let iter_bindings f t = Addr_table.iter f t.addr_map
 
 let regions_of_kind t kind =
   Array.to_list t.regions
@@ -194,4 +209,4 @@ let young_regions t =
          | Region.Eden | Region.Survivor -> true
          | Region.Free | Region.Old | Region.Cache -> false)
 
-let live_objects t = Hashtbl.length t.addr_map
+let live_objects t = Addr_table.length t.addr_map

@@ -1,0 +1,76 @@
+(** Lightweight host-time sampling profile over coarse phases.
+
+    The simulator's own clocks are simulated time; this module answers
+    the different question "where does the {e host's} wall clock go when
+    we run a sweep?", which is what the serial-throughput work needs.
+
+    Hot code marks the phase it is executing with {!enter}/{!leave} —
+    two plain stores, cheap enough for the memory-model inner loop — and
+    a driver (e.g. [bench/profile_sweep.exe]) arranges for {!tick} to
+    run on a profiling-timer signal (SIGPROF via [Unix.setitimer]).
+    Each tick attributes one sample to the current phase.  The driver
+    owns the timer so this library carries no [unix] dependency and the
+    sampler costs nothing when no driver installed one.
+
+    Accuracy notes: OCaml delivers signals at safepoints, so samples are
+    biased toward allocation-heavy code — fine for ranking phases, not
+    for nanosecond accounting.  The phase register is process-global and
+    unsynchronized; profile single-domain (serial) runs. *)
+
+let max_phases = 32
+
+(* Phase 0 is the implicit "other" bucket: anything not between an
+   [enter]/[leave] pair. *)
+let names = Array.make max_phases "other"
+let n_phases = ref 1
+let sample_counts = Array.make max_phases 0
+let current = ref 0
+
+let register name =
+  (* Re-registration (e.g. a test re-initializing a module) reuses the
+     existing slot so sample attribution stays stable. *)
+  let rec find i =
+    if i >= !n_phases then -1 else if names.(i) = name then i else find (i + 1)
+  in
+  match find 0 with
+  | -1 ->
+      if !n_phases >= max_phases then 0
+      else begin
+        let id = !n_phases in
+        names.(id) <- name;
+        n_phases := id + 1;
+        id
+      end
+  | id -> id
+
+let enter id =
+  let prev = !current in
+  current := id;
+  prev
+
+let leave prev = current := prev
+
+let tick () = sample_counts.(!current) <- sample_counts.(!current) + 1
+
+let reset () = Array.fill sample_counts 0 max_phases 0
+
+let total () = Array.fold_left ( + ) 0 sample_counts
+
+let samples () =
+  let rows = ref [] in
+  for i = !n_phases - 1 downto 0 do
+    if sample_counts.(i) > 0 then rows := (names.(i), sample_counts.(i)) :: !rows
+  done;
+  List.sort (fun (_, a) (_, b) -> compare b a) !rows
+
+let pp ppf () =
+  let tot = total () in
+  if tot = 0 then Format.fprintf ppf "hostprof: no samples@."
+  else begin
+    Format.fprintf ppf "hostprof: %d samples@." tot;
+    List.iter
+      (fun (name, n) ->
+        Format.fprintf ppf "  %-24s %6d  %5.1f%%@." name n
+          (100.0 *. float_of_int n /. float_of_int tot))
+      (samples ())
+  end

@@ -6,17 +6,27 @@
     (Steele et al.), which is fast, has a 64-bit state, and passes BigCrush
     when used as here. *)
 
-type t = { mutable state : int64 }
+(* The 64-bit state lives in an 8-byte buffer rather than a [mutable
+   int64] record field: int64 record fields are boxed, so every state
+   update would allocate, while the bytes get/set primitives compile to
+   unboxed loads/stores.  The simulator draws tens of millions of times
+   per sweep; with this representation a draw is allocation-free. *)
+type t = { state : Bytes.t }
 
-let create seed = { state = Int64.of_int seed }
+let of_int64 s =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 s;
+  { state = b }
 
-let copy t = { state = t.state }
+let create seed = of_int64 (Int64.of_int seed)
+
+let copy t = { state = Bytes.copy t.state }
 
 (* splitmix64 step: state += golden gamma; output = mix (state). *)
 let next_int64 t =
   let open Int64 in
-  t.state <- add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+  let z = add (Bytes.get_int64_le t.state 0) 0x9E3779B97F4A7C15L in
+  Bytes.set_int64_le t.state 0 z;
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
@@ -38,9 +48,7 @@ let float t x =
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 (** [split t] derives an independent generator; the parent advances. *)
-let split t =
-  let seed = next_int64 t in
-  { state = Int64.logxor seed 0xD1B54A32D192ED03L }
+let split t = of_int64 (Int64.logxor (next_int64 t) 0xD1B54A32D192ED03L)
 
 (** [split_n t n] derives [n] pairwise-independent children. *)
 let split_n t n =
@@ -57,15 +65,35 @@ let normal t =
   let u1 = nonzero () and u2 = float t 1.0 in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
-(** Log-normal with given mean and coefficient of variation of the
-    *resulting* distribution.  Used for object-size distributions. *)
-let lognormal t ~mean ~cv =
-  if cv <= 0. then mean
+(** Precomputed log-normal parameters: the [mu]/[sigma] derivation costs
+    three transcendentals, constant for a given (mean, cv) — the workload
+    generator draws millions of sizes from per-profile distributions, so
+    callers hoist this out of the sampling loop.  [lognormal_draw] with
+    precomputed parameters produces bit-identical values to {!lognormal}
+    (the per-draw expression is unchanged; only the constants moved). *)
+type lognormal_params = {
+  ln_mean : float;  (** returned directly in the degenerate cv<=0 case *)
+  ln_mu : float;
+  ln_sigma : float;
+  ln_degenerate : bool;  (** cv <= 0: no draw, generator state untouched *)
+}
+
+let lognormal_params ~mean ~cv =
+  if cv <= 0. then
+    { ln_mean = mean; ln_mu = 0.; ln_sigma = 0.; ln_degenerate = true }
   else begin
     let sigma2 = log (1. +. (cv *. cv)) in
     let mu = log mean -. (sigma2 /. 2.) in
-    exp (mu +. (sqrt sigma2 *. normal t))
+    { ln_mean = mean; ln_mu = mu; ln_sigma = sqrt sigma2; ln_degenerate = false }
   end
+
+let lognormal_draw t p =
+  if p.ln_degenerate then p.ln_mean
+  else exp (p.ln_mu +. (p.ln_sigma *. normal t))
+
+(** Log-normal with given mean and coefficient of variation of the
+    *resulting* distribution.  Used for object-size distributions. *)
+let lognormal t ~mean ~cv = lognormal_draw t (lognormal_params ~mean ~cv)
 
 (** Geometric-ish heavy-tail sample in [0, n): index drawn with probability
     proportional to [(1-skew)^i]; [skew = 0] degenerates to uniform.  Used

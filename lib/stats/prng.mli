@@ -34,6 +34,16 @@ val normal : t -> float
 val lognormal : t -> mean:float -> cv:float -> float
 (** Log-normal sample with the given mean and coefficient of variation. *)
 
+type lognormal_params
+
+val lognormal_params : mean:float -> cv:float -> lognormal_params
+(** Precompute the mu/sigma derivation (three transcendentals) of
+    {!lognormal} for a fixed (mean, cv) — hoist out of sampling loops. *)
+
+val lognormal_draw : t -> lognormal_params -> float
+(** Bit-identical to {!lognormal} with the same parameters (consumes the
+    same generator draws, including none when cv <= 0). *)
+
 val skewed_index : t -> skew:float -> int -> int
 (** Heavy-tailed index in [0, n); [skew = 0.] is uniform, values toward 1.
     concentrate mass on low indices.  Models GC-root load imbalance. *)

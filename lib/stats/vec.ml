@@ -47,6 +47,18 @@ let pop t =
     Some x
   end
 
+let pop_or_dummy t =
+  (* Allocation-free pop for hot loops: callers must test [is_empty]
+     first (or be able to treat the dummy as "nothing"), since an empty
+     vector returns the dummy rather than [None]. *)
+  if t.len = 0 then t.dummy
+  else begin
+    t.len <- t.len - 1;
+    let x = t.data.(t.len) in
+    t.data.(t.len) <- t.dummy;
+    x
+  end
+
 let pop_exn t =
   match pop t with
   | Some x -> x

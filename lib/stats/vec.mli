@@ -20,6 +20,11 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 
+val pop_or_dummy : 'a t -> 'a
+(** Allocation-free [pop] for hot loops: returns the dummy when empty
+    instead of wrapping the element in an option.  Callers must check
+    {!is_empty} first if the dummy is a storable value. *)
+
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 

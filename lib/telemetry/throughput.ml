@@ -1,0 +1,53 @@
+(** Roofline-style engine throughput: simulated objects evacuated per
+    host wall-second.
+
+    The serial sweep's cost is dominated by the evacuation inner loop and
+    the memory model it drives, so "objects/s of host time" is the
+    engine's roofline: it moves only when the simulator itself gets
+    faster (or slower), never when the *simulated* machine does — a
+    simulated clock has no effect on host wall-clock.  BENCH_throughput
+    tracks this number against a recorded pre-optimization baseline; the
+    profile that justified the hot-path work is reproducible with
+    [bench/profile_sweep.exe] (see EXPERIMENTS.md). *)
+
+type t = {
+  mutable objects : int;  (** simulated objects evacuated *)
+  mutable bytes : int;  (** simulated bytes copied *)
+  mutable pauses : int;  (** simulated pauses contributing *)
+  mutable wall_s : float;  (** host wall-clock spent producing them *)
+}
+
+let create () = { objects = 0; bytes = 0; pauses = 0; wall_s = 0.0 }
+
+let add t ~objects ~bytes ~pauses ~wall_s =
+  t.objects <- t.objects + objects;
+  t.bytes <- t.bytes + bytes;
+  t.pauses <- t.pauses + pauses;
+  t.wall_s <- t.wall_s +. wall_s
+
+(** Time [f], folding its host wall-clock into [t]. *)
+let timed t f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  t.wall_s <- t.wall_s +. (Unix.gettimeofday () -. t0);
+  v
+
+let objects_per_s t =
+  if t.wall_s <= 0.0 then 0.0 else float_of_int t.objects /. t.wall_s
+
+let bytes_per_s t =
+  if t.wall_s <= 0.0 then 0.0 else float_of_int t.bytes /. t.wall_s
+
+(** Publish the rates as gauges on a metrics registry
+    ([throughput.objects_per_s], [throughput.bytes_per_s]). *)
+let gauge registry t =
+  Metrics.set_gauge registry "throughput.objects_per_s" (objects_per_s t);
+  Metrics.set_gauge registry "throughput.bytes_per_s" (bytes_per_s t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d objects / %.3fs host = %.0f objects/s (%.1f MB/s simulated copy, %d \
+     pauses)"
+    t.objects t.wall_s (objects_per_s t)
+    (bytes_per_s t /. 1e6)
+    t.pauses

@@ -1,0 +1,34 @@
+(** Roofline-style engine throughput: simulated objects evacuated per
+    host wall-second.  Host-time metric of the {e simulator} — it moves
+    only when the engine gets faster, never when the simulated machine
+    does.  Fed by benchmark drivers (bench/bench_throughput.ml); see
+    DESIGN.md §11 for the metric's definition and EXPERIMENTS.md for the
+    recorded numbers. *)
+
+type t = {
+  mutable objects : int;  (** simulated objects evacuated *)
+  mutable bytes : int;  (** simulated bytes copied *)
+  mutable pauses : int;  (** simulated pauses contributing *)
+  mutable wall_s : float;  (** host wall-clock spent producing them *)
+}
+
+val create : unit -> t
+
+val add : t -> objects:int -> bytes:int -> pauses:int -> wall_s:float -> unit
+(** Fold one measured interval into the accumulator. *)
+
+val timed : t -> (unit -> 'a) -> 'a
+(** Run [f], adding its host wall-clock to [wall_s]; the caller adds the
+    objects the call produced via {!add} (with [wall_s:0.0]) or directly. *)
+
+val objects_per_s : t -> float
+(** Simulated objects evacuated per host wall-second; 0 before any time
+    was recorded. *)
+
+val bytes_per_s : t -> float
+
+val gauge : Metrics.t -> t -> unit
+(** Publish both rates as gauges ([throughput.objects_per_s],
+    [throughput.bytes_per_s]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,10 +27,14 @@ let () =
 let pending_key : (Nvmgc.Young_gc.t * Oracle.snapshot) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let before_pause gc =
-  Domain.DLS.get pending_key := Some (gc, Oracle.snapshot gc)
+let prof_verify = Simstats.Hostprof.register "verify"
 
-let after_pause gc pause =
+let before_pause gc =
+  let prof_prev = Simstats.Hostprof.enter prof_verify in
+  Domain.DLS.get pending_key := Some (gc, Oracle.snapshot gc);
+  Simstats.Hostprof.leave prof_prev
+
+let after_pause_checked gc pause =
   let pending = Domain.DLS.get pending_key in
   let snap =
     match !pending with
@@ -51,6 +55,12 @@ let after_pause gc pause =
       raise
         (Verification_failure
            (Nvmgc.Gc_config.describe (Nvmgc.Young_gc.config gc), msgs))
+
+let after_pause gc pause =
+  let prof_prev = Simstats.Hostprof.enter prof_verify in
+  Fun.protect
+    ~finally:(fun () -> Simstats.Hostprof.leave prof_prev)
+    (fun () -> after_pause_checked gc pause)
 
 (* Registration is process-global and must happen at most once even
    under concurrent callers: the compare-and-set elects a single

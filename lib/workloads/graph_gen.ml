@@ -31,23 +31,39 @@ type stats = {
 }
 
 (* Draw sizes so that the byte-weighted mean of the resulting population is
-   close to the profile's means. *)
-let node_shape (p : P.t) rng =
-  let mean_f = Float.max 1.0 p.P.mean_fields in
+   close to the profile's means.  The lognormal mu/sigma derivations are
+   per-profile constants, precomputed once per cycle ({!shapes_of}) — the
+   draws themselves are bit-identical to calling [Prng.lognormal]. *)
+type shape_params = {
+  fields_ln : Simstats.Prng.lognormal_params;
+  node_size_ln : Simstats.Prng.lognormal_params;
+  array_size_ln : Simstats.Prng.lognormal_params;
+}
+
+let shapes_of (p : P.t) =
+  {
+    fields_ln =
+      Simstats.Prng.lognormal_params ~mean:(Float.max 1.0 p.P.mean_fields)
+        ~cv:0.6;
+    node_size_ln =
+      Simstats.Prng.lognormal_params ~mean:p.P.mean_obj_bytes
+        ~cv:p.P.obj_size_cv;
+    array_size_ln =
+      Simstats.Prng.lognormal_params ~mean:p.P.mean_array_bytes
+        ~cv:p.P.obj_size_cv;
+  }
+
+let node_shape sp rng =
   let nfields =
-    max 1 (int_of_float (Simstats.Prng.lognormal rng ~mean:mean_f ~cv:0.6 +. 0.5))
+    max 1 (int_of_float (Simstats.Prng.lognormal_draw rng sp.fields_ln +. 0.5))
   in
   let base = Simheap.Layout.header_bytes + (nfields * Simheap.Layout.ref_bytes) in
-  let size =
-    Simstats.Prng.lognormal rng ~mean:p.P.mean_obj_bytes ~cv:p.P.obj_size_cv
-  in
+  let size = Simstats.Prng.lognormal_draw rng sp.node_size_ln in
   let size = max base (8 * ((int_of_float size + 7) / 8)) in
   (size, nfields)
 
-let array_shape (p : P.t) rng =
-  let size =
-    Simstats.Prng.lognormal rng ~mean:p.P.mean_array_bytes ~cv:p.P.obj_size_cv
-  in
+let array_shape (p : P.t) sp rng =
+  let size = Simstats.Prng.lognormal_draw rng sp.array_size_ln in
   let size = max 32 (8 * ((int_of_float size + 7) / 8)) in
   (min size (p.P.region_bytes / 2), 0)
 
@@ -107,6 +123,7 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
     { heap; profile; rng; eden = None; eden_count = 0; allocated = 0; live = 0 }
   in
   let target_live = P.live_bytes_per_gc profile in
+  let shapes = shapes_of profile in
   let nodes = ref [] and arrays = ref [] in
   let n_nodes = ref 0 and n_arrays = ref 0 in
   (* 1. Materialize the live population. *)
@@ -114,7 +131,8 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
   while !continue_ && b.live < target_live do
     let is_array = Simstats.Prng.float rng 1.0 < profile.P.array_fraction in
     let size, nfields =
-      if is_array then array_shape profile rng else node_shape profile rng
+      if is_array then array_shape profile shapes rng
+      else node_shape shapes rng
     in
     match alloc_live b size nfields with
     | None -> continue_ := false

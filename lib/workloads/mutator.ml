@@ -75,6 +75,8 @@ let record_app_traffic memory (profile : P.t) ~space ~from_ns ~until_ns =
 
 (** Run [gcs] mutation/GC cycles of [profile] against an existing heap,
     memory system and collector.  Deterministic in [seed]. *)
+let prof_graphgen = Simstats.Hostprof.register "workload.graphgen"
+
 let run ~heap ~memory ~gc ~(profile : P.t) ~seed ~gcs =
   let rng = Simstats.Prng.create seed in
   let old_pool = Old_space.create heap in
@@ -86,8 +88,13 @@ let run ~heap ~memory ~gc ~(profile : P.t) ~seed ~gcs =
     Simheap.Heap.clear_roots heap;
     Old_space.reset_cycle old_pool;
     let graph =
-      Graph_gen.generate ~heap ~profile ~rng:(Simstats.Prng.split rng)
-        ~old_pool
+      let prof_prev = Simstats.Hostprof.enter prof_graphgen in
+      let g =
+        Graph_gen.generate ~heap ~profile ~rng:(Simstats.Prng.split rng)
+          ~old_pool
+      in
+      Simstats.Hostprof.leave prof_prev;
+      g
     in
     let phase = app_phase_ns profile ~device in
     record_app_traffic memory profile

@@ -177,6 +177,92 @@ let test_fuzz_tamper_same_failure_across_jobs () =
     (Simcheck.Fuzz.report_to_string r1)
     (Simcheck.Fuzz.report_to_string r4)
 
+(* ------------------------------------------------------------------ *)
+(* Sizing and retention (the parallel-engine-slowdown regression tests) *)
+
+let test_pool_clamps_to_host () =
+  let host = Pool.host_domains () in
+  Pool.with_pool ~domains:(host + 61) (fun pool ->
+      Alcotest.(check int) "requested preserved" (host + 61)
+        (Pool.requested pool);
+      Alcotest.(check int) "size clamped to host domains" host (Pool.size pool);
+      Alcotest.(check int) "effective_jobs agrees" (Pool.size pool)
+        (Pool.effective_jobs (host + 61));
+      (* A clamped pool still honours the determinism contract. *)
+      let r = Pool.run pool (fun i -> i * 3) 17 in
+      Array.iteri
+        (fun i v -> Alcotest.(check int) "clamped pool result" (i * 3) v)
+        r);
+  Pool.with_pool ~domains:0 (fun pool ->
+      Alcotest.(check int) "domains:0 clamps up to 1" 1 (Pool.size pool))
+
+(* The batch closure (and everything it captures) must become garbage as
+   soon as the batch completes — an idle pool holding the last sweep's
+   tasks alive pins every tracer/metrics sink they captured. *)
+let payload_weak = Weak.create 1
+
+let[@inline never] run_batch_with_payload pool =
+  let payload = Bytes.make 4096 'x' in
+  Weak.set payload_weak 0 (Some payload);
+  let r = Pool.run pool (fun i -> ignore (Sys.opaque_identity payload); i) 16 in
+  Alcotest.(check int) "batch completed" 16 (Array.length r)
+
+let test_pool_drops_completed_batch () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      run_batch_with_payload pool;
+      Gc.full_major ();
+      Gc.full_major ();
+      Alcotest.(check bool) "payload collected while pool is idle" true
+        (Weak.get payload_weak 0 = None))
+
+(* Small campaigns fall back to the serial path regardless of the
+   requested job count — and the fallback is invisible in the report. *)
+let test_fuzz_small_batch_serial_fallback () =
+  Alcotest.(check int) "small campaign runs serially" 1
+    (Simcheck.Fuzz.effective_jobs ~cases:4 ~variants:2 ~max_objects:40 8);
+  Alcotest.(check bool) "large campaign keeps its jobs" true
+    (Simcheck.Fuzz.effective_jobs ~cases:500 ~variants:2 ~max_objects:40 8 > 1);
+  let campaign jobs =
+    Simcheck.Fuzz.run ~jobs ~cases:4 ~seed:31 ~variants:fuzz_variants ()
+  in
+  let serial = campaign 1 and fallback = campaign 8 in
+  Alcotest.(check bool) "campaign passes" true (Simcheck.Fuzz.ok fallback);
+  Alcotest.(check string) "report identical through the fallback"
+    (Simcheck.Fuzz.report_to_string serial)
+    (Simcheck.Fuzz.report_to_string fallback)
+
+(* Oversubscription must not slow a batch down: a pool asked for far
+   more workers than the host has runs the same batch in comparable
+   wall-clock (the pre-clamp engine was *slower* at higher --jobs).  The
+   tolerance is deliberately loose — shared CI hosts jitter by tens of
+   percent — but catches the multi-x blowup this PR fixed. *)
+let cpu_task i =
+  let acc = ref i in
+  for k = 1 to 200_000 do
+    acc := (!acc * 1103515245) + k
+  done;
+  !acc
+
+let test_pool_oversubscription_tolerance () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let batch pool = ignore (Sys.opaque_identity (Pool.run pool cpu_task 64)) in
+  (* Warm-up to take domain spawn out of both measurements. *)
+  Pool.with_pool ~domains:1 (fun pool -> batch pool);
+  let serial_s = Pool.with_pool ~domains:1 (fun pool -> time (fun () -> batch pool)) in
+  let over_s =
+    Pool.with_pool ~domains:(Pool.host_domains () * 8) (fun pool ->
+        time (fun () -> batch pool))
+  in
+  let limit = (serial_s *. 3.0) +. 0.25 in
+  if over_s > limit then
+    Alcotest.failf
+      "oversubscribed pool too slow: %.3fs vs %.3fs serial (limit %.3fs)"
+      over_s serial_s limit
+
 let () =
   Alcotest.run "exec"
     [
@@ -190,6 +276,14 @@ let () =
             test_pool_reraises_lowest_failure;
           Alcotest.test_case "pool reusable across batches" `Quick
             test_pool_reusable_across_batches;
+          Alcotest.test_case "size clamps to host domains" `Quick
+            test_pool_clamps_to_host;
+          Alcotest.test_case "completed batch is dropped" `Quick
+            test_pool_drops_completed_batch;
+          Alcotest.test_case "small fuzz batch falls back to serial" `Quick
+            test_fuzz_small_batch_serial_fallback;
+          Alcotest.test_case "oversubscription within tolerance" `Slow
+            test_pool_oversubscription_tolerance;
         ] );
       ( "determinism",
         [

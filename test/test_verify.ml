@@ -126,9 +126,18 @@ let quiet_env () =
   (heap, gc, pause)
 
 let some_live_object heap =
+  (* Lowest-addressed binding: the address table's iteration order is
+     unspecified, and the detection tests need a deterministic victim
+     that is reachable from the roots — the lowest address sits in the
+     first region the generator filled. *)
   let found = ref None in
-  H.iter_bindings (fun _ obj -> if !found = None then found := Some obj) heap;
-  Option.get !found
+  H.iter_bindings
+    (fun addr obj ->
+      match !found with
+      | Some (a, _) when a <= addr -> ()
+      | _ -> found := Some (addr, obj))
+    heap;
+  snd (Option.get !found)
 
 let test_invariants_catch_forward () =
   let heap, gc, _ = quiet_env () in
@@ -192,12 +201,38 @@ let test_oracle_catches_lost_object () =
   let old_pool = Workloads.Old_space.create heap in
   let rng = Simstats.Prng.create 31 in
   ignore (Workloads.Graph_gen.generate ~heap ~profile ~rng ~old_pool);
+  (* Ids that are *young* going into the pause: only those are tracked
+     by the oracle, so only losing one of them must be detected
+     (unbinding an old-pool object is correctly invisible to the
+     diff). *)
+  let young_ids = Hashtbl.create 256 in
+  H.iter_bindings
+    (fun addr obj ->
+      if H.in_heap_range heap addr then
+        match (H.region_of_addr heap addr).Simheap.Region.kind with
+        | Simheap.Region.Eden | Simheap.Region.Survivor ->
+            Hashtbl.replace young_ids obj.O.id ()
+        | Simheap.Region.Old | Simheap.Region.Cache | Simheap.Region.Free ->
+            ())
+    heap;
   let snap = Verify.Oracle.snapshot gc in
   let pause = Nvmgc.Young_gc.collect gc ~now_ns:0.0 in
   check_int "baseline: oracle agrees" 0
     (List.length (Verify.Oracle.diff snap gc pause));
-  (* "Lose" one evacuated object. *)
-  let victim = some_live_object heap in
+  (* "Lose" one evacuated object: the lowest-addressed surviving young
+     binding (lowest-addressed for determinism — the address table's
+     iteration order is unspecified). *)
+  let victim =
+    let found = ref None in
+    H.iter_bindings
+      (fun addr obj ->
+        if Hashtbl.mem young_ids obj.O.id then
+          match !found with
+          | Some (a, _) when a <= addr -> ()
+          | _ -> found := Some (addr, obj))
+      heap;
+    snd (Option.get !found)
+  in
   H.unbind heap victim.O.addr;
   check_bool "lost survivor detected" true
     (Verify.Oracle.diff snap gc pause <> []);
