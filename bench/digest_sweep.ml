@@ -8,7 +8,10 @@
    the change perturbed simulated behaviour and is NOT a pure
    optimization.
 
-   Usage: dune exec bench/digest_sweep.exe [-- --jobs N] *)
+   With --record the continuous recorder is installed for the whole
+   sweep: the digest must not move, proving recording is pure
+   observation.  Usage:
+   dune exec bench/digest_sweep.exe [-- --jobs N] [--record] *)
 
 let sweep_apps =
   let preferred =
@@ -24,15 +27,19 @@ let sweep_apps =
 
 let () =
   let jobs = ref 1 in
+  let record = ref false in
   let i = ref 1 in
   while !i < Array.length Sys.argv do
     (match Sys.argv.(!i) with
     | "--jobs" when !i + 1 < Array.length Sys.argv ->
         incr i;
         jobs := int_of_string Sys.argv.(!i)
+    | "--record" -> record := true
     | arg -> failwith ("digest_sweep: unknown argument " ^ arg));
     incr i
   done;
+  if !record then
+    Nvmtrace.Hooks.set_recorder (Some (Nvmtrace.Recorder.create ()));
   let options =
     {
       Experiments.Runner.default_options with

@@ -72,6 +72,25 @@ let options_term =
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:"Write the telemetry metrics registry as CSV to $(docv).")
   in
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Write the continuous recorder's per-window time series \
+             (bandwidth by cause, write amplification, gauges) as CSV to \
+             $(docv), plus a Prometheus text exposition next to it.")
+  in
+  let stats_window =
+    Arg.(
+      value & opt float 1.0
+      & info [ "stats-window" ] ~docv:"MS"
+          ~doc:
+            "Recorder window width in simulated milliseconds (default 1).  \
+             Pure observation: simulated results are byte-identical at any \
+             value.")
+  in
   let log_level_conv =
     let parse s =
       match Nvmtrace.Console.level_of_string s with
@@ -100,7 +119,7 @@ let options_term =
              value.")
   in
   let make seed threads gc_scale no_verify verbose trace_file metrics_file
-      log_gc jobs =
+      stats_file stats_window_ms log_gc jobs =
     {
       Experiments.Runner.seed;
       threads;
@@ -109,13 +128,15 @@ let options_term =
       verify = not no_verify;
       trace_file;
       metrics_file;
+      stats_file;
+      stats_window_ms;
       log_gc;
       jobs = max 1 jobs;
     }
   in
   Term.(
     const make $ seed $ threads $ gc_scale $ no_verify $ verbose $ trace
-    $ metrics $ log_gc $ jobs)
+    $ metrics $ stats $ stats_window $ log_gc $ jobs)
 
 let list_apps_cmd =
   let doc = "List the 26 application profiles." in
@@ -227,8 +248,9 @@ let run_cmd =
         Printf.printf
           "%s under %s (%d threads):\n  pauses: %d\n  GC time: %.3f ms (max \
            pause %.3f ms)\n  pause percentiles: p50 %.3f ms, p95 %.3f ms, \
-           p99 %.3f ms\n  app time: %.3f ms (GC share %.1f%%)\n  copied: \
-           %d objects, %.2f MB\n  avg NVM bandwidth during GC: %.0f MB/s\n"
+           p99 %.3f ms, p99.9 %.3f ms\n  app time: %.3f ms (GC share \
+           %.1f%%)\n  copied: %d objects, %.2f MB\n  avg NVM bandwidth \
+           during GC: %.0f MB/s\n"
           app
           (Experiments.Runner.setup_name setup)
           options.Experiments.Runner.threads totals.Nvmgc.Gc_stats.pauses
@@ -237,6 +259,7 @@ let run_cmd =
           (Nvmgc.Gc_stats.p50_pause_ns totals /. 1e6)
           (Nvmgc.Gc_stats.p95_pause_ns totals /. 1e6)
           (Nvmgc.Gc_stats.p99_pause_ns totals /. 1e6)
+          (Nvmgc.Gc_stats.p99_9_pause_ns totals /. 1e6)
           (Experiments.Runner.app_seconds r *. 1e3)
           (100.
           *. Workloads.Mutator.gc_share r.Experiments.Runner.result)
@@ -351,12 +374,13 @@ let fuzz_cmd =
                 (fun (f : Simcheck.Fuzz.failure) ->
                   Printf.fprintf oc
                     "replay: nvmgc_cli fuzz --cases 1 --seed %d --schedule \
-                     %d\nshrunk (threads %d, schedule %d, variant %s):\n%s\n"
+                     %d\nshrunk (threads %d, schedule %d, variant %s):\n%s\n%s"
                     f.Simcheck.Fuzz.heap_seed f.Simcheck.Fuzz.sched_seed
                     f.Simcheck.Fuzz.shrunk_threads
                     f.Simcheck.Fuzz.shrunk_sched_seed
                     f.Simcheck.Fuzz.shrunk_variant
-                    (Simcheck.Spec.to_string f.Simcheck.Fuzz.shrunk_spec))
+                    (Simcheck.Spec.to_string f.Simcheck.Fuzz.shrunk_spec)
+                    f.Simcheck.Fuzz.flight_dump)
                 report.Simcheck.Fuzz.failures;
               close_out oc);
           `Error
@@ -372,10 +396,116 @@ let fuzz_cmd =
         (const run $ cases $ seed $ schedule $ configs $ max_objects
        $ time_budget $ shrink_budget $ repro_file $ jobs))
 
+let stats_cmd =
+  let doc =
+    "Run one application with the continuous recorder installed and print \
+     its per-window time series (NVM/DRAM bandwidth split by cause, write \
+     amplification, write-cache and heap gauges) as CSV on stdout."
+  in
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application name (see list-apps).")
+  in
+  let setup_arg =
+    Arg.(
+      value
+      & opt setup_conv Experiments.Runner.All_opts
+      & info [ "config"; "c" ] ~docv:"CONFIG"
+          ~doc:"vanilla | writecache | all | dram | young-dram.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "window" ] ~docv:"MS"
+          ~doc:
+            "Recorder window width in simulated milliseconds (overrides \
+             --stats-window; default 1).")
+  in
+  let series_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "series" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated substrings selecting which CSV columns to \
+             print (e.g. nvm_write, track:, wc_hit); default: all.")
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let filter_csv csv series =
+    if series = [] then csv
+    else
+      match String.split_on_char '\n' csv with
+      | [] -> csv
+      | header :: rows ->
+          let keep =
+            List.mapi
+              (fun i name ->
+                i = 0 || List.exists (fun s -> contains name s) series)
+              (String.split_on_char ',' header)
+          in
+          let project line =
+            String.split_on_char ',' line
+            |> List.filteri (fun i _ ->
+                   match List.nth_opt keep i with Some k -> k | None -> false)
+            |> String.concat ","
+          in
+          (header :: rows)
+          |> List.filter_map (fun line ->
+                 if line = "" then None else Some (project line))
+          |> String.concat "\n"
+  in
+  let run options app setup window series =
+    match
+      List.find_opt
+        (fun (p : Workloads.App_profile.t) -> p.Workloads.App_profile.name = app)
+        Workloads.Apps.all
+    with
+    | None -> `Error (false, Printf.sprintf "unknown application %S" app)
+    | Some profile ->
+        guarded @@ fun () ->
+        let options =
+          match window with
+          | Some ms when ms > 0.0 ->
+              { options with Experiments.Runner.stats_window_ms = ms }
+          | Some ms ->
+              invalid_arg (Printf.sprintf "--window must be positive: %g" ms)
+          | None -> options
+        in
+        let recorder =
+          Nvmtrace.Recorder.create
+            ~window_ns:(Experiments.Runner.recorder_window_ns options)
+            ()
+        in
+        let saved = Nvmtrace.Hooks.recorder () in
+        Nvmtrace.Hooks.set_recorder (Some recorder);
+        Fun.protect
+          ~finally:(fun () -> Nvmtrace.Hooks.set_recorder saved)
+          (fun () ->
+            ignore
+              (Experiments.Runner.execute options profile setup
+                : Experiments.Runner.run));
+        print_string (filter_csv (Nvmtrace.Recorder.to_csv recorder) series);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      ret
+        (const run $ options_term $ app_arg $ setup_arg $ window_arg
+       $ series_arg))
+
 let validate_trace_cmd =
   let doc =
     "Validate a Chrome-trace file produced by --trace (parses the JSON, \
-     checks event shape and that at least one pause span is present)."
+     checks event shape and that at least one pause span is present).  \
+     When the sibling .jsonl event stream exists it is validated too and \
+     cross-checked against the Chrome trace: event counts and first/last \
+     timestamps must agree exactly."
   in
   let file =
     Arg.(
@@ -383,17 +513,38 @@ let validate_trace_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
   in
+  let jsonl_sibling path =
+    (try Filename.chop_extension path with Invalid_argument _ -> path)
+    ^ ".jsonl"
+  in
   let run file =
     match Nvmtrace.Sinks.validate_trace_file file with
-    | Ok s ->
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok s -> (
         Printf.printf
           "%s: valid Chrome trace (%d events: %d spans of which %d pauses, \
-           %d instants, %d lanes)\n"
+           %d instants, %d counters, %d lanes)\n"
           file s.Nvmtrace.Sinks.total_events s.Nvmtrace.Sinks.span_events
           s.Nvmtrace.Sinks.pause_spans s.Nvmtrace.Sinks.instant_events
-          s.Nvmtrace.Sinks.lanes;
-        `Ok ()
-    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          s.Nvmtrace.Sinks.counter_events s.Nvmtrace.Sinks.lanes;
+        let jsonl = jsonl_sibling file in
+        if not (Sys.file_exists jsonl) then begin
+          Printf.printf "%s: no JSONL sibling, skipping cross-check\n" jsonl;
+          `Ok ()
+        end
+        else
+          match Nvmtrace.Sinks.validate_jsonl_file jsonl with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" jsonl msg)
+          | Ok j -> (
+              match Nvmtrace.Sinks.cross_check s j with
+              | Ok () ->
+                  Printf.printf
+                    "%s: valid JSONL stream, consistent with the Chrome \
+                     trace (%d events)\n"
+                    jsonl j.Nvmtrace.Sinks.total_events;
+                  `Ok ()
+              | Error msg -> `Error (false, Printf.sprintf "%s: %s" jsonl msg)
+              ))
   in
   Cmd.v (Cmd.info "validate-trace" ~doc) Term.(ret (const run $ file))
 
@@ -404,7 +555,7 @@ let () =
     Cmd.group info
       [
         list_apps_cmd; list_experiments_cmd; fig_cmd; run_cmd; all_cmd;
-        fuzz_cmd; validate_trace_cmd;
+        fuzz_cmd; stats_cmd; validate_trace_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -25,6 +25,28 @@ dune exec bin/nvmgc_cli.exe -- validate-trace "$tmp/trace.json"
 test -s "$tmp/metrics.csv"
 test -s "$tmp/trace.jsonl"
 
+# Continuous-recorder smoke (also covered by `dune build @recorder`): a
+# run with --stats must yield a non-empty per-window CSV and Prometheus
+# exposition.
+dune build @recorder
+dune exec bin/nvmgc_cli.exe -- run page-rank --threads 8 --gc-scale 0.1 \
+  --stats "$tmp/stats.csv" > /dev/null
+test -s "$tmp/stats.csv"
+test -s "$tmp/stats.prom"
+
+# Recording must be pure observation: the sweep digest is byte-identical
+# with the recorder armed and disarmed, serial and parallel.
+d_off=$(dune exec bench/digest_sweep.exe -- --jobs 1 | awk '{print $NF}')
+d_on=$(dune exec bench/digest_sweep.exe -- --jobs 1 --record \
+  | awk '{print $NF}')
+d_on8=$(dune exec bench/digest_sweep.exe -- --jobs 8 --record \
+  | awk '{print $NF}')
+if [ "$d_off" != "$d_on" ] || [ "$d_off" != "$d_on8" ]; then
+  echo "ci: recorder perturbed simulated results" \
+    "(digest off=$d_off on=$d_on on,jobs8=$d_on8)" >&2
+  exit 1
+fi
+
 # Multicore engine smoke: the whole figure/table sweep driven through the
 # work-stealing domain pool (`--jobs`).  Output is byte-identical at any
 # job count, so parallelism here is pure wall-clock; the timing line
@@ -41,6 +63,10 @@ echo "all-figures smoke (--jobs $jobs): $(($(date +%s) - start))s," \
 # and emits BENCH_throughput.json; --check fails the build when the rate
 # drops below 0.9x the recorded pre-optimization baseline.
 dune exec bench/bench_throughput.exe -- --check
+
+# Recorder-overhead gate: the same roofline with the continuous recorder
+# armed must still clear the 0.9x baseline check.
+dune exec bench/bench_throughput.exe -- --check --record
 
 # Parallel non-degradation gate: bench_parallel times the same sweep at
 # --jobs 1/2/4/8 inside one process and emits BENCH_parallel.json.  The

@@ -205,7 +205,19 @@ let defer_async_flush t th =
 (* ------------------------------------------------------------------ *)
 (* Cost charging                                                       *)
 
+(* Continuous-recorder attribution for each charge category.  The time
+   breakdown keeps the fine 10-way split; traffic folds into the
+   recorder's coarser cross-subsystem taxonomy. *)
+let cause_of_category = function
+  | Cat_locate | Cat_copy_read | Cat_copy_write | Cat_forward | Cat_ref_update
+  | Cat_scan ->
+      Nvmtrace.Recorder.Evac_copy
+  | Cat_header_map -> Nvmtrace.Recorder.Header_map
+  | Cat_flush -> Nvmtrace.Recorder.Wc_writeback
+  | Cat_cleanup | Cat_cpu -> Nvmtrace.Recorder.Gc_other
+
 let charge ?force_device t th ~cat ~addr ~space ~kind ~pattern ~bytes =
+  Memsim.Memory.set_cause t.memory (cause_of_category cat);
   Memsim.Memory.access_into ?force_device t.memory ~now_ns:!(th.clock) ~addr
     ~space ~kind ~pattern ~bytes;
   let d = Memsim.Memory.last_duration t.memory in
@@ -256,6 +268,9 @@ let flush_pair t th (pair : Write_cache.pair) =
       ~pattern:Memsim.Access.Sequential ~bytes:used
   end;
   Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
+  if Nvmtrace.Hooks.recording () then
+    Nvmtrace.Hooks.sample ~now_ns:!(th.clock) "wc.pairs_outstanding"
+      (float_of_int (Hashtbl.length t.pair_of_cache_region));
   if Nvmtrace.Hooks.tracing () then
     Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-complete"
       ~ts_ns:!(th.clock)
@@ -534,11 +549,13 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
               (Simheap.Heap.region_of_addr t.heap target).R.space
             else Memsim.Access.Dram
           in
+          Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Evac_copy;
           charge_cpu th
             (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock) ~addr:target
                space);
           match t.header_map with
           | Some map ->
+              Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Header_map;
               charge_cpu th
                 (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock)
                    ~addr:(Header_map.probe_addr map ~key:target)

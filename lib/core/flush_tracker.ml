@@ -69,7 +69,12 @@ let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
           | Some _ | None -> None
         in
         if same_pair_item <> None then
-          Nvmtrace.Hooks.count "flush_tracker.rearms";
+          Nvmtrace.Hooks.count "flush_tracker.rearms"
+        else
+          (* Tracking lost: the pair waits for the write-only sub-phase.
+             Counting these makes the conservatism of the Figure-4c
+             heuristic visible in the metrics/recorder output. *)
+          Nvmtrace.Hooks.count "flush_tracker.lost_tracking";
         pair.Write_cache.last <- same_pair_item;
         Keep
       end

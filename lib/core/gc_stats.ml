@@ -123,6 +123,18 @@ let total_pause_s totals = totals.total_pause_ns /. 1e9
 let p50_pause_ns totals = Simstats.Percentile.p50 totals.reservoir
 let p95_pause_ns totals = Simstats.Percentile.p95 totals.reservoir
 let p99_pause_ns totals = Simstats.Percentile.p99 totals.reservoir
+let p99_9_pause_ns totals = Simstats.Percentile.p99_9 totals.reservoir
+
+(** Pause-duration tail summary in ms — the SLO line the run-level log
+    and the CLI print. *)
+let pp_percentiles fmt totals =
+  Format.fprintf fmt
+    "p50 %.3fms p95 %.3fms p99 %.3fms p99.9 %.3fms max %.3fms"
+    (p50_pause_ns totals /. 1e6)
+    (p95_pause_ns totals /. 1e6)
+    (p99_pause_ns totals /. 1e6)
+    (p99_9_pause_ns totals /. 1e6)
+    (totals.max_pause_ns /. 1e6)
 
 (** One-line per-pause summary, used by the console log sink
     ([--log-gc debug]) and anywhere a pause needs pretty-printing. *)

@@ -58,9 +58,14 @@ val p50_pause_ns : totals -> float
 
 val p95_pause_ns : totals -> float
 val p99_pause_ns : totals -> float
+val p99_9_pause_ns : totals -> float
 
 val pp_pause : Format.formatter -> pause -> unit
 (** One-line summary of a pause (used by the console log sink). *)
+
+val pp_percentiles : Format.formatter -> totals -> unit
+(** Tail summary [p50/p95/p99/p99.9/max] in ms, for the JVM-style
+    run-level log line and the CLI. *)
 
 val avg_nvm_bandwidth_mbps : totals -> float
 (** Pause-time-weighted average across pauses. *)

@@ -132,6 +132,7 @@ let cleanup_header_map t evac ~from_ns =
       let slices = cleanup_slices ~bytes ~threads:nthreads in
       let offset = ref 0 in
       let finish = ref from_ns in
+      Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Gc_other;
       Array.iteri
         (fun i (th : Evacuation.thread) ->
           let slice = slices.(i) in
@@ -232,6 +233,8 @@ let collect t ~now_ns =
   in
   let cleanup_end = cleanup_header_map t evac ~from_ns:flush_end in
   reclaim t evac ~cset;
+  (* The pause is over: traffic reverts to the mutator. *)
+  Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Mutator;
   let after = Memsim.Memory.snapshot t.memory in
   let sum f = Array.fold_left (fun acc th -> acc + f th) 0 threads in
   let overhead = t.config.Gc_config.pause_overhead_ns in
@@ -265,6 +268,30 @@ let collect t ~now_ns =
   in
   Gc_stats.add t.totals pause;
   let gc_n = t.totals.Gc_stats.pauses in
+  (* Continuous-recorder feeds: per-pause derived series on the simulated
+     clock.  [gc.live_bytes_evacuated] is the write-amplification
+     denominator; the rest are the gauges the paper's §3 analysis reads
+     (cache effectiveness, flush backlog, heap headroom). *)
+  if Nvmtrace.Hooks.recording () then begin
+    Nvmtrace.Hooks.track ~now_ns:cleanup_end Nvmtrace.Recorder.live_bytes_track
+      (float_of_int pause.Gc_stats.bytes_copied);
+    let traverse_s = (traverse_end -. now_ns +. overhead) *. 1e-9 in
+    if traverse_s > 0.0 then
+      Nvmtrace.Hooks.sample ~now_ns:cleanup_end "gc.evac_throughput_mbps"
+        (float_of_int pause.Gc_stats.bytes_copied /. 1e6 /. traverse_s);
+    if pause.Gc_stats.bytes_copied > 0 then
+      Nvmtrace.Hooks.sample ~now_ns:cleanup_end "gc.wc_hit_rate"
+        (float_of_int pause.Gc_stats.bytes_cached
+        /. float_of_int pause.Gc_stats.bytes_copied);
+    Nvmtrace.Hooks.sample ~now_ns:cleanup_end "gc.flush_queue_depth"
+      (float_of_int sync_flushes);
+    Nvmtrace.Hooks.sample ~now_ns:cleanup_end "heap.free_regions"
+      (float_of_int (Simheap.Heap.free_regions t.heap));
+    Nvmtrace.Hooks.sample ~now_ns:cleanup_end "heap.free_cache_regions"
+      (float_of_int (Simheap.Heap.free_cache_regions t.heap));
+    if t.header_map <> None then
+      Nvmtrace.Hooks.sample ~now_ns:cleanup_end "hm.occupancy" hm_occupancy
+  end;
   (* Telemetry: the pause and its sub-phases as lane-0 spans.  The four
      phase spans tile [pause_start_ns, cleanup_end] exactly (the pure
      observation here can never move a clock; enforced by test). *)

@@ -1,0 +1,110 @@
+(** Extra figure: the paper's Figure 6/7 bandwidth story as a continuous
+    signal — per-cause NVM write bandwidth over the whole run, read from
+    the continuous recorder ({!Nvmtrace.Recorder}) instead of per-run
+    aggregate bars.  Shows {e when} each subsystem writes (mutator
+    allocation between pauses, evacuation copies and write-cache
+    write-backs inside them) and the run's write-amplification ratio. *)
+
+module T = Simstats.Table
+module Rec = Nvmtrace.Recorder
+
+let setups = [ Runner.All_opts; Runner.Vanilla ]
+
+let profile () =
+  match
+    List.find_opt
+      (fun a -> a.Workloads.App_profile.name = "page-rank")
+      Workloads.Apps.all
+  with
+  | Some p -> p
+  | None -> List.hd Workloads.Apps.all
+
+(* Run [f] with a private recorder installed (restoring any ambient one)
+   and return the recording. *)
+let with_recorder ~window_ns f =
+  let saved = Nvmtrace.Hooks.recorder () in
+  let recorder = Rec.create ~window_ns () in
+  Nvmtrace.Hooks.set_recorder (Some recorder);
+  Fun.protect
+    ~finally:(fun () -> Nvmtrace.Hooks.set_recorder saved)
+    (fun () ->
+      f ();
+      recorder)
+
+(* Fold [n] per-window byte counts down to at most [points] coarse rows
+   of average MB/s. *)
+let coarse_mbps ~window_ns ~n ~points get =
+  let m = min points (max 1 n) in
+  let out = Array.make m 0.0 in
+  let per = float_of_int n /. float_of_int m in
+  for i = 0 to m - 1 do
+    let lo = int_of_float (float_of_int i *. per) in
+    let hi = max lo (min (n - 1) (int_of_float (float_of_int (i + 1) *. per) - 1)) in
+    let acc = ref 0.0 in
+    for w = lo to hi do
+      acc := !acc +. get w
+    done;
+    let span_s = float_of_int (hi - lo + 1) *. window_ns *. 1e-9 in
+    out.(i) <- !acc /. 1e6 /. span_s
+  done;
+  out
+
+let points = 20
+
+let print_setup options (profile : Workloads.App_profile.t) setup =
+  let window_ns = Runner.recorder_window_ns options in
+  let recorder =
+    with_recorder ~window_ns (fun () ->
+        ignore (Runner.execute options profile setup : Runner.run))
+  in
+  let n = Rec.windows recorder in
+  if n = 0 then
+    Printf.printf "%s under %s: no traffic recorded\n\n" profile.name
+      (Runner.setup_name setup)
+  else begin
+    let cause_series =
+      List.map
+        (fun c ->
+          let s = Rec.series recorder ~nvm:true ~write:true c in
+          let get w =
+            if w < Simstats.Timeseries.length s then Simstats.Timeseries.get s w
+            else 0.0
+          in
+          (c, coarse_mbps ~window_ns ~n ~points get))
+        Rec.all_causes
+    in
+    let table =
+      T.create
+        ~title:
+          (Printf.sprintf "%s under %s: NVM write MB/s by cause" profile.name
+             (Runner.setup_name setup))
+        (T.col "t(ms)"
+        :: List.map (fun c -> T.col (Rec.cause_name c)) Rec.all_causes)
+    in
+    let m = Array.length (snd (List.hd cause_series)) in
+    let per_row = float_of_int n /. float_of_int m *. window_ns /. 1e6 in
+    for i = 0 to m - 1 do
+      T.add_row table
+        (T.fs (float_of_int i *. per_row)
+        :: List.map (fun (_, mbps) -> T.fs1 mbps.(i)) cause_series)
+    done;
+    T.print table;
+    List.iter
+      (fun (c, mbps) ->
+        if Array.exists (fun v -> v > 0.0) mbps then
+          Printf.printf "  %-12s %s  (total %.2f MB)\n" (Rec.cause_name c)
+            (T.sparkline mbps)
+            (Rec.total recorder ~nvm:true ~write:true c /. 1e6))
+      cause_series;
+    let wa = Rec.write_amplification recorder in
+    if Float.is_finite wa then
+      Printf.printf
+        "  NVM bytes written / live bytes evacuated (write amplification): \
+         %.3f\n"
+        wa;
+    print_newline ()
+  end
+
+let print (options : Runner.options) =
+  let profile = profile () in
+  List.iter (fun setup -> print_setup options profile setup) setups

@@ -96,6 +96,12 @@ let all =
       run = (fun o -> Ablations.print o);
     };
     {
+      id = "fig6-causes";
+      description =
+        "per-cause NVM write bandwidth time series + write amplification (extra)";
+      run = Fig_cause_timeline.print;
+    };
+    {
       id = "cat-llc";
       description = "Sec. 4.3 CAT experiment: GC time vs LLC share (extra)";
       run = (fun o -> Cat_llc.print o);

@@ -22,6 +22,11 @@ type options = {
           stream) of every pause to this path *)
   metrics_file : string option;
       (** write the metrics-registry CSV dump to this path *)
+  stats_file : string option;
+      (** write the continuous recorder's per-window CSV here (plus a
+          sibling [.prom] Prometheus-style exposition) *)
+  stats_window_ms : float;
+      (** recorder window width in simulated milliseconds *)
   log_gc : Logs.level option;
       (** GC console-log level ([--log-gc]); [None] defers to [verbose] *)
   jobs : int;
@@ -39,6 +44,8 @@ let default_options =
     verify = true;
     trace_file = None;
     metrics_file = None;
+    stats_file = None;
+    stats_window_ms = 1.0;
     log_gc = None;
     jobs = 1;
   }
@@ -64,6 +71,13 @@ let jsonl_path trace_path =
   (try Filename.chop_extension trace_path with Invalid_argument _ -> trace_path)
   ^ ".jsonl"
 
+(* The Prometheus sibling of "stats.csv" is "stats.prom". *)
+let prom_path stats_path =
+  (try Filename.chop_extension stats_path with Invalid_argument _ -> stats_path)
+  ^ ".prom"
+
+let recorder_window_ns options = options.stats_window_ms *. 1e6
+
 let with_telemetry options f =
   let tracer =
     Option.map (fun _ -> Nvmtrace.Tracer.create ()) options.trace_file
@@ -71,29 +85,62 @@ let with_telemetry options f =
   let metrics =
     Option.map (fun _ -> Nvmtrace.Metrics.create ()) options.metrics_file
   in
+  (* The recorder is always installed: the flight ring is the black box
+     every verification/fuzz failure dumps, so it must already be
+     running when the failure happens.  Bounded memory, pure
+     observation; the windowed exports are only written out when
+     [stats_file] asks for them. *)
+  let recorder =
+    Nvmtrace.Recorder.create ~window_ns:(recorder_window_ns options) ()
+  in
   (match console_level options with
   | Some level -> Nvmtrace.Console.install ~level ()
   | None -> ());
   Nvmtrace.Hooks.set_tracer tracer;
   Nvmtrace.Hooks.set_metrics metrics;
+  Nvmtrace.Hooks.set_recorder (Some recorder);
+  let run () =
+    try f ()
+    with
+    | (Verify.Hooks.Verification_failure _ | Nvmgc.Evacuation.Evacuation_failure _)
+      as e ->
+      (* The invariant just failed: ship the last few milliseconds of
+         memory-system history with the report. *)
+      prerr_string (Nvmtrace.Recorder.flight_dump recorder);
+      prerr_newline ();
+      raise e
+  in
   Fun.protect
     ~finally:(fun () ->
       Nvmtrace.Hooks.set_tracer None;
       Nvmtrace.Hooks.set_metrics None;
+      Nvmtrace.Hooks.set_recorder None;
       (match (options.trace_file, tracer) with
       | Some path, Some tracer ->
+          (* Merge the recorder's per-window counter tracks into the
+             trace before serializing, so Perfetto shows the bandwidth
+             breakdown above the pause lanes. *)
+          Nvmtrace.Recorder.add_counter_tracks recorder tracer;
           Out_channel.with_open_bin path (fun oc ->
               Nvmtrace.Sinks.write_chrome_trace oc tracer);
           Out_channel.with_open_bin (jsonl_path path) (fun oc ->
               Nvmtrace.Sinks.write_jsonl oc tracer)
       | _ -> ());
+      (match options.stats_file with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (Nvmtrace.Recorder.to_csv recorder));
+          Out_channel.with_open_bin (prom_path path) (fun oc ->
+              Out_channel.output_string oc
+                (Nvmtrace.Recorder.to_prometheus recorder))
+      | None -> ());
       match (options.metrics_file, metrics) with
       | Some path, Some metrics ->
           Out_channel.with_open_bin path (fun oc ->
               Nvmtrace.Sinks.write_metrics_csv oc
                 (Nvmtrace.Metrics.snapshot metrics))
       | _ -> ())
-    f
+    run
 
 (* A gc_scale small enough to round a profile's GC count to zero silently
    turns "scaled-down run" into "minimum-length run" — worth one warning
@@ -134,6 +181,7 @@ let parallel_map options ~f items =
     let parent = Nvmtrace.Hooks.ambient () in
     let want_tracer = parent.Nvmtrace.Hooks.tracer <> None in
     let want_metrics = parent.Nvmtrace.Hooks.metrics <> None in
+    let parent_recorder = parent.Nvmtrace.Hooks.recorder in
     let want_console = Nvmtrace.Console.installed () in
     (* Process-global registration must precede the spawn of any worker
        domain (see Verify.Hooks). *)
@@ -145,10 +193,17 @@ let parallel_map options ~f items =
       let metrics =
         if want_metrics then Some (Nvmtrace.Metrics.create ()) else None
       in
+      let recorder =
+        Option.map
+          (fun r ->
+            Nvmtrace.Recorder.create
+              ~window_ns:(Nvmtrace.Recorder.window_ns r) ())
+          parent_recorder
+      in
       let console = if want_console then Some (Buffer.create 256) else None in
       let saved_scope = Nvmtrace.Hooks.ambient () in
       let saved_capture = Nvmtrace.Console.capture () in
-      Nvmtrace.Hooks.set_ambient { Nvmtrace.Hooks.tracer; metrics };
+      Nvmtrace.Hooks.set_ambient { Nvmtrace.Hooks.tracer; metrics; recorder };
       Nvmtrace.Console.set_capture console;
       let value =
         Fun.protect
@@ -157,23 +212,26 @@ let parallel_map options ~f items =
             Nvmtrace.Console.set_capture saved_capture)
           (fun () -> f items.(i))
       in
-      (value, tracer, metrics, console)
+      (value, tracer, metrics, recorder, console)
     in
     let results =
       Exec.Pool.with_pool ~domains:(max 1 options.jobs) (fun pool ->
           Exec.Pool.run pool task n)
     in
     Array.iter
-      (fun (_, tracer, metrics, console) ->
+      (fun (_, tracer, metrics, recorder, console) ->
         (match (parent.Nvmtrace.Hooks.tracer, tracer) with
         | Some into, Some src -> Nvmtrace.Tracer.append ~into src
         | _ -> ());
         (match (parent.Nvmtrace.Hooks.metrics, metrics) with
         | Some into, Some src -> Nvmtrace.Metrics.merge ~into src
         | _ -> ());
+        (match (parent_recorder, recorder) with
+        | Some into, Some src -> Nvmtrace.Recorder.merge ~into src
+        | _ -> ());
         Option.iter Nvmtrace.Console.replay console)
       results;
-    Array.to_list (Array.map (fun (v, _, _, _) -> v) results)
+    Array.to_list (Array.map (fun (v, _, _, _, _) -> v) results)
   end
 
 (* The common sweep shape: every (app, setup) cell independently, then
@@ -281,15 +339,11 @@ let execute ?threads ?gcs ?(trace = false) ?(llc_scale = 1.0) ?nvm ?dram
   Logs.info ~src:Nvmtrace.Console.src (fun m ->
       m
         ~tags:(Nvmtrace.Console.tags ~now_ns:result.Workloads.Mutator.end_ns)
-        "%s under %s: %d pauses, GC %.3fms of %.3fms; pause p50 %.3fms p95 \
-         %.3fms p99 %.3fms max %.3fms"
+        "%s under %s: %d pauses, GC %.3fms of %.3fms; pause %a"
         profile.P.name (setup_name setup) totals.Nvmgc.Gc_stats.pauses
         (result.Workloads.Mutator.gc_ns /. 1e6)
         (result.Workloads.Mutator.end_ns /. 1e6)
-        (Nvmgc.Gc_stats.p50_pause_ns totals /. 1e6)
-        (Nvmgc.Gc_stats.p95_pause_ns totals /. 1e6)
-        (Nvmgc.Gc_stats.p99_pause_ns totals /. 1e6)
-        (totals.Nvmgc.Gc_stats.max_pause_ns /. 1e6));
+        Nvmgc.Gc_stats.pp_percentiles totals);
   { result; gc; memory }
 
 let gc_seconds run =

@@ -87,6 +87,10 @@ type t = {
   dur : float ref;
       (** duration of the last {!access_into} charge — an out-parameter
           cell so the hot path never boxes a returned float *)
+  mutable cause : Nvmtrace.Recorder.cause;
+      (** attribution for the continuous recorder: the subsystem whose
+          accesses are currently being charged.  Set by the GC around its
+          phases (see [Evacuation.charge]); purely observational. *)
 }
 
 let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
@@ -165,9 +169,13 @@ let create config =
       Array.init 2 (fun _ ->
           Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
     dur = ref 0.0;
+    cause = Nvmtrace.Recorder.Mutator;
   }
 
 let llc t = t.llc
+
+let set_cause t cause = t.cause <- cause
+let current_cause t = t.cause
 
 let decay_mix t mix ~now_ns =
   let dt = now_ns -. mix.last_ns in
@@ -243,7 +251,15 @@ let charge_writeback_sc t ~now_ns ~nvm ~seq =
     t.totals.(idx).write_bytes +. float_of_int Llc.line_bytes;
   if t.config.trace_enabled then
     Simstats.Timeseries.add t.trace_write.(idx) ~time_ns:now_ns
-      (float_of_int Llc.line_bytes)
+      (float_of_int Llc.line_bytes);
+  (* Evicted dirty lines are posted write-backs: flush-pipeline traffic
+     regardless of which subsystem dirtied the line. *)
+  match Nvmtrace.Hooks.recorder () with
+  | None -> ()
+  | Some r ->
+      Nvmtrace.Recorder.traffic r ~from_ns:now_ns ~until_ns:now_ns ~nvm
+        ~write:true ~cause:Nvmtrace.Recorder.Flush_pipe
+        ~bytes:(float_of_int Llc.line_bytes)
 
 (* Charge the dirty eviction (if any) left pending by the last [Llc]
    [_q] call. *)
@@ -356,6 +372,12 @@ let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
     Simstats.Timeseries.add_spread series ~from_ns:now_ns
       ~until_ns:(now_ns +. duration) b
   end;
+  (match Nvmtrace.Hooks.recorder () with
+  | None -> ()
+  | Some r ->
+      Nvmtrace.Recorder.traffic r ~from_ns:now_ns
+        ~until_ns:(now_ns +. duration) ~nvm:(space = Access.Nvm)
+        ~write:is_write ~cause:t.cause ~bytes:b);
   t.dur := duration;
   Simstats.Hostprof.leave prof_prev
 
@@ -389,7 +411,13 @@ let prefetch t ~now_ns ~addr space =
       t.totals.(idx).read_bytes +. float_of_int Llc.line_bytes;
     if t.config.trace_enabled then
       Simstats.Timeseries.add t.trace_read.(idx) ~time_ns:now_ns
-        (float_of_int Llc.line_bytes)
+        (float_of_int Llc.line_bytes);
+    (match Nvmtrace.Hooks.recorder () with
+    | None -> ()
+    | Some r ->
+        Nvmtrace.Recorder.traffic r ~from_ns:now_ns ~until_ns:now_ns
+          ~nvm:(space = Access.Nvm) ~write:false ~cause:t.cause
+          ~bytes:(float_of_int Llc.line_bytes))
   end;
   1.5
 
@@ -399,8 +427,16 @@ let prefetch t ~now_ns ~addr space =
 let record_background t ~from_ns ~until_ns ~space ~read_bytes ~write_bytes =
   let idx = space_index space in
   let tot = t.totals.(idx) in
-  tot.read_bytes <- tot.read_bytes +. read_bytes;
-  tot.write_bytes <- tot.write_bytes +. write_bytes;
+  (* Round the accounted bytes to whole bytes: every other totals
+     contribution is integer-valued, and integer-valued float sums below
+     2^53 are exact, which is what lets the recorder's per-cause totals
+     sum exactly to these aggregates regardless of summation order.  The
+     mix EMA keeps the caller's raw value (via the same truncation as
+     before), so simulated timing is unaffected. *)
+  let read_acc = Float.round read_bytes in
+  let write_acc = Float.round write_bytes in
+  tot.read_bytes <- tot.read_bytes +. read_acc;
+  tot.write_bytes <- tot.write_bytes +. write_acc;
   record_mix t space ~now_ns:until_ns ~bytes:(int_of_float read_bytes)
     Access.Read Access.Random;
   record_mix t space ~now_ns:until_ns ~bytes:(int_of_float write_bytes)
@@ -412,7 +448,15 @@ let record_background t ~from_ns ~until_ns ~space ~read_bytes ~write_bytes =
     if write_bytes > 0.0 then
       Simstats.Timeseries.add_spread t.trace_write.(idx) ~from_ns ~until_ns
         write_bytes
-  end
+  end;
+  match Nvmtrace.Hooks.recorder () with
+  | None -> ()
+  | Some r ->
+      let nvm = space = Access.Nvm in
+      Nvmtrace.Recorder.traffic r ~from_ns ~until_ns ~nvm ~write:false
+        ~cause:t.cause ~bytes:read_acc;
+      Nvmtrace.Recorder.traffic r ~from_ns ~until_ns ~nvm ~write:true
+        ~cause:t.cause ~bytes:write_acc
 
 type snapshot = {
   dram_read_bytes : float;

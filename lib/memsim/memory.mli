@@ -23,6 +23,13 @@ val create : config -> t
 val llc : t -> Llc.t
 val device : t -> Access.space -> Device.t
 
+val set_cause : t -> Nvmtrace.Recorder.cause -> unit
+(** Set the attribution tag for subsequent charges (continuous-recorder
+    bookkeeping only — never affects simulated results).  The GC sets
+    this around its phases and restores [Mutator] afterwards. *)
+
+val current_cause : t -> Nvmtrace.Recorder.cause
+
 val write_frac : t -> Access.space -> now_ns:float -> float
 (** Write fraction of recent traffic to the space (EMA-windowed). *)
 

@@ -187,7 +187,27 @@ type failure = {
   shrunk_sched_seed : int;
   shrunk_variant : string;
   shrunk_messages : string list;
+  flight_dump : string;
+      (** the continuous recorder's flight-ring dump of the shrunk
+          reproducer — the last milliseconds of memory-system history
+          before the failure *)
 }
+
+(* Re-run a case with a private flight recorder installed and return the
+   ring dump: the memory-system history that accompanies the shrunk
+   reproducer.  Recording is pure observation, so the re-run fails
+   identically; the private install is restored even if it raises. *)
+let capture_flight ?tamper ~variants ~spec ~threads ~sched_seed () =
+  let saved = Nvmtrace.Hooks.recorder () in
+  let recorder = Nvmtrace.Recorder.create () in
+  Nvmtrace.Hooks.set_recorder (Some recorder);
+  Fun.protect
+    ~finally:(fun () -> Nvmtrace.Hooks.set_recorder saved)
+    (fun () ->
+      ignore
+        (run_case ?tamper ~variants ~spec ~threads ~sched_seed ()
+          : ((variant * _) list) * _);
+      Nvmtrace.Recorder.flight_dump recorder)
 
 let shrink_failure ?tamper ~variants ~budget (case : case) (variant, messages)
     =
@@ -217,6 +237,10 @@ let shrink_failure ?tamper ~variants ~budget (case : case) (variant, messages)
     | Some (v, m) -> (v, m)
     | None -> (variant, messages)
   in
+  let flight_dump =
+    capture_flight ?tamper ~variants ~spec:shrunk_spec ~threads:!threads
+      ~sched_seed:!sched ()
+  in
   {
     case_index = case.index;
     heap_seed = case.heap_seed;
@@ -229,6 +253,7 @@ let shrink_failure ?tamper ~variants ~budget (case : case) (variant, messages)
     shrunk_sched_seed = !sched;
     shrunk_variant;
     shrunk_messages;
+    flight_dump;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -389,6 +414,8 @@ let pp_failure ppf f =
     f.shrunk_threads f.shrunk_sched_seed f.shrunk_variant;
   List.iter (fun m -> Format.fprintf ppf "  %s@," m) f.shrunk_messages;
   Format.fprintf ppf "%a@," Spec.pp f.shrunk_spec;
+  String.split_on_char '\n' f.flight_dump
+  |> List.iter (fun l -> if l <> "" then Format.fprintf ppf "%s@," l);
   Format.fprintf ppf "replay: nvmgc_cli fuzz --cases 1 --seed %d --schedule %d@]"
     f.heap_seed f.sched_seed
 

@@ -49,6 +49,11 @@ type failure = {
   shrunk_sched_seed : int;
   shrunk_variant : string;
   shrunk_messages : string list;
+  flight_dump : string;
+      (** flight-recorder dump of the shrunk reproducer: the last
+          milliseconds of memory-system history before the failure,
+          captured by re-running the reproducer with a private
+          {!Nvmtrace.Recorder} installed *)
 }
 
 type variant_summary = {

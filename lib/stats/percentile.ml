@@ -52,6 +52,7 @@ let quantile r p =
 let p50 r = quantile r 0.50
 let p95 r = quantile r 0.95
 let p99 r = quantile r 0.99
+let p99_9 r = quantile r 0.999
 
 let max_sample r =
   let a = sorted r in

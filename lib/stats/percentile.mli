@@ -19,5 +19,6 @@ val quantile : reservoir -> float -> float
 val p50 : reservoir -> float
 val p95 : reservoir -> float
 val p99 : reservoir -> float
+val p99_9 : reservoir -> float
 val max_sample : reservoir -> float
 val mean : reservoir -> float

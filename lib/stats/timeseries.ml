@@ -35,10 +35,26 @@ let add t ~time_ns v =
     memory transfer's bytes over its simulated duration. *)
 let add_spread t ~from_ns ~until_ns v =
   if until_ns <= from_ns then add t ~time_ns:from_ns v
+  else if
+    (* Hot path: the whole interval inside one bucket (typical for a
+       single memory access against a 1 ms window) — one direct add, no
+       proportional split (which would also round [v * total / total]). *)
+    until_ns <= float_of_int (max 0 (bucket_of t from_ns) + 1) *. t.bucket_ns
+  then add t ~time_ns:from_ns v
   else begin
     let total = until_ns -. from_ns in
     let first = max 0 (bucket_of t from_ns) in
-    let last = max 0 (bucket_of t (until_ns -. 1e-9)) in
+    (* Last bucket overlapped by the half-open interval.  When [until_ns]
+       lands exactly on a bucket boundary the interval stops at the
+       previous bucket; subtracting an epsilon is not robust (it is
+       absorbed for large timestamps and would leave a spurious empty
+       trailing bucket), so compare against the candidate's start
+       directly. *)
+    let last =
+      let cand = max first (bucket_of t until_ns) in
+      if float_of_int cand *. t.bucket_ns >= until_ns then max first (cand - 1)
+      else cand
+    in
     ensure t last;
     for idx = first to last do
       let b_start = float_of_int idx *. t.bucket_ns in
@@ -67,13 +83,21 @@ let total t = Vec.fold_left ( +. ) 0.0 t.buckets
 let resample t n =
   let len = Vec.length t.buckets in
   if len = 0 || n <= 0 then [||]
+  else if n >= len then
+    (* Identity: nothing to fold, and the epsilon arithmetic below is
+       not exact enough to be trusted with per = 1. *)
+    Vec.to_array t.buckets
   else begin
     let out = Array.make (min n len) 0.0 in
     let m = Array.length out in
     let per = float_of_int len /. float_of_int m in
     for i = 0 to m - 1 do
       let lo = int_of_float (float_of_int i *. per) in
-      let hi = min (len - 1) (int_of_float ((float_of_int (i + 1) *. per) -. 1e-9)) in
+      let hi =
+        max lo
+          (min (len - 1)
+             (int_of_float ((float_of_int (i + 1) *. per) -. 1e-9)))
+      in
       let acc = ref 0.0 in
       for j = lo to hi do
         acc := !acc +. Vec.get t.buckets j

@@ -7,9 +7,13 @@
     at join time (see [Experiments.Runner.parallel_map]).  A freshly
     spawned domain starts with nothing installed. *)
 
-type scope = { tracer : Tracer.t option; metrics : Metrics.t option }
+type scope = {
+  tracer : Tracer.t option;
+  metrics : Metrics.t option;
+  recorder : Recorder.t option;
+}
 
-let empty = { tracer = None; metrics = None }
+let empty = { tracer = None; metrics = None; recorder = None }
 
 let scope_key : scope Domain.DLS.key = Domain.DLS.new_key (fun () -> empty)
 
@@ -21,6 +25,9 @@ let tracer () = (ambient ()).tracer
 let tracing () = (ambient ()).tracer <> None
 let set_metrics m = set_ambient { (ambient ()) with metrics = m }
 let metrics () = (ambient ()).metrics
+let set_recorder r = set_ambient { (ambient ()) with recorder = r }
+let recorder () = (ambient ()).recorder
+let recording () = (ambient ()).recorder <> None
 
 let span ~lane ~name ~start_ns ~end_ns ?args () =
   match (ambient ()).tracer with
@@ -51,3 +58,18 @@ let gauge name v =
   match (ambient ()).metrics with
   | None -> ()
   | Some m -> Metrics.set_gauge m name v
+
+let traffic ~from_ns ~until_ns ~nvm ~write ~cause ~bytes =
+  match (ambient ()).recorder with
+  | None -> ()
+  | Some r -> Recorder.traffic r ~from_ns ~until_ns ~nvm ~write ~cause ~bytes
+
+let sample ~now_ns name v =
+  match (ambient ()).recorder with
+  | None -> ()
+  | Some r -> Recorder.sample r ~now_ns name v
+
+let track ~now_ns name v =
+  match (ambient ()).recorder with
+  | None -> ()
+  | Some r -> Recorder.track r ~now_ns name v

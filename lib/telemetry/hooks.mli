@@ -26,7 +26,11 @@
     submission order, which keeps serialized output independent of the
     worker count. *)
 
-type scope = { tracer : Tracer.t option; metrics : Metrics.t option }
+type scope = {
+  tracer : Tracer.t option;
+  metrics : Metrics.t option;
+  recorder : Recorder.t option;
+}
 (** One domain's complete installation. *)
 
 val ambient : unit -> scope
@@ -45,6 +49,12 @@ val tracing : unit -> bool
 
 val set_metrics : Metrics.t option -> unit
 val metrics : unit -> Metrics.t option
+val set_recorder : Recorder.t option -> unit
+val recorder : unit -> Recorder.t option
+
+val recording : unit -> bool
+(** True iff a recorder is installed.  Traffic call sites guard on this
+    so the disabled path stays free of float boxing. *)
 
 val span :
   lane:int ->
@@ -72,3 +82,19 @@ val observe : string -> float -> unit
 (** Record into a named histogram in the installed registry. *)
 
 val gauge : string -> float -> unit
+
+val traffic :
+  from_ns:float ->
+  until_ns:float ->
+  nvm:bool ->
+  write:bool ->
+  cause:Recorder.cause ->
+  bytes:float ->
+  unit
+(** Attribute traffic to the installed recorder (no-op otherwise). *)
+
+val sample : now_ns:float -> string -> float -> unit
+(** Gauge-style recorder observation (no-op when no recorder). *)
+
+val track : now_ns:float -> string -> float -> unit
+(** Cumulative recorder counter increment (no-op when no recorder). *)

@@ -146,6 +146,28 @@ let snapshot (t : t) =
           });
   }
 
+(* Upper-bound quantile estimate from the bucket ladder: walk the
+   cumulative counts to the bucket containing the p-rank and report its
+   upper bound (clamped to the observed max; the overflow slot reports
+   the max directly).  With geometric bounds the estimate is exact for
+   values at or below the first bound and within one doubling above. *)
+let hist_quantile (h : hist) p =
+  if h.n = 0 then nan
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int h.n))) in
+    let nb = Array.length h.bounds in
+    let cum = ref 0 and found = ref (-1) in
+    let i = ref 0 in
+    while !found < 0 && !i < nb do
+      cum := !cum + h.counts.(!i);
+      if !cum >= rank then found := !i;
+      Stdlib.incr i
+    done;
+    if !found < 0 then h.max
+    else Float.min h.bounds.(!found) h.max
+  end
+
 let diff ~before ~after =
   let find name assoc = List.assoc_opt name assoc in
   {

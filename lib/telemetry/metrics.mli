@@ -49,6 +49,14 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h p] is an upper-bound estimate of the [p]-quantile
+    ([0 <= p <= 1], clamped) read from the bucket ladder: the upper
+    bound of the bucket containing the p-rank, clamped to the observed
+    max ([nan] when empty).  For {!default_buckets} the estimate [e]
+    satisfies [v <= e] and, above the first bound, [e < 2 v] — one
+    geometric doubling of slack. *)
+
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-name deltas of counters and histogram counts/sums (names missing
     in [before] count as zero); gauges and histogram min/max are taken

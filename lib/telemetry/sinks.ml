@@ -37,6 +37,20 @@ let event_json = function
           ("tid", Json.Int i.Tracer.i_lane);
           ("args", args_json i.Tracer.i_args);
         ]
+  | Tracer.Counter c ->
+      (* Counter tracks render as stacked per-process areas in Perfetto;
+         they carry no lane. *)
+      Json.Obj
+        [
+          ("name", Json.Str c.Tracer.c_name);
+          ("cat", Json.Str "gc");
+          ("ph", Json.Str "C");
+          ("ts", Json.Float (us c.Tracer.c_ts_ns));
+          ("pid", Json.Int 1);
+          ( "args",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Float v)) c.Tracer.c_values) );
+        ]
 
 let metadata_json tracer =
   let thread_meta (lane, name) =
@@ -127,57 +141,85 @@ type trace_summary = {
   pause_spans : int;
   span_events : int;
   instant_events : int;
+  counter_events : int;
   lanes : int;
+  first_ts_us : float;
+  last_ts_us : float;
 }
+
+(* Shared shape check over a list of parsed events; the Chrome document
+   and its JSONL sibling carry the same events, just framed differently. *)
+let summarize_events events =
+  let pauses = ref 0
+  and spans = ref 0
+  and instants = ref 0
+  and counters = ref 0
+  and lanes = ref 0
+  and first_ts = ref nan
+  and last_ts = ref nan in
+  let see_ts ev =
+    let ts =
+      match Json.member "ts" ev with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    match ts with
+    | None -> ()
+    | Some ts ->
+        if Float.is_nan !first_ts || ts < !first_ts then first_ts := ts;
+        if Float.is_nan !last_ts || ts > !last_ts then last_ts := ts
+  in
+  let check_event ev =
+    match (Json.member "ph" ev, Json.member "name" ev) with
+    | Some (Json.Str ph), name -> begin
+        (match ph with
+        | "X" ->
+            incr spans;
+            see_ts ev;
+            if name = Some (Json.Str "pause") then incr pauses
+        | "i" ->
+            incr instants;
+            see_ts ev
+        | "C" ->
+            incr counters;
+            see_ts ev
+        | "M" -> if name = Some (Json.Str "thread_name") then incr lanes
+        | _ -> ());
+        Ok ()
+      end
+    | Some _, _ -> Error "event with non-string \"ph\""
+    | None, _ -> Error "event without \"ph\""
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | ev :: rest -> begin
+        match check_event ev with Ok () -> check rest | Error _ as e -> e
+      end
+  in
+  match check events with
+  | Error msg -> Error msg
+  | Ok () ->
+      if !pauses = 0 then Error "trace contains no pause span"
+      else
+        Ok
+          {
+            total_events = List.length events;
+            pause_spans = !pauses;
+            span_events = !spans;
+            instant_events = !instants;
+            counter_events = !counters;
+            lanes = !lanes;
+            first_ts_us = !first_ts;
+            last_ts_us = !last_ts;
+          }
 
 let validate_trace src =
   match Json.of_string src with
   | Error msg -> Error msg
   | Ok doc -> begin
       match Json.member "traceEvents" doc with
-      | Some (Json.List events) -> begin
-          let pauses = ref 0
-          and spans = ref 0
-          and instants = ref 0
-          and lanes = ref 0 in
-          let check_event ev =
-            match (Json.member "ph" ev, Json.member "name" ev) with
-            | Some (Json.Str ph), name -> begin
-                (match ph with
-                | "X" ->
-                    incr spans;
-                    if name = Some (Json.Str "pause") then incr pauses
-                | "i" -> incr instants
-                | "M" ->
-                    if name = Some (Json.Str "thread_name") then incr lanes
-                | _ -> ());
-                Ok ()
-              end
-            | Some _, _ -> Error "event with non-string \"ph\""
-            | None, _ -> Error "event without \"ph\""
-          in
-          let rec check = function
-            | [] -> Ok ()
-            | ev :: rest -> begin
-                match check_event ev with
-                | Ok () -> check rest
-                | Error _ as e -> e
-              end
-          in
-          match check events with
-          | Error msg -> Error msg
-          | Ok () ->
-              if !pauses = 0 then Error "trace contains no pause span"
-              else
-                Ok
-                  {
-                    total_events = List.length events;
-                    pause_spans = !pauses;
-                    span_events = !spans;
-                    instant_events = !instants;
-                    lanes = !lanes;
-                  }
-        end
+      | Some (Json.List events) -> summarize_events events
       | Some _ -> Error "\"traceEvents\" is not an array"
       | None -> Error "document has no \"traceEvents\" member"
     end
@@ -186,3 +228,55 @@ let validate_trace_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | src -> validate_trace src
   | exception Sys_error msg -> Error msg
+
+let validate_jsonl src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then Error "JSONL sink is empty"
+  else begin
+    let rec parse acc n = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> begin
+          match Json.of_string l with
+          | Ok j -> parse (j :: acc) (n + 1) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" n msg)
+        end
+    in
+    match parse [] 1 lines with
+    | Error _ as e -> e
+    | Ok events -> summarize_events events
+  end
+
+let validate_jsonl_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> validate_jsonl src
+  | exception Sys_error msg -> Error msg
+
+let cross_check chrome jsonl =
+  let mismatch what a b =
+    Error (Printf.sprintf "chrome/jsonl mismatch: %s (%s vs %s)" what a b)
+  in
+  let check_int what a b =
+    if a = b then Ok () else mismatch what (string_of_int a) (string_of_int b)
+  in
+  let check_ts what a b =
+    (* Exact equality: both sinks serialize the same float through the
+       same codec.  Both-nan means "no timestamped events" and matches. *)
+    if a = b || (Float.is_nan a && Float.is_nan b) then Ok ()
+    else mismatch what (Printf.sprintf "%.17g" a) (Printf.sprintf "%.17g" b)
+  in
+  let ( let* ) = Result.bind in
+  let* () = check_int "total event count" chrome.total_events jsonl.total_events in
+  let* () = check_int "pause spans" chrome.pause_spans jsonl.pause_spans in
+  let* () = check_int "span events" chrome.span_events jsonl.span_events in
+  let* () =
+    check_int "instant events" chrome.instant_events jsonl.instant_events
+  in
+  let* () =
+    check_int "counter events" chrome.counter_events jsonl.counter_events
+  in
+  let* () = check_int "lanes" chrome.lanes jsonl.lanes in
+  let* () = check_ts "first timestamp" chrome.first_ts_us jsonl.first_ts_us in
+  check_ts "last timestamp" chrome.last_ts_us jsonl.last_ts_us

@@ -29,7 +29,10 @@ type trace_summary = {
   pause_spans : int;
   span_events : int;
   instant_events : int;
+  counter_events : int;  (** ["ph":"C"] counter-track samples *)
   lanes : int;  (** distinct thread lanes named by metadata *)
+  first_ts_us : float;  (** earliest timestamp seen ([nan] if none) *)
+  last_ts_us : float;  (** latest timestamp seen ([nan] if none) *)
 }
 
 val validate_trace : string -> (trace_summary, string) result
@@ -38,3 +41,14 @@ val validate_trace : string -> (trace_summary, string) result
     one pause span.  Returns counts for reporting. *)
 
 val validate_trace_file : string -> (trace_summary, string) result
+
+val validate_jsonl : string -> (trace_summary, string) result
+(** Same shape check over the JSONL sibling sink (one JSON object per
+    non-empty line). *)
+
+val validate_jsonl_file : string -> (trace_summary, string) result
+
+val cross_check : trace_summary -> trace_summary -> (unit, string) result
+(** Compare a Chrome-trace summary against its JSONL sibling's: all
+    event counts and the first/last timestamps must agree exactly (both
+    sinks serialize the same recording). *)

@@ -18,7 +18,13 @@ type instant = {
   i_args : (string * arg) list;
 }
 
-type event = Span of span | Instant of instant
+type counter = {
+  c_name : string;
+  c_ts_ns : float;
+  c_values : (string * float) list;
+}
+
+type event = Span of span | Instant of instant | Counter of counter
 
 let dummy_event = Instant { i_name = ""; i_lane = 0; i_ts_ns = 0.0; i_args = [] }
 
@@ -46,6 +52,10 @@ let span t ~lane ~name ~start_ns ~end_ns ?(args = []) () =
 let instant t ~lane ~name ~ts_ns ?(args = []) () =
   Simstats.Vec.push t.events
     (Instant { i_name = name; i_lane = lane; i_ts_ns = ts_ns; i_args = args })
+
+let counter t ~name ~ts_ns ~values =
+  Simstats.Vec.push t.events
+    (Counter { c_name = name; c_ts_ns = ts_ns; c_values = values })
 
 let set_lane_name t ~lane name = Hashtbl.replace t.lanes lane name
 

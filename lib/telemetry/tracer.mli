@@ -30,7 +30,16 @@ type instant = {
   i_args : (string * arg) list;
 }
 
-type event = Span of span | Instant of instant
+type counter = {
+  c_name : string;
+  c_ts_ns : float;
+  c_values : (string * float) list;
+}
+(** A Chrome counter-track sample (["ph":"C"]): a named multi-series
+    value at one instant, rendered by Perfetto as a stacked area
+    track.  Emitted by {!Recorder.add_counter_tracks}. *)
+
+type event = Span of span | Instant of instant | Counter of counter
 
 type t
 
@@ -57,6 +66,9 @@ val instant :
   ?args:(string * arg) list ->
   unit ->
   unit
+
+val counter : t -> name:string -> ts_ns:float -> values:(string * float) list -> unit
+(** Record a counter-track sample. *)
 
 val set_lane_name : t -> lane:int -> string -> unit
 (** Name a lane (idempotent; last name wins). *)

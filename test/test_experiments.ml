@@ -11,13 +11,16 @@ let subset = [ Workloads.Apps.reactors; Workloads.Apps.page_rank ]
 
 let test_registry () =
   let ids = Experiments.Registry.ids () in
-  check_int "18 experiments" 18 (List.length ids);
+  check_int "19 experiments" 19 (List.length ids);
   check_int "unique ids" (List.length ids)
     (List.length (List.sort_uniq compare ids));
   List.iter
     (fun id ->
       check_bool ("find " ^ id) true (Experiments.Registry.find id <> None))
-    [ "fig1"; "fig5"; "fig13"; "tab-prefetch"; "step-analysis"; "cat-llc" ];
+    [
+      "fig1"; "fig5"; "fig13"; "tab-prefetch"; "step-analysis"; "cat-llc";
+      "fig6-causes";
+    ];
   check_bool "unknown id" true (Experiments.Registry.find "fig99" = None)
 
 let test_runner_setups () =

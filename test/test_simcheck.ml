@@ -203,6 +203,53 @@ let test_shrunk_spec_still_instantiates () =
   check_bool "shrunk spec instantiates and captures" true
     (Array.length (G.capture inst.Spec.heap).G.nodes > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: every shrunk failure ships with the last memory
+   history of its reproducer.                                          *)
+
+let test_failure_carries_flight_dump () =
+  let tamper name (inst : Spec.instance) =
+    if name = "ps-all" then begin
+      let unbound = ref false in
+      let try_unbind (o : Simheap.Objmodel.t) =
+        if
+          (not !unbound)
+          && Option.is_some (Simheap.Heap.lookup inst.Spec.heap o.addr)
+        then begin
+          Simheap.Heap.unbind inst.Spec.heap o.addr;
+          unbound := true
+        end
+      in
+      Array.iter try_unbind inst.Spec.holders;
+      Array.iter try_unbind inst.Spec.objects
+    end
+  in
+  let r =
+    Fuzz.run ~cases:4 ~seed:99
+      ~variants:[ "g1-baseline"; "ps-all" ]
+      ~tamper ()
+  in
+  check_bool "tampered campaign fails" false (Fuzz.ok r);
+  check_bool "at least one failure" true (List.length r.Fuzz.failures > 0);
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      check_bool "flight dump non-empty" true
+        (String.length f.Fuzz.flight_dump > 0);
+      check_bool "flight dump has the recorder header" true
+        (contains ~sub:"flight recorder" f.Fuzz.flight_dump);
+      check_bool "flight dump captured traffic" true
+        (contains ~sub:"traffic events" f.Fuzz.flight_dump))
+    r.Fuzz.failures;
+  (* The printed report — what lands in --repro-file and CI logs —
+     includes the dump next to the shrunk reproducer. *)
+  check_bool "report embeds the flight dump" true
+    (contains ~sub:"flight recorder" (Fuzz.report_to_string r))
+
 let () =
   Alcotest.run "simcheck"
     [
@@ -235,5 +282,7 @@ let () =
             test_shrinker_minimizes;
           Alcotest.test_case "shrunk spec instantiates" `Quick
             test_shrunk_spec_still_instantiates;
+          Alcotest.test_case "failure carries flight dump" `Quick
+            test_failure_carries_flight_dump;
         ] );
     ]

@@ -227,6 +227,22 @@ let test_percentile_reservoir () =
   Alcotest.(check bool) "p99 > p95" true
     (Simstats.Percentile.p99 r > Simstats.Percentile.p95 r)
 
+let test_percentile_p99_9 () =
+  let r = Simstats.Percentile.create_reservoir () in
+  for i = 1 to 2000 do
+    Simstats.Percentile.add r (float_of_int i)
+  done;
+  let p50 = Simstats.Percentile.p50 r in
+  let p95 = Simstats.Percentile.p95 r in
+  let p99 = Simstats.Percentile.p99 r in
+  let p99_9 = Simstats.Percentile.p99_9 r in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p99 <= p99.9" true (p99 <= p99_9);
+  Alcotest.(check bool) "p99.9 <= max" true
+    (p99_9 <= Simstats.Percentile.max_sample r);
+  Alcotest.(check bool) "p99.9 above p99 on a long tail" true (p99_9 > p99)
+
 let prop_percentile_bounded =
   QCheck2.Test.make ~name:"percentile within min/max" ~count:200
     QCheck2.Gen.(
@@ -287,6 +303,49 @@ let test_timeseries_degenerate_spread () =
   let ts = Simstats.Timeseries.create ~bucket_ns:100.0 in
   Simstats.Timeseries.add_spread ts ~from_ns:120.0 ~until_ns:120.0 7.0;
   check_float "degenerate goes to one bucket" 7.0 (Simstats.Timeseries.get ts 1)
+
+let prop_spread_mass_conserved =
+  QCheck2.Test.make
+    ~name:"add_spread conserves mass (incl. degenerate intervals)" ~count:300
+    QCheck2.Gen.(
+      triple (float_range 0.0 2000.0) (float_range 0.0 2000.0)
+        (float_range 0.0 100.0))
+    (fun (a, b, v) ->
+      let from_ns = Float.min a b and until_ns = Float.max a b in
+      let ts = Simstats.Timeseries.create ~bucket_ns:100.0 in
+      Simstats.Timeseries.add_spread ts ~from_ns ~until_ns v;
+      Float.abs (Simstats.Timeseries.total ts -. v) <= 1e-9 *. (1.0 +. v))
+
+let prop_spread_boundary_no_spill =
+  (* An interval ending exactly on a bucket boundary must not leak mass
+     into the bucket that starts there: the last touched bucket is the
+     one *before* the boundary. *)
+  QCheck2.Test.make ~name:"add_spread boundary-aligned end does not spill"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 0 20) (int_range 1 20))
+    (fun (lo, n) ->
+      let ts = Simstats.Timeseries.create ~bucket_ns:100.0 in
+      let from_ns = float_of_int lo *. 100.0 in
+      let until_ns = float_of_int (lo + n) *. 100.0 in
+      Simstats.Timeseries.add_spread ts ~from_ns ~until_ns 50.0;
+      Simstats.Timeseries.length ts = lo + n)
+
+let prop_resample_identity =
+  QCheck2.Test.make ~name:"resample with n >= length is the identity"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 0 10)
+        (list_size (int_range 1 30) (float_range 0.0 100.0)))
+    (fun (extra, xs) ->
+      let ts = Simstats.Timeseries.create ~bucket_ns:1.0 in
+      List.iteri
+        (fun i v -> Simstats.Timeseries.add ts ~time_ns:(float_of_int i) v)
+        xs;
+      let len = Simstats.Timeseries.length ts in
+      let r = Simstats.Timeseries.resample ts (len + extra) in
+      Array.length r = len
+      && Array.for_all (fun ok -> ok)
+           (Array.mapi (fun i v -> v = Simstats.Timeseries.get ts i) r))
 
 let test_timeseries_resample () =
   let ts = Simstats.Timeseries.create ~bucket_ns:1.0 in
@@ -355,6 +414,7 @@ let () =
         [
           Alcotest.test_case "exact" `Quick test_percentile_exact;
           Alcotest.test_case "reservoir" `Quick test_percentile_reservoir;
+          Alcotest.test_case "p99.9" `Quick test_percentile_p99_9;
           qc prop_percentile_bounded;
         ] );
       ( "moments",
@@ -370,6 +430,9 @@ let () =
           Alcotest.test_case "degenerate spread" `Quick
             test_timeseries_degenerate_spread;
           Alcotest.test_case "resample" `Quick test_timeseries_resample;
+          qc prop_spread_mass_conserved;
+          qc prop_spread_boundary_no_spill;
+          qc prop_resample_identity;
         ] );
       ( "table",
         [

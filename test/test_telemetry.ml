@@ -48,12 +48,12 @@ let traced =
 
 let spans tracer =
   List.filter_map
-    (function T.Span s -> Some s | T.Instant _ -> None)
+    (function T.Span s -> Some s | T.Instant _ | T.Counter _ -> None)
     (T.events tracer)
 
 let instants tracer =
   List.filter_map
-    (function T.Instant i -> Some i | T.Span _ -> None)
+    (function T.Instant i -> Some i | T.Span _ | T.Counter _ -> None)
     (T.events tracer)
 
 let pause_spans tracer =
@@ -270,6 +270,61 @@ let test_jsonl () =
           | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e)
         lines)
 
+let test_counter_events () =
+  (* Counter ("C") events serialize with their values as args and are
+     counted by both validators. *)
+  let tracer = T.create () in
+  T.set_lane_name tracer ~lane:0 "pause";
+  T.span tracer ~lane:0 ~name:"pause" ~start_ns:0.0 ~end_ns:10.0 ();
+  T.counter tracer ~name:"bytes/nvm_write" ~ts_ns:5.0
+    ~values:[ ("mutator", 3.0); ("evac-copy", 7.5) ];
+  let doc = J.to_string (Nvmtrace.Sinks.chrome_json tracer) in
+  (match Nvmtrace.Sinks.validate_trace doc with
+  | Error e -> Alcotest.failf "validate_trace: %s" e
+  | Ok s -> check_int "one counter event" 1 s.Nvmtrace.Sinks.counter_events);
+  check_bool "counter name serialized" true
+    (contains ~sub:"bytes/nvm_write" doc);
+  check_bool "counter value serialized" true (contains ~sub:"7.5" doc)
+
+let test_jsonl_cross_check () =
+  let _, tracer, _ = Lazy.force traced in
+  let chrome =
+    match
+      Nvmtrace.Sinks.validate_trace
+        (J.to_string (Nvmtrace.Sinks.chrome_json tracer))
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "chrome: %s" e
+  in
+  let buf = Buffer.create 4096 in
+  let path = Filename.temp_file "nvmgc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Nvmtrace.Sinks.write_jsonl oc tracer);
+      Buffer.add_string buf (In_channel.with_open_bin path In_channel.input_all));
+  let jsonl =
+    match Nvmtrace.Sinks.validate_jsonl (Buffer.contents buf) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "jsonl: %s" e
+  in
+  (match Nvmtrace.Sinks.cross_check chrome jsonl with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cross_check: %s" e);
+  (* Regression: a truncated JSONL stream must be caught, either as a
+     parse error or as a count mismatch against the Chrome trace. *)
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  let truncated =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < List.length lines - 4) lines)
+  in
+  match Nvmtrace.Sinks.validate_jsonl truncated with
+  | Error _ -> ()
+  | Ok t ->
+      check_bool "truncation detected by cross-check" true
+        (Result.is_error (Nvmtrace.Sinks.cross_check chrome t))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 
@@ -304,6 +359,80 @@ let test_metrics_units () =
   let csv = Nvmtrace.Sinks.metrics_csv after in
   check_bool "csv header" true (contains ~sub:"kind,name,field,value" csv);
   check_bool "csv counter row" true (contains ~sub:"counter,c,count,50" csv)
+
+(* Merge laws.  Ops use small-integer values: integer-valued float sums
+   below 2^53 are exact in any association, so snapshot equality is
+   byte-for-byte, not approximate. *)
+let apply_ops ops =
+  let m = Nvmtrace.Metrics.create () in
+  List.iter
+    (fun (kind, name_idx, v) ->
+      let name = [| "a"; "b"; "c" |].(name_idx mod 3) in
+      match kind mod 3 with
+      | 0 -> Nvmtrace.Metrics.incr m ~by:(v mod 100) name
+      | 1 -> Nvmtrace.Metrics.set_gauge m name (float_of_int v)
+      | _ -> Nvmtrace.Metrics.observe m name (float_of_int (1 + (v mod 10_000))))
+    ops;
+  m
+
+let sorted_snapshot m =
+  let s = Nvmtrace.Metrics.snapshot m in
+  let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  ( by_name s.Nvmtrace.Metrics.counters,
+    by_name s.Nvmtrace.Metrics.gauges,
+    by_name s.Nvmtrace.Metrics.histograms )
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (triple (int_range 0 2) (int_range 0 2) (int_range 0 10_000)))
+
+let prop_merge_commutative =
+  QCheck2.Test.make
+    ~name:"merge commutative on counters and histograms" ~count:100
+    QCheck2.Gen.(pair gen_ops gen_ops)
+    (fun (a, b) ->
+      let ab = apply_ops a in
+      Nvmtrace.Metrics.merge ~into:ab (apply_ops b);
+      let ba = apply_ops b in
+      Nvmtrace.Metrics.merge ~into:ba (apply_ops a);
+      let ca, _, ha = sorted_snapshot ab and cb, _, hb = sorted_snapshot ba in
+      (* gauges are last-wins by design, so they are excluded here *)
+      ca = cb && ha = hb)
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge associative (incl. gauges)" ~count:100
+    QCheck2.Gen.(triple gen_ops gen_ops gen_ops)
+    (fun (a, b, c) ->
+      let left = apply_ops a in
+      Nvmtrace.Metrics.merge ~into:left (apply_ops b);
+      Nvmtrace.Metrics.merge ~into:left (apply_ops c);
+      let bc = apply_ops b in
+      Nvmtrace.Metrics.merge ~into:bc (apply_ops c);
+      let right = apply_ops a in
+      Nvmtrace.Metrics.merge ~into:right bc;
+      sorted_snapshot left = sorted_snapshot right)
+
+let prop_hist_quantile_bounds =
+  (* Geometric buckets: the estimate never undershoots the exact sample
+     quantile, and past the first (inclusive) bound it overshoots by
+     less than the bucket growth factor of 2. *)
+  QCheck2.Test.make ~name:"hist_quantile accuracy bounds" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (int_range 1 2_000_000))
+        (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let m = Nvmtrace.Metrics.create () in
+      List.iter (fun v -> Nvmtrace.Metrics.observe m "h" (float_of_int v)) xs;
+      let snap = Nvmtrace.Metrics.snapshot m in
+      let h = List.assoc "h" snap.Nvmtrace.Metrics.histograms in
+      let estimate = Nvmtrace.Metrics.hist_quantile h p in
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int n))) in
+      let exact = float_of_int (List.nth sorted (rank - 1)) in
+      estimate >= exact && (exact <= 1e3 || estimate < 2.0 *. exact))
 
 let test_metrics_from_run () =
   let run, tracer, metrics = Lazy.force traced in
@@ -379,10 +508,13 @@ let test_gc_stats_percentiles () =
   let p50 = Nvmgc.Gc_stats.p50_pause_ns totals in
   let p95 = Nvmgc.Gc_stats.p95_pause_ns totals in
   let p99 = Nvmgc.Gc_stats.p99_pause_ns totals in
+  let p99_9 = Nvmgc.Gc_stats.p99_9_pause_ns totals in
   check_bool "p50 positive" true (p50 > 0.0);
   check_bool "p50 <= p95" true (p50 <= p95);
   check_bool "p95 <= p99" true (p95 <= p99);
-  check_bool "p99 <= max" true (p99 <= totals.Nvmgc.Gc_stats.max_pause_ns);
+  check_bool "p99 <= p99.9" true (p99 <= p99_9);
+  check_bool "p99.9 <= max" true
+    (p99_9 <= totals.Nvmgc.Gc_stats.max_pause_ns);
   match run.Experiments.Runner.result.Workloads.Mutator.pauses with
   | [] -> Alcotest.fail "no pauses"
   | pr :: _ ->
@@ -427,11 +559,16 @@ let () =
         [
           Alcotest.test_case "chrome roundtrip" `Quick test_chrome_roundtrip;
           Alcotest.test_case "jsonl" `Quick test_jsonl;
+          Alcotest.test_case "counter events" `Quick test_counter_events;
+          Alcotest.test_case "jsonl cross-check" `Quick test_jsonl_cross_check;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "units" `Quick test_metrics_units;
           Alcotest.test_case "from run" `Quick test_metrics_from_run;
+          QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_bounds;
         ] );
       ( "purity",
         [
