@@ -347,54 +347,89 @@ let fuzz_cmd =
             "Worker domains running fuzz cases (default: the recommended \
              domain count).  The report is identical at any value.")
   in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Run the crash-consistency campaign instead of the differential \
+             one: each case is killed at injected crash points \
+             mid-evacuation and the frozen NVM image is held to the \
+             recovery oracle (durable-flush byte-integrity, no forwarding \
+             leakage, closed surviving subgraph).")
+  in
+  let crash_step =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-step" ] ~docv:"STEP"
+          ~doc:
+            "With --crash: kill every run at exactly this crash point \
+             instead of campaign-drawn ones — the replay path for printed \
+             reproducers.")
+  in
+  let tamper =
+    Arg.(
+      value
+      & opt (some (enum Simcheck.Fuzz.tampers)) None
+      & info [ "tamper" ] ~docv:"KIND"
+          ~doc:
+            "With --crash: arm a one-shot protocol mutation \
+             ($(b,early-ready) reports a write-cache pair flushable before \
+             the protocol says so; $(b,drop-flush) reports a flush durable \
+             without writing the bytes) to mutation-test the recovery \
+             oracle.  The campaign is then expected to fail.")
+  in
   let run cases seed schedule configs max_objects time_budget shrink_budget
-      repro_file jobs =
+      repro_file jobs crash crash_step tamper =
     guarded @@ fun () ->
-    match
-      match schedule with
-      | Some sched_seed ->
-          Simcheck.Fuzz.replay ~max_objects ~shrink_budget ~variants:configs
-            ~heap_seed:seed ~sched_seed ()
-      | None ->
-          let time_budget_s =
-            if time_budget <= 0.0 then infinity else time_budget
-          in
-          Simcheck.Fuzz.run ~jobs:(max 1 jobs) ~max_objects ~shrink_budget
-            ~time_budget_s ~variants:configs ~cases ~seed ()
-    with
-    | report ->
-        print_endline (Simcheck.Fuzz.report_to_string report);
-        if Simcheck.Fuzz.ok report then `Ok ()
-        else begin
-          (match repro_file with
-          | None -> ()
-          | Some path ->
-              let oc = open_out path in
-              List.iter
-                (fun (f : Simcheck.Fuzz.failure) ->
-                  Printf.fprintf oc
-                    "replay: nvmgc_cli fuzz --cases 1 --seed %d --schedule \
-                     %d\nshrunk (threads %d, schedule %d, variant %s):\n%s\n%s"
-                    f.Simcheck.Fuzz.heap_seed f.Simcheck.Fuzz.sched_seed
-                    f.Simcheck.Fuzz.shrunk_threads
-                    f.Simcheck.Fuzz.shrunk_sched_seed
-                    f.Simcheck.Fuzz.shrunk_variant
-                    (Simcheck.Spec.to_string f.Simcheck.Fuzz.shrunk_spec)
-                    f.Simcheck.Fuzz.flight_dump)
-                report.Simcheck.Fuzz.failures;
-              close_out oc);
-          `Error
-            ( false,
-              Printf.sprintf "%d fuzz case(s) failed"
-                (List.length report.Simcheck.Fuzz.failures) )
-        end
-    | exception Invalid_argument msg -> `Error (false, msg)
+    if (crash_step <> None || tamper <> None) && not crash then
+      `Error (false, "--crash-step and --tamper require --crash")
+    else
+      let time_budget_s =
+        if time_budget <= 0.0 then infinity else time_budget
+      in
+      match
+        match (crash, schedule) with
+        | false, Some sched_seed ->
+            Simcheck.Fuzz.replay ~max_objects ~shrink_budget ~variants:configs
+              ~heap_seed:seed ~sched_seed ()
+        | false, None ->
+            Simcheck.Fuzz.run ~jobs:(max 1 jobs) ~max_objects ~shrink_budget
+              ~time_budget_s ~variants:configs ~cases ~seed ()
+        | true, Some sched_seed ->
+            Simcheck.Fuzz.replay_crash ~max_objects ~shrink_budget
+              ~variants:configs ?crash_step ?tamper ~heap_seed:seed
+              ~sched_seed ()
+        | true, None ->
+            Simcheck.Fuzz.run_crash ~jobs:(max 1 jobs) ~max_objects
+              ~shrink_budget ~time_budget_s ~variants:configs ?crash_step
+              ?tamper ~cases ~seed ()
+      with
+      | report ->
+          print_endline (Simcheck.Fuzz.report_to_string report);
+          if Simcheck.Fuzz.ok report then `Ok ()
+          else begin
+            (match repro_file with
+            | None -> ()
+            | Some path ->
+                let written =
+                  Simcheck.Fuzz.write_repro_file ~path report
+                in
+                Printf.eprintf "reproducers written to %s\n%!" written);
+            `Error
+              ( false,
+                Printf.sprintf "%d fuzz case(s) failed"
+                  (List.length report.Simcheck.Fuzz.failures) )
+          end
+      | exception Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const run $ cases $ seed $ schedule $ configs $ max_objects
-       $ time_budget $ shrink_budget $ repro_file $ jobs))
+       $ time_budget $ shrink_budget $ repro_file $ jobs $ crash $ crash_step
+       $ tamper))
 
 let stats_cmd =
   let doc =

@@ -12,6 +12,12 @@ dune build @verify
 # comparison, verifier/oracle armed).  Exits non-zero on any failure.
 dune build @fuzz
 
+# Crash-consistency smoke: the same campaign shape, but every case is
+# additionally killed at injected crash points and the frozen NVM image
+# is checked against the recovery oracle (durability reports honoured,
+# no forwarding-state leakage, surviving graph closed).
+dune build @crash
+
 # Telemetry smoke (also covered by the deterministic `dune build @trace`
 # alias): a traced run must yield a parseable Chrome trace with at least
 # one pause span, plus a non-empty metrics CSV.

@@ -33,6 +33,37 @@ let header_probe_bytes = Header_map.entry_bytes
 
 exception Evacuation_failure of string
 
+(** State carried out of a schedule-injected crash (power failure
+    mid-pause): everything the recovery oracle needs that is otherwise
+    local to the pause.  The heap itself is left frozen exactly as it
+    was — no reclaim ran, collection-set regions still carry [in_cset],
+    and evacuated objects keep both their old and new bindings. *)
+type crash_state = {
+  crash_step : int;  (** the crash point that fired (1-based) *)
+  crash_write_cache : Write_cache.t option;
+      (** the pause's write cache: its pairs record which shadow regions
+          were reported durable ([flushed]) before the power failed *)
+  crash_header_map : Header_map.t option;
+      (** the pause's DRAM header map — lost in the crash; the oracle
+          checks nothing durable depends on it *)
+  crash_post_flush_writes : (int * int) list;
+      (** (region idx, addr) of every slot update that landed in an
+          already-flushed shadow region — each one is a write the flush
+          protocol promised could no longer happen *)
+}
+
+exception Crashed of crash_state
+
+(** Deliberate flush-protocol violations for mutation-testing the
+    recovery oracle (consumed once per pause). *)
+type tamper =
+  | Tamper_early_ready
+      (** answer one Keep decision of the §4.2 readiness protocol with
+          Ready: retire and flush a pair while pending reference updates
+          can still target it *)
+  | Tamper_drop_flush
+      (** report a flush complete without writing the bytes to NVM *)
+
 (** Where a GC thread's time goes — the simulator's version of the paper's
     §3.1 step-by-step memory-behaviour analysis. *)
 type category =
@@ -124,6 +155,15 @@ type t = {
           dropped afterwards *)
   mutable busy : int;  (** threads with a non-empty stack *)
   start_ns : float;
+  (* Crash-consistency instrumentation.  All of it is gated on
+     [schedule <> None]: production min-clock runs pay one branch. *)
+  mutable crash_points : int;  (** crash-point consultation counter *)
+  flushed_shadows : (int, unit) Hashtbl.t;
+      (** region idx of every shadow reported durable so far *)
+  mutable post_flush_writes : (int * int) list;
+      (** (region idx, addr) of slot updates into flushed shadows *)
+  tamper : tamper option;
+  mutable tamper_armed : bool;
 }
 
 let make_thread ~start_ns tid =
@@ -153,8 +193,8 @@ let make_thread ~start_ns tid =
    (Young_gc); GC thread [tid] owns lane [tid + 1]. *)
 let lane th = th.tid + 1
 
-let create ~schedule ~heap ~memory ~(config : Gc_config.t) ~header_map
-    ~write_cache ~start_ns =
+let create ?tamper ~schedule ~heap ~memory ~(config : Gc_config.t) ~header_map
+    ~write_cache ~start_ns () =
   let t =
     {
       heap;
@@ -168,6 +208,11 @@ let create ~schedule ~heap ~memory ~(config : Gc_config.t) ~header_map
       old_addrs = Simstats.Vec.create 0;
       busy = 0;
       start_ns;
+      crash_points = 0;
+      flushed_shadows = Hashtbl.create 8;
+      post_flush_writes = [];
+      tamper;
+      tamper_armed = tamper <> None;
     }
   in
   if Nvmtrace.Hooks.tracing () then begin
@@ -201,6 +246,35 @@ let defer_async_flush t th =
   match t.schedule with
   | Some s -> s.Schedule.defer_async_flush ~tid:th.tid
   | None -> false
+
+(* A crash point: a place the simulated power can fail.  Consulted with a
+   counter only — no PRNG — so crash wrappers never perturb the base
+   schedule's decision stream (probe and crashing runs of the same case
+   see identical interleavings up to the crash). *)
+let crash_point t =
+  match t.schedule with
+  | None -> ()
+  | Some s ->
+      t.crash_points <- t.crash_points + 1;
+      if s.Schedule.crash ~step:t.crash_points then
+        raise
+          (Crashed
+             {
+               crash_step = t.crash_points;
+               crash_write_cache = t.write_cache;
+               crash_header_map = t.header_map;
+               crash_post_flush_writes = t.post_flush_writes;
+             })
+
+(* One-shot tamper trigger: fires on the first opportunity matching the
+   armed mode, then disarms. *)
+let consume_tamper t which =
+  t.tamper_armed
+  && t.tamper = Some which
+  && begin
+       t.tamper_armed <- false;
+       true
+     end
 
 (* ------------------------------------------------------------------ *)
 (* Cost charging                                                       *)
@@ -256,16 +330,29 @@ let flush_pair t th (pair : Write_cache.pair) =
         ]
       ();
   if used > 0 then begin
-    charge t th ~cat:Cat_flush ~addr:pair.Write_cache.cache.R.base
-      ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
-      ~pattern:Memsim.Access.Sequential ~bytes:used;
-    let kind =
-      if t.config.Gc_config.nt_flush then Memsim.Access.Nt_write
-      else Memsim.Access.Write
-    in
-    charge t th ~cat:Cat_flush ~addr:pair.Write_cache.shadow.R.base
-      ~space:pair.Write_cache.shadow.R.space ~kind
-      ~pattern:Memsim.Access.Sequential ~bytes:used
+    (* Crash points straddle the write-back: before any bytes move,
+       between the staging read and the NVM write (read done, nothing
+       durable), and after the write but before the flush is reported
+       complete (bytes down, pair still officially unflushed). *)
+    crash_point t;
+    if consume_tamper t Tamper_drop_flush then
+      (* Injected fault: skip the device traffic entirely — the pair
+         will still be reported flushed below. *)
+      crash_point t
+    else begin
+      charge t th ~cat:Cat_flush ~addr:pair.Write_cache.cache.R.base
+        ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
+        ~pattern:Memsim.Access.Sequential ~bytes:used;
+      crash_point t;
+      let kind =
+        if t.config.Gc_config.nt_flush then Memsim.Access.Nt_write
+        else Memsim.Access.Write
+      in
+      charge t th ~cat:Cat_flush ~addr:pair.Write_cache.shadow.R.base
+        ~space:pair.Write_cache.shadow.R.space ~kind
+        ~pattern:Memsim.Access.Sequential ~bytes:used
+    end;
+    crash_point t
   end;
   Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
   if Nvmtrace.Hooks.recording () then
@@ -276,9 +363,16 @@ let flush_pair t th (pair : Write_cache.pair) =
       ~ts_ns:!(th.clock)
       ~args:[ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
       ();
-  match t.write_cache with
+  (match t.write_cache with
   | Some wc -> Write_cache.complete_flush wc pair
-  | None -> assert false
+  | None -> assert false);
+  if t.schedule <> None then begin
+    (* The flush is now reported durable: from here on the oracle holds
+       the shadow to the full obligations, and any later write into it
+       is a protocol violation. *)
+    Hashtbl.replace t.flushed_shadows pair.Write_cache.shadow.R.idx ();
+    crash_point t
+  end
 
 let async_mode t = t.config.Gc_config.flush_mode = Gc_config.Async
 
@@ -291,10 +385,6 @@ let async_flush t th pair =
     th.async_flushes <- th.async_flushes + 1;
     flush_pair t th pair
   end
-
-let maybe_async_flush t th = function
-  | Flush_tracker.Keep -> ()
-  | Flush_tracker.Ready pair -> async_flush t th pair
 
 (* ------------------------------------------------------------------ *)
 (* Destination allocation                                              *)
@@ -329,7 +419,19 @@ let rec alloc_cached t th size =
              protocol (or the final write-only sub-phase) picks it up. *)
           Write_cache.mark_filled pair;
           th.pair <- None;
-          if Flush_tracker.ready_on_fill pair then async_flush t th pair;
+          if Flush_tracker.ready_on_fill pair then async_flush t th pair
+          else if
+            async_mode t
+            && (not pair.Write_cache.flushed)
+            && consume_tamper t Tamper_early_ready
+          then begin
+            (* Injected fault: the Figure-4 protocol says this pair is
+               NOT ready (its memorized last reference is unprocessed, or
+               stealing broke the LIFO order it relies on), but flush it
+               anyway — reported ready one step early. *)
+            th.async_flushes <- th.async_flushes + 1;
+            flush_pair t th pair
+          end;
           alloc_cached t th size
     end
   | None -> begin
@@ -580,6 +682,18 @@ let update_slot t th slot ~ref_addr new_addr =
     charge t th ~cat:Cat_ref_update ~addr:(O.slot_addr slot)
       ~space:(slot_space t slot) ~kind:Memsim.Access.Write
       ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
+    if t.schedule <> None then begin
+      (* Flush-protocol invariant: a shadow reported durable must never
+         receive another write.  Record violations for the recovery
+         oracle (the write also leaves the line LLC-dirty, so the
+         durability model flags it independently). *)
+      let addr = O.slot_addr slot in
+      if Simheap.Heap.in_heap_range t.heap addr then begin
+        let region = Simheap.Heap.region_of_addr t.heap addr in
+        if Hashtbl.mem t.flushed_shadows region.R.idx then
+          t.post_flush_writes <- (region.R.idx, addr) :: t.post_flush_writes
+      end
+    end;
     O.slot_write slot new_addr
   end
 
@@ -627,9 +741,27 @@ let process_item t th (item : Work_stack.item) =
     end
   in
   match home_pair with
-  | Some pair ->
-      maybe_async_flush t th
-        (Flush_tracker.on_processed pair ~item ~referent_first_item)
+  | Some pair -> begin
+      match Flush_tracker.on_processed pair ~item ~referent_first_item with
+      | Flush_tracker.Ready p -> async_flush t th p
+      | Flush_tracker.Keep ->
+          if
+            async_mode t
+            && (not pair.Write_cache.flushed)
+            && (match th.pair with Some p -> p == pair | None -> false)
+            && consume_tamper t Tamper_early_ready
+          then begin
+            (* Injected fault: answer this Keep decision with Ready —
+               retire and flush the pair while the Figure-4 protocol
+               still tracks pending references into it (the just-pushed
+               or still-memorized items whose slot updates will land
+               after the flush is reported durable). *)
+            Write_cache.mark_filled pair;
+            th.pair <- None;
+            th.async_flushes <- th.async_flushes + 1;
+            flush_pair t th pair
+          end
+    end
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -785,6 +917,7 @@ let runnable_tids t =
 let run_scheduled t (s : Schedule.t) =
   let continue_ = ref true in
   while !continue_ do
+    crash_point t;
     match runnable_tids t with
     | [||] ->
         Array.iter (fun th -> th.terminated <- true) t.threads;

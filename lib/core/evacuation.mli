@@ -8,6 +8,39 @@
 exception Evacuation_failure of string
 (** Raised when survivor space is exhausted mid-evacuation. *)
 
+(** State carried out of a schedule-injected crash (simulated power
+    failure mid-pause): the pause-local structures the recovery oracle
+    needs.  The heap is left frozen exactly as the crash found it — no
+    reclaim ran, collection-set regions still carry [in_cset], and
+    evacuated objects keep both old and new bindings. *)
+type crash_state = {
+  crash_step : int;  (** the crash point that fired (1-based) *)
+  crash_write_cache : Write_cache.t option;
+      (** the pause's write cache; its pairs record which shadow regions
+          were reported durable ([flushed]) before the power failed *)
+  crash_header_map : Header_map.t option;
+      (** the pause's DRAM header map — lost in the crash *)
+  crash_post_flush_writes : (int * int) list;
+      (** (region idx, addr) of every slot update that landed in an
+          already-flushed shadow region — writes the flush protocol
+          promised could no longer happen *)
+}
+
+exception Crashed of crash_state
+(** Raised when the installed schedule's [crash] decision fires.  Crash
+    points are consulted only under a schedule, so min-clock runs never
+    raise this. *)
+
+(** Deliberate flush-protocol violations for mutation-testing the
+    recovery oracle; injected at most once per pause. *)
+type tamper =
+  | Tamper_early_ready
+      (** answer one Keep decision of the §4.2 readiness protocol with
+          Ready: retire and flush a pair while pending reference updates
+          can still target it *)
+  | Tamper_drop_flush
+      (** report a flush complete without writing the bytes to NVM *)
+
 (** Where a GC thread's time goes — the §3.1 step analysis. *)
 type category =
   | Cat_locate
@@ -53,6 +86,7 @@ type thread = {
 type t
 
 val create :
+  ?tamper:tamper ->
   schedule:Schedule.t option ->
   heap:Simheap.Heap.t ->
   memory:Memsim.Memory.t ->
@@ -60,11 +94,14 @@ val create :
   header_map:Header_map.t option ->
   write_cache:Write_cache.t option ->
   start_ns:float ->
+  unit ->
   t
 (** [schedule] replaces every discretionary engine decision (next
     thread, steal victim, region grabs, header-map fallback timing,
     asynchronous-flush readiness) — the simulation-testing seam.
-    Without it the engine keeps its deterministic min-clock policy. *)
+    Without it the engine keeps its deterministic min-clock policy.
+    [tamper] arms a one-shot flush-protocol violation (for
+    mutation-testing the crash-recovery oracle). *)
 
 val threads : t -> thread array
 val old_addrs : t -> int Simstats.Vec.t

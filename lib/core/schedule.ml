@@ -41,6 +41,16 @@ type t = {
   defer_async_flush : tid:int -> bool;
       (** [true]: leave this flush-ready region to the write-only
           sub-phase *)
+  crash : step:int -> bool;
+      (** [true]: kill the simulation at this crash point.  Unlike every
+          other decision this one is deliberately destructive: the
+          engine raises {!Evacuation.Crashed} mid-pause, modeling a
+          power failure.  Crash points are numbered 1, 2, ... in
+          consultation order (scheduling-loop iterations and the
+          stages of each region flush); the engine passes the current
+          number and never consults any PRNG here, so wrapping a
+          schedule with a crash predicate does not perturb the
+          decision stream of the underlying schedule. *)
 }
 
 (** The identity schedule: lowest-id runnable thread, lowest-id victim,
@@ -53,4 +63,5 @@ let default =
     defer_region_grab = (fun ~tid:_ -> false);
     force_hm_fallback = (fun ~tid:_ -> false);
     defer_async_flush = (fun ~tid:_ -> false);
+    crash = (fun ~step:_ -> false);
   }

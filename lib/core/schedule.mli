@@ -20,6 +20,13 @@ type t = {
       (** treat this header-map install as [Full] (NVM-header fallback) *)
   defer_async_flush : tid:int -> bool;
       (** leave this flush-ready region to the write-only sub-phase *)
+  crash : step:int -> bool;
+      (** kill the simulation at crash point [step] (numbered 1, 2, ...
+          in consultation order) by raising {!Evacuation.Crashed} — the
+          one deliberately destructive decision, used by the
+          crash-consistency fuzzer; consulted with a counter and no
+          PRNG, so crash wrappers leave the underlying schedule's
+          decision stream untouched *)
 }
 
 val default : t

@@ -225,6 +225,22 @@ let prefetch t addr ~nvm =
   let fetched = prefetch_q t addr ~nvm in
   (fetched, pending_writeback t)
 
+(* Pure residency query: is the line containing [addr] resident and
+   dirty?  Used by the crash model — dirty lines die with the cache, so
+   an NVM address whose line sits dirty here has not reached the device.
+   Deliberately avoids [find_way]: no LRU stamp or way-hint mutation, so
+   querying is pure observation. *)
+let line_dirty t addr =
+  let line = addr / line_bytes in
+  let set = t.sets.(set_of t line) in
+  let n = Array.length set.tags in
+  let rec loop i =
+    if i >= n then false
+    else if set.tags.(i) = line then set.dirty land (1 lsl i) <> 0
+    else loop (i + 1)
+  in
+  loop 0
+
 (** Invalidate everything (used between independent simulation phases);
     dirty contents are discarded, not written back. *)
 let clear t =

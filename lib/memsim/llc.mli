@@ -39,6 +39,11 @@ val wb_nvm : t -> bool
 val wb_seq : t -> bool
 val wb_addr : t -> int
 
+val line_dirty : t -> int -> bool
+(** Pure residency query: the line containing the address is resident
+    and dirty (its latest bytes live only in the cache).  Touches no LRU
+    state — safe to call without perturbing the simulation. *)
+
 val clear : t -> unit
 
 val hits : t -> int

@@ -91,6 +91,15 @@ type t = {
       (** attribution for the continuous recorder: the subsystem whose
           accesses are currently being charged.  Set by the GC around its
           phases (see [Evacuation.charge]); purely observational. *)
+  mutable durability : (int, unit) Hashtbl.t option;
+      (** crash-survivability tracking (off by default, armed by the
+          crash-consistency fuzzer): the set of NVM line ids that have
+          ever been written through this model.  An NVM line survives a
+          power failure iff it was written AND its line is not sitting
+          dirty in the LLC (dirty lines die with the cache; evictions
+          write them back to the device first, so post-eviction the line
+          is durable again).  Purely observational — never read by the
+          timing model. *)
 }
 
 let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
@@ -170,12 +179,48 @@ let create config =
           Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
     dur = ref 0.0;
     cause = Nvmtrace.Recorder.Mutator;
+    durability = None;
   }
 
 let llc t = t.llc
 
 let set_cause t cause = t.cause <- cause
 let current_cause t = t.cause
+
+let set_durability_tracking t on =
+  t.durability <- (if on then Some (Hashtbl.create 4096) else None)
+
+let durability_tracking t = t.durability <> None
+
+(* Record that the NVM lines covering [addr, addr + bytes) were written.
+   Cacheable writes are recorded too: whether their bytes actually reach
+   the device is decided at query time by the line's LLC dirty bit. *)
+let mark_nvm_written t ~addr ~bytes =
+  match t.durability with
+  | None -> ()
+  | Some written ->
+      let first = addr / Llc.line_bytes in
+      let last = (addr + max 1 bytes - 1) / Llc.line_bytes in
+      for line = first to last do
+        Hashtbl.replace written line ()
+      done
+
+let nvm_undurable_in t ~base ~bytes =
+  match t.durability with
+  | None -> []
+  | Some written ->
+      if bytes <= 0 then []
+      else begin
+        let first = base / Llc.line_bytes in
+        let last = (base + bytes - 1) / Llc.line_bytes in
+        let acc = ref [] in
+        for line = last downto first do
+          let addr = line * Llc.line_bytes in
+          if (not (Hashtbl.mem written line)) || Llc.line_dirty t.llc addr
+          then acc := addr :: !acc
+        done;
+        !acc
+      end
 
 let decay_mix t mix ~now_ns =
   let dt = now_ns -. mix.last_ns in
@@ -301,6 +346,8 @@ let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
   let prof_prev = Simstats.Hostprof.enter prof_access in
   let dev = device t space in
   let is_write = kind <> Access.Read in
+  if is_write && space = Access.Nvm && t.durability != None then
+    mark_nvm_written t ~addr ~bytes;
   (* Mix is read before this access is recorded, so a single large
      transfer does not interfere with itself. *)
   let w = write_frac t space ~now_ns in

@@ -30,6 +30,25 @@ val set_cause : t -> Nvmtrace.Recorder.cause -> unit
 
 val current_cause : t -> Nvmtrace.Recorder.cause
 
+val set_durability_tracking : t -> bool -> unit
+(** Arm (or disarm) crash-survivability tracking: while armed, every NVM
+    write records the 64-byte lines it covers.  Off by default; purely
+    observational (never read by the timing model).  Arming resets the
+    written-line set. *)
+
+val durability_tracking : t -> bool
+
+val nvm_undurable_in : t -> base:int -> bytes:int -> int list
+(** The line-aligned addresses in [base, base + bytes) whose contents
+    would NOT survive a power failure right now: lines never written to
+    NVM through this model, plus lines currently sitting dirty in the
+    LLC (a dirty line's latest bytes live only in the cache and die with
+    it; its eviction writes them back, after which the line is durable
+    again — non-temporal and [force_device] writes bypass the cache and
+    are durable immediately).  Sorted ascending.  Requires
+    {!set_durability_tracking} armed before the writes of interest;
+    unarmed, returns []. *)
+
 val write_frac : t -> Access.space -> now_ns:float -> float
 (** Write fraction of recent traffic to the space (EMA-windowed). *)
 

@@ -8,6 +8,14 @@ type variant = { name : string; make : threads:int -> Nvmgc.Gc_config.t }
 val all_variants : variant list
 val variant_names : string list
 
+val crash_variant_names : string list
+(** The crash campaign's default matrix: the variants running the
+    asynchronous flush pipeline, whose durability reports the recovery
+    oracle checks. *)
+
+val tampers : (string * Nvmgc.Evacuation.tamper) list
+(** CLI spelling of the one-shot protocol mutations ([--tamper]). *)
+
 type case = {
   index : int;
   heap_seed : int;
@@ -49,6 +57,11 @@ type failure = {
   shrunk_sched_seed : int;
   shrunk_variant : string;
   shrunk_messages : string list;
+  crash_step : int option;
+      (** [Some] = crash-campaign failure: the crash point whose injected
+          power failure the recovery oracle rejected *)
+  shrunk_crash_step : int option;
+      (** minimized crash step, valid against the shrunk reproducer *)
   flight_dump : string;
       (** flight-recorder dump of the shrunk reproducer: the last
           milliseconds of memory-system history before the failure,
@@ -66,6 +79,7 @@ type report = {
   cases_requested : int;
   cases_run : int;
   variants_run : string list;
+  crash : bool;  (** this report came from the crash-consistency campaign *)
   summaries : variant_summary list;
   failures : failure list;
 }
@@ -114,5 +128,54 @@ val replay :
   report
 (** Re-run exactly one case from its printed [--seed]/[--schedule] pair. *)
 
+val run_crash :
+  ?jobs:int ->
+  ?max_objects:int ->
+  ?shrink_budget:int ->
+  ?time_budget_s:float ->
+  ?variants:string list ->
+  ?crash_step:int ->
+  ?tamper:Nvmgc.Evacuation.tamper ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  report
+(** The crash-consistency campaign.  Per case and per variant (default
+    {!crash_variant_names}): a probe run counts the case's crash points
+    under a never-firing wrapper (and doubles as the verified sanity run
+    feeding the summaries); then the case is killed once at a step drawn
+    from a case-local PRNG and once at the final crash point (right
+    after the last flush is reported durable), and each frozen image is
+    held to the {!Recovery} obligations.  [crash_step] forces a single
+    crash at that step instead (the replay path for printed
+    reproducers).  [tamper] arms a one-shot protocol mutation
+    ({!Nvmgc.Evacuation.tamper}) for mutation-testing the oracle.
+    Deterministic at every job count, like {!run}: seeds and crash
+    steps are pure functions of [seed], and the report is rebuilt in
+    case order.  Failures shrink over schedule -> threads -> crash step
+    -> spec and print a replayable
+    [--seed]/[--schedule]/[--crash-step] triple with a flight dump. *)
+
+val replay_crash :
+  ?max_objects:int ->
+  ?shrink_budget:int ->
+  ?variants:string list ->
+  ?crash_step:int ->
+  ?tamper:Nvmgc.Evacuation.tamper ->
+  heap_seed:int ->
+  sched_seed:int ->
+  unit ->
+  report
+(** Re-run exactly one crash case from its printed
+    [--seed]/[--schedule]/[--crash-step] reproducer line. *)
+
+val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit
 val report_to_string : report -> string
+val failure_to_string : failure -> string
+
+val write_repro_file : path:string -> report -> string
+(** Write every failure's full reproducer (shrunk spec, messages, flight
+    dump, replay line) to [path] — or, if [path] already exists, to the
+    first free [path.N] so an earlier campaign's artifact is never
+    clobbered.  Returns the path actually written. *)

@@ -1,0 +1,22 @@
+(** Crash-recovery oracle for the asynchronous flush pipeline.
+
+    Run against the heap a schedule-injected crash left frozen
+    mid-pause: checks (a) every shadow region the flush protocol
+    reported durable is byte-intact on the NVM image and internally
+    consistent, (b) no forwarding/header-map state leaked past the
+    crash, and (c) the surviving old-space graph is a closed subgraph of
+    the pre-crash live graph (placement-erased).  See DESIGN.md §13 for
+    the crash model. *)
+
+val check :
+  pre:Verify.Graph.t ->
+  heap:Simheap.Heap.t ->
+  memory:Memsim.Memory.t ->
+  Nvmgc.Evacuation.crash_state ->
+  string list
+(** Violation messages ([] = the crash is recoverable).  [pre] is the
+    live graph captured before the pause began; [memory] must have had
+    durability tracking armed ({!Memsim.Memory.set_durability_tracking})
+    for the whole run, or the oracle reports that as a failure.
+    Deterministic: message order follows region/entry order, with
+    per-obligation detail capped. *)

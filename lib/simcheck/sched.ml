@@ -30,4 +30,24 @@ let of_seed seed =
       (fun ~tid:_ -> Simstats.Prng.float rng 1.0 < p_force_fallback);
     defer_async_flush =
       (fun ~tid:_ -> Simstats.Prng.float rng 1.0 < p_defer_flush);
+    crash = (fun ~step:_ -> false);
   }
+
+(* Crash wrappers replace only the [crash] decision; the base schedule's
+   PRNG is untouched (the engine consults [crash] with a counter, no
+   randomness), so a wrapped schedule makes exactly the same
+   pick/steal/defer choices as the bare one. *)
+
+let with_crash ~crash_step base =
+  { base with Nvmgc.Schedule.crash = (fun ~step -> step >= crash_step) }
+
+let counting base =
+  let seen = ref 0 in
+  ( {
+      base with
+      Nvmgc.Schedule.crash =
+        (fun ~step ->
+          if step > !seen then seen := step;
+          false);
+    },
+    fun () -> !seen )

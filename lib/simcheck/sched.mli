@@ -4,4 +4,17 @@ val of_seed : int -> Nvmgc.Schedule.t
 (** Expand a seed into a deterministic decision stream.  Seed 0 is
     reserved by convention for "no schedule" (min-clock policy) and is
     mapped to [None] by {!Fuzz}, but [of_seed 0] itself is still a valid
-    schedule. *)
+    schedule.  The [crash] decision is never taken; wrap with
+    {!with_crash} to inject one. *)
+
+val with_crash : crash_step:int -> Nvmgc.Schedule.t -> Nvmgc.Schedule.t
+(** Crash at crash point [crash_step] (and any later point, so the run
+    dies at the first consultation >= the target even if the exact
+    number is skipped).  Only the [crash] field is replaced; the base
+    schedule's other decisions — and its PRNG stream — are untouched. *)
+
+val counting : Nvmgc.Schedule.t -> Nvmgc.Schedule.t * (unit -> int)
+(** Probe wrapper: never crashes, but records the highest crash-point
+    number consulted.  Running a case once under [counting] tells the
+    fuzzer how many crash points the run offers, so a real crash step
+    can be drawn uniformly from that range. *)

@@ -60,6 +60,35 @@ let capture heap =
   Array.sort (fun (a : root) b -> compare a.root_id b.root_id) roots;
   { nodes; roots }
 
+(* Like {!capture}, but over an explicit object set instead of the whole
+   address table — the crash-recovery oracle hands it the objects that
+   survive a simulated power failure.  Field classification still goes
+   through the full address table: mid-pause both the old and the new
+   binding of an evacuated object resolve to the same id, which is what
+   makes the comparison placement-erased (a reference slot matches its
+   pre-crash value whether or not its update was lost). *)
+let capture_objects heap objs =
+  let classify addr =
+    if addr = Simheap.Layout.null then FNull
+    else
+      match H.lookup heap addr with
+      | Some obj -> FLive obj.O.id
+      | None -> FDangling addr
+  in
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun (obj : O.t) ->
+           {
+             id = obj.O.id;
+             size = obj.O.size;
+             fields = Array.map classify obj.O.fields;
+           })
+         objs)
+  in
+  Array.sort (fun a b -> compare a.id b.id) nodes;
+  { nodes; roots = [||] }
+
 (* ------------------------------------------------------------------ *)
 (* Diffing                                                             *)
 
@@ -131,3 +160,54 @@ let diff ~expected ~got =
   else out
 
 let equal a b = diff ~expected:a ~got:b = []
+
+(* Closed-subgraph check: every node of [sub] must appear in [pre] with
+   the same size and, field for field, the same placement-erased
+   referents.  Unlike {!diff} this does not require [sub] to cover
+   [pre] — [sub] is the surviving fraction of a crashed heap, and losing
+   objects is exactly what a crash does; what recovery must never see is
+   a surviving object that differs from its pre-crash self. *)
+let closed_within ~pre sub =
+  let msgs = ref [] and count = ref 0 in
+  let add fmt =
+    Format.kasprintf
+      (fun m ->
+        incr count;
+        if !count <= max_messages then msgs := m :: !msgs)
+      fmt
+  in
+  let pre_ids = Hashtbl.create (Array.length pre.nodes) in
+  Array.iter (fun n -> Hashtbl.replace pre_ids n.id n) pre.nodes;
+  Array.iter
+    (fun n ->
+      match Hashtbl.find_opt pre_ids n.id with
+      | None -> add "recovered object %d was not in the pre-crash live graph" n.id
+      | Some en ->
+          if n.size <> en.size then
+            add "recovered object %d: size %d, pre-crash %d" n.id n.size en.size;
+          if Array.length n.fields <> Array.length en.fields then
+            add "recovered object %d: %d fields, pre-crash %d" n.id
+              (Array.length n.fields)
+              (Array.length en.fields)
+          else
+            Array.iteri
+              (fun i f ->
+                match f with
+                | FDangling addr ->
+                    add "recovered object %d field %d dangles at 0x%x" n.id i
+                      addr
+                | FNull | FLive _ ->
+                    if f <> en.fields.(i) then
+                      add "recovered object %d field %d: %s, pre-crash %s" n.id
+                        i (field_name f)
+                        (field_name en.fields.(i)))
+              n.fields)
+    sub.nodes;
+  let out = List.rev !msgs in
+  if !count > max_messages then
+    out
+    @ [
+        Printf.sprintf "... and %d further closed-subgraph violations suppressed"
+          (!count - max_messages);
+      ]
+  else out

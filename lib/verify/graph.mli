@@ -23,8 +23,22 @@ val field_name : field -> string
 val capture : Simheap.Heap.t -> t
 (** Snapshot the heap's address table and roots as a canonical graph. *)
 
+val capture_objects : Simheap.Heap.t -> Simheap.Objmodel.t list -> t
+(** Like {!capture} over an explicit object set (roots empty) — the
+    crash-recovery oracle's view of the objects surviving a simulated
+    power failure.  Fields are classified through the full address
+    table, so mid-pause dual bindings (old + new address of an evacuated
+    object) resolve to the same id: the capture is placement-erased. *)
+
 val diff : expected:t -> got:t -> string list
 (** Human-readable mismatches ([] = graphs agree); capped with a
     suppression note when pathological. *)
 
 val equal : t -> t -> bool
+
+val closed_within : pre:t -> t -> string list
+(** Closed-subgraph violations ([] = every node of the subgraph appears
+    in [pre] with the same size and placement-erased fields, and no
+    field dangles).  [pre] may hold nodes the subgraph lost — that is
+    what a crash does — but a surviving node may not differ from its
+    pre-crash self.  Capped like {!diff}. *)

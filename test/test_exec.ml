@@ -177,6 +177,27 @@ let test_fuzz_tamper_same_failure_across_jobs () =
     (Simcheck.Fuzz.report_to_string r1)
     (Simcheck.Fuzz.report_to_string r4)
 
+(* The crash-consistency campaign makes the same promise: seeds and
+   crash steps are drawn up-front as pure functions of --seed, so the
+   report is byte-identical whether cases run serially or on the pool.
+   60 cases x 3 variants x up-to-3 runs clears the serial-fallback
+   threshold at jobs = 8, so this genuinely exercises the parallel
+   path (asserted via effective_jobs below). *)
+let test_crash_report_identical_across_jobs () =
+  Alcotest.(check bool) "campaign large enough to parallelize" true
+    (Simcheck.Fuzz.effective_jobs ~cases:60
+       ~variants:(3 * List.length Simcheck.Fuzz.crash_variant_names)
+       ~max_objects:40 8
+    > 1);
+  let campaign jobs = Simcheck.Fuzz.run_crash ~jobs ~cases:60 ~seed:2026 () in
+  let r1 = campaign 1 and r8 = campaign 8 in
+  Alcotest.(check bool) "jobs=1 crash campaign passes" true
+    (Simcheck.Fuzz.ok r1);
+  Alcotest.(check int) "all cases ran" 60 r1.Simcheck.Fuzz.cases_run;
+  Alcotest.(check string) "crash report byte-identical"
+    (Simcheck.Fuzz.report_to_string r1)
+    (Simcheck.Fuzz.report_to_string r8)
+
 (* ------------------------------------------------------------------ *)
 (* Sizing and retention (the parallel-engine-slowdown regression tests) *)
 
@@ -293,5 +314,7 @@ let () =
             test_fuzz_report_identical_across_jobs;
           Alcotest.test_case "fuzz tamper: same failure and shrink" `Slow
             test_fuzz_tamper_same_failure_across_jobs;
+          Alcotest.test_case "crash report identical at jobs 1 vs 8" `Slow
+            test_crash_report_identical_across_jobs;
         ] );
     ]

@@ -10,6 +10,11 @@ module Fuzz = Simcheck.Fuzz
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let () = Verify.Hooks.ensure_installed ()
 
 let variant name =
@@ -231,11 +236,6 @@ let test_failure_carries_flight_dump () =
   in
   check_bool "tampered campaign fails" false (Fuzz.ok r);
   check_bool "at least one failure" true (List.length r.Fuzz.failures > 0);
-  let contains ~sub s =
-    let n = String.length s and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-    m = 0 || go 0
-  in
   List.iter
     (fun (f : Fuzz.failure) ->
       check_bool "flight dump non-empty" true
@@ -249,6 +249,104 @@ let test_failure_carries_flight_dump () =
      includes the dump next to the shrunk reproducer. *)
   check_bool "report embeds the flight dump" true
     (contains ~sub:"flight recorder" (Fuzz.report_to_string r))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-consistency campaign: crash-point injection + recovery oracle *)
+
+let test_crash_campaign_green_and_deterministic () =
+  let campaign () = Fuzz.run_crash ~cases:10 ~seed:42 () in
+  let r1 = campaign () and r2 = campaign () in
+  check_bool "crash campaign green on the untampered engine" true
+    (Fuzz.ok r1);
+  check_bool "report flagged as a crash campaign" true r1.Fuzz.crash;
+  check_bool "two runs produce byte-identical reports" true
+    (Fuzz.report_to_string r1 = Fuzz.report_to_string r2);
+  check_int "every async-flush variant ran"
+    (List.length Fuzz.crash_variant_names)
+    (List.length r1.Fuzz.summaries);
+  List.iter
+    (fun (s : Fuzz.variant_summary) ->
+      check_int
+        (Printf.sprintf "variant %s probed every case" s.Fuzz.variant)
+        10
+        (List.length s.Fuzz.pauses))
+    r1.Fuzz.summaries;
+  check_bool "summary header names the crash campaign" true
+    (contains ~sub:"crash-fuzz" (Fuzz.report_to_string r1))
+
+(* One small tampered campaign shared by the detection, replay and
+   repro-file tests below (the shrinker makes it the expensive part). *)
+let tampered_report =
+  lazy
+    (Fuzz.run_crash ~cases:3 ~seed:7 ~tamper:Nvmgc.Evacuation.Tamper_drop_flush
+       ())
+
+let test_crash_tamper_caught_and_shrunk () =
+  let r = Lazy.force tampered_report in
+  check_bool "drop-flush campaign fails" false (Fuzz.ok r);
+  check_bool "at least one failure" true (List.length r.Fuzz.failures > 0);
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      (match f.Fuzz.crash_step with
+      | Some s -> check_bool "crash step is a crash point" true (s >= 1)
+      | None -> Alcotest.fail "crash failure must record its crash step");
+      (match f.Fuzz.shrunk_crash_step with
+      | Some s -> check_bool "shrunk crash step is a crash point" true (s >= 1)
+      | None -> Alcotest.fail "crash failure must record a shrunk crash step");
+      check_bool "oracle names the durability violation" true
+        (List.exists
+           (fun m -> contains ~sub:"durable shadow region" m)
+           f.Fuzz.messages);
+      check_bool "flight dump present" true
+        (contains ~sub:"flight recorder" f.Fuzz.flight_dump);
+      let printed = Fuzz.failure_to_string f in
+      check_bool "printed failure carries a --crash-step replay line" true
+        (contains ~sub:"--crash-step" printed);
+      check_bool "replay line spells the crash campaign" true
+        (contains ~sub:"fuzz --crash" printed))
+    r.Fuzz.failures;
+  (* The protocol-decision mutation (answer a Keep with Ready) is caught
+     by the same oracle. *)
+  let early =
+    Fuzz.run_crash ~cases:3 ~seed:7 ~tamper:Nvmgc.Evacuation.Tamper_early_ready
+      ()
+  in
+  check_bool "early-ready campaign fails" false (Fuzz.ok early)
+
+let test_crash_replay_reproduces () =
+  let r = Lazy.force tampered_report in
+  let f = List.hd r.Fuzz.failures in
+  let rr =
+    Fuzz.replay_crash ~heap_seed:f.Fuzz.heap_seed
+      ~sched_seed:f.Fuzz.sched_seed
+      ~crash_step:(Option.get f.Fuzz.crash_step)
+      ~variants:[ f.Fuzz.variant ]
+      ~tamper:Nvmgc.Evacuation.Tamper_drop_flush ()
+  in
+  check_bool "replay reproduces the failure" false (Fuzz.ok rr);
+  let rf = List.hd rr.Fuzz.failures in
+  check_bool "same failing variant" true (rf.Fuzz.variant = f.Fuzz.variant);
+  check_bool "same crash step" true (rf.Fuzz.crash_step = f.Fuzz.crash_step);
+  check_bool "same oracle messages" true (rf.Fuzz.messages = f.Fuzz.messages)
+
+let test_repro_file_no_clobber () =
+  let r = Lazy.force tampered_report in
+  let base = Filename.temp_file "nvmgc_crash_repro" ".txt" in
+  Sys.remove base;
+  let p1 = Fuzz.write_repro_file ~path:base r in
+  let p2 = Fuzz.write_repro_file ~path:base r in
+  Alcotest.(check string) "first write takes the requested path" base p1;
+  Alcotest.(check string) "second write is suffixed, not clobbered"
+    (base ^ ".1") p2;
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  let c1 = read p1 in
+  check_bool "artifact non-empty" true (String.length c1 > 0);
+  Alcotest.(check string) "suffixed artifact holds the same reproducers" c1
+    (read p2);
+  check_bool "artifact carries the replay line" true
+    (contains ~sub:"--crash-step" c1);
+  Sys.remove p1;
+  Sys.remove p2
 
 let () =
   Alcotest.run "simcheck"
@@ -284,5 +382,16 @@ let () =
             test_shrunk_spec_still_instantiates;
           Alcotest.test_case "failure carries flight dump" `Quick
             test_failure_carries_flight_dump;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "campaign green and deterministic" `Quick
+            test_crash_campaign_green_and_deterministic;
+          Alcotest.test_case "tamper caught and shrunk" `Quick
+            test_crash_tamper_caught_and_shrunk;
+          Alcotest.test_case "replay reproduces" `Quick
+            test_crash_replay_reproduces;
+          Alcotest.test_case "repro file never clobbered" `Quick
+            test_repro_file_no_clobber;
         ] );
     ]
