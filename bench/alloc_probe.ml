@@ -1,0 +1,77 @@
+(* Deterministic allocation fingerprint of the serial roofline sweep:
+   minor/major words allocated by one round of the same cells
+   bench_throughput times.  Unlike wall time, allocation is exactly
+   reproducible on any host, so this is the noise-free signal to steer
+   (and guard) hot-path de-boxing work with: run it before and after a
+   change and diff the numbers.
+
+   Usage: dune exec bench/alloc_probe.exe *)
+
+let sweep_apps =
+  let preferred =
+    List.filter
+      (fun a ->
+        List.mem a.Workloads.App_profile.name
+          [ "page-rank"; "als"; "movie-lens"; "kmeans" ])
+      Workloads.Apps.all
+  in
+  match preferred with
+  | _ :: _ :: _ -> preferred
+  | _ -> List.filteri (fun i _ -> i < 4) Workloads.Apps.all
+
+let setups =
+  [
+    Experiments.Runner.All_opts; Experiments.Runner.Write_cache_only;
+    Experiments.Runner.Vanilla; Experiments.Runner.Vanilla_dram;
+    Experiments.Runner.Young_gen_dram;
+  ]
+
+let options =
+  {
+    Experiments.Runner.default_options with
+    gc_scale = 0.25;
+    jobs = 1;
+    verify = false;
+  }
+
+let () =
+  (* Warm-up primes lazy setup so the measured round is steady-state. *)
+  (match sweep_apps with
+  | app :: _ ->
+      ignore
+        (Sys.opaque_identity
+           (Experiments.Runner.execute options app Experiments.Runner.Vanilla))
+  | [] -> ());
+  let objects = ref 0 in
+  Simstats.Hostprof.reset ();
+  Simstats.Hostprof.set_alloc_tracking true;
+  let minor0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  List.iter
+    (fun app ->
+      List.iter
+        (fun setup ->
+          let run = Experiments.Runner.execute options app setup in
+          let totals = Nvmgc.Young_gc.totals run.Experiments.Runner.gc in
+          objects := !objects + totals.Nvmgc.Gc_stats.objects_copied)
+        setups)
+    sweep_apps;
+  let minor = Gc.minor_words () -. minor0 in
+  Simstats.Hostprof.set_alloc_tracking false;
+  let s1 = Gc.quick_stat () in
+  let promoted = s1.Gc.promoted_words -. s0.Gc.promoted_words in
+  Printf.printf "objects evacuated:    %d\n" !objects;
+  Printf.printf "minor words:          %.0f  (%.1f per object)\n" minor
+    (minor /. float_of_int !objects);
+  Printf.printf "promoted words:       %.0f\n" promoted;
+  Printf.printf "minor collections:    %d\n"
+    (s1.Gc.minor_collections - s0.Gc.minor_collections);
+  Printf.printf "\nper-phase minor words (switch self-overhead ~2w/switch):\n";
+  List.iter
+    (fun (name, words, switches) ->
+      Printf.printf "  %-20s %12.0f  (%5.1f%%)  %9d switches  net %.0f\n" name
+        words
+        (100.0 *. words /. minor)
+        switches
+        (words -. (2.0 *. float_of_int switches)))
+    (Simstats.Hostprof.alloc_samples ())

@@ -84,10 +84,24 @@ let () =
          job_counts)
   in
   let base = List.hd samples in
+  (* On a 1-domain host the pool clamps every requested job count to one
+     worker, so "jobs > 1 no slower than serial" compares the serial
+     engine with itself: the non-degradation gate is vacuous.  Say so
+     loudly and mark the JSON, so a CI log from such a host is never
+     misread as a real multi-domain result. *)
+  let gate_vacuous =
+    List.for_all (fun s -> s.jobs_effective = 1) samples
+  in
+  if gate_vacuous then
+    Printf.printf
+      "bench_parallel: WARNING: gate vacuous on 1-domain host (every \
+       requested job count clamped to 1 effective worker — speedups \
+       measure dispatch overhead only)\n%!";
   let out = open_out "BENCH_parallel.json" in
   let emit fmt = Printf.fprintf out fmt in
   emit "{\n  \"benchmark\": \"parallel-experiment-engine\",\n";
   emit "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
+  emit "  \"gate_vacuous\": %b,\n" gate_vacuous;
   emit "  \"samples\": [\n";
   List.iteri
     (fun i s ->

@@ -9,12 +9,19 @@
    reported: shared hosts jitter CPU speed by tens of percent run to run,
    and only the floor reflects the engine.  Emits BENCH_throughput.json.
    `--check` additionally exits non-zero when the measured rate regresses
-   below the baseline (used by ci.sh).
+   below 0.95x the baseline (used by ci.sh).
+
+   BENCH_throughput.json also carries a `history` array — one line per
+   deliberately recorded milestone (label, objects/s, speedup at record
+   time) — so the perf trajectory lives in-repo.  Plain runs rewrite the
+   headline numbers but preserve history verbatim; passing `--label NAME`
+   appends a new milestone entry.
 
    Usage:
-   dune exec bench/bench_throughput.exe [-- --check] [--rounds N] [--record]
+   dune exec bench/bench_throughput.exe \
+     [-- --check] [--rounds N] [--record] [--label NAME]
    (--record arms the continuous recorder for the whole sweep, so --check
-   also bounds its hot-path overhead). *)
+   also bounds its hot-path overhead; that overhead gate stays at 0.9x). *)
 
 let sweep_apps =
   let preferred =
@@ -35,14 +42,18 @@ let setups =
     Experiments.Runner.Young_gen_dram;
   ]
 
-(* Pre-optimization rate of this sweep.  Measured by interleaved A/B runs
-   of a pre-PR build against the optimized build in one session (the only
-   fair protocol on a host whose CPU speed drifts): 15 alternating runs
-   each, floor (fastest) of the pre-PR side.  See EXPERIMENTS.md for the
-   full recipe and both floors.  The absolute number is host-dependent —
-   the CI gate therefore checks the *ratio* only loosely and the
-   acceptance run records it. *)
-let baseline_objects_per_s = 186_746.0
+(* Pre-PR rate of this sweep, re-measured at the round-2 hot-path pass
+   (SoA work items, arena graph_gen, packed LLC probe).  Protocol:
+   interleaved ABBA runs of the pre-PR build against the optimized build
+   in one session (the only fair protocol on a host whose CPU speed
+   drifts), floor-of-4-rounds per sample; this is a representative pre-PR
+   floor with the two degraded-host outliers excluded.  See EXPERIMENTS.md
+   for the full recipe, all samples, and the history of this constant
+   (the original pre-optimization baseline was 186,746 obj/s; the round-1
+   floor of 281,016 obj/s was recorded on a faster incarnation of this
+   shared host and is not reproducible by *any* build today).  The
+   absolute number is host-dependent — the CI gate checks the ratio. *)
+let baseline_objects_per_s = 238_050.0
 
 let options =
   {
@@ -51,6 +62,48 @@ let options =
     jobs = 1;
     verify = false;
   }
+
+(* Performance-trajectory history carried inside BENCH_throughput.json.
+   Entries are stored as verbatim JSON object lines so a rewrite cannot
+   corrupt what an earlier session recorded; this module only ever
+   appends.  When the file predates the history array (or is missing),
+   the known milestones recorded in earlier sessions seed it. *)
+let seed_history =
+  [
+    {|{"label": "pre-optimization", "objects_per_s": 186746.0, "speedup": 1.000}|};
+    {|{"label": "round-1-serial-engine", "objects_per_s": 281016.2, "speedup": 1.505}|};
+  ]
+
+let read_history path =
+  match open_in path with
+  | exception Sys_error _ -> seed_history
+  | ic ->
+      let entries = ref [] and in_hist = ref false and found = ref false in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if !in_hist then
+             if String.length line > 0 && line.[0] = ']' then in_hist := false
+             else begin
+               let line =
+                 if String.length line > 0
+                    && line.[String.length line - 1] = ','
+                 then String.sub line 0 (String.length line - 1)
+                 else line
+               in
+               if String.length line > 0 then entries := line :: !entries
+             end
+           else if line = {|"history": [|} then begin
+             in_hist := true;
+             found := true
+           end
+         done
+       with End_of_file -> close_in ic);
+      if !found then List.rev !entries else seed_history
+
+let history_entry ~label ~rate ~speedup =
+  Printf.sprintf {|{"label": "%s", "objects_per_s": %.1f, "speedup": %.3f}|}
+    label rate speedup
 
 let run_round () =
   let acc = Nvmtrace.Throughput.create () in
@@ -85,6 +138,17 @@ let () =
           r := max 1 (int_of_string Sys.argv.(i + 1)))
       Sys.argv;
     !r
+  in
+  (* --label NAME marks this run as a milestone: the written JSON gains a
+     history entry.  Unlabeled runs preserve history untouched. *)
+  let label =
+    let l = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--label" && i + 1 < Array.length Sys.argv then
+          l := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !l
   in
   (* One warm-up cell primes allocators and lazy setup out of the timed
      region. *)
@@ -123,6 +187,12 @@ let () =
     end;
     exit 0
   end;
+  let history =
+    let prior = read_history "BENCH_throughput.json" in
+    match label with
+    | None -> prior
+    | Some l -> prior @ [ history_entry ~label:l ~rate ~speedup ]
+  in
   let out = open_out "BENCH_throughput.json" in
   Printf.fprintf out
     "{\n\
@@ -137,18 +207,24 @@ let () =
     \  \"objects_per_s\": %.1f,\n\
     \  \"bytes_per_s\": %.1f,\n\
     \  \"baseline_objects_per_s\": %.1f,\n\
-    \  \"speedup_vs_baseline\": %.3f\n\
-     }\n"
+    \  \"speedup_vs_baseline\": %.3f,\n\
+    \  \"history\": [\n"
     (List.length sweep_apps) (List.length setups) rounds
     acc.Nvmtrace.Throughput.pauses acc.Nvmtrace.Throughput.objects
     acc.Nvmtrace.Throughput.bytes acc.Nvmtrace.Throughput.wall_s rate
     (Nvmtrace.Throughput.bytes_per_s acc)
     baseline_objects_per_s speedup;
+  let n = List.length history in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf out "    %s%s\n" e (if i = n - 1 then "" else ","))
+    history;
+  Printf.fprintf out "  ]\n}\n";
   close_out out;
-  Printf.printf "wrote BENCH_throughput.json\n%!";
-  if check && speedup < 0.9 then begin
+  Printf.printf "wrote BENCH_throughput.json (%d history entries)\n%!" n;
+  if check && speedup < 0.95 then begin
     Printf.eprintf
-      "bench_throughput: FAIL: %.2fx vs baseline (threshold 0.9x) — the \
+      "bench_throughput: FAIL: %.2fx vs baseline (threshold 0.95x) — the \
        serial hot path regressed\n\
        %!"
       speedup;

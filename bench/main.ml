@@ -50,9 +50,9 @@ let bench_work_stack =
     ~allocate:(fun () -> Nvmgc.Work_stack.create ())
     ~free:ignore
     (Staged.stage (fun stack ->
-         Nvmgc.Work_stack.push stack ~clock:0.0
-           { Nvmgc.Work_stack.slot = Simheap.Region.dummy_slot; home = None };
-         ignore (Nvmgc.Work_stack.pop stack)))
+         Nvmgc.Work_stack.push stack ~clock:0.0 ~slot:2
+           ~home:Nvmgc.Work_stack.no_home;
+         ignore (Nvmgc.Work_stack.pop_nonempty stack)))
 
 let bench_llc =
   let llc = Memsim.Llc.create ~capacity_bytes:(1 lsl 20) ~ways:11 in

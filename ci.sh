@@ -65,10 +65,13 @@ echo "all-figures smoke (--jobs $jobs): $(($(date +%s) - start))s," \
   "$(wc -l < "$tmp/all.out") lines"
 
 # Engine-throughput gates.  bench_throughput re-times the serial sweep
-# (best of 3 rounds — the floor is the engine, the rest is host jitter)
+# (best of 4 rounds — the floor is the engine, the rest is host jitter)
 # and emits BENCH_throughput.json; --check fails the build when the rate
-# drops below 0.9x the recorded pre-optimization baseline.
-dune exec bench/bench_throughput.exe -- --check
+# drops below 0.95x the recorded pre-PR baseline.  On shared hosts rare
+# multi-minute CPU-frequency sags can trip this gate even with floor
+# sampling (see EXPERIMENTS.md "host drift"); re-run before concluding a
+# code regression.
+dune exec bench/bench_throughput.exe -- --check --rounds 4
 
 # Recorder-overhead gate: the same roofline with the continuous recorder
 # armed must still clear the 0.9x baseline check.
@@ -80,6 +83,12 @@ dune exec bench/bench_throughput.exe -- --check --record
 # slower than serial beyond dispatch overhead + timing noise; fail if
 # any sweep_speedup falls below 0.75x serial.
 dune exec bench/bench_parallel.exe
+# A 1-domain host clamps every job count to one worker, making this gate
+# vacuous; bench_parallel marks the JSON so the log is not misread.
+if grep -q '"gate_vacuous": true' BENCH_parallel.json; then
+  echo "ci: NOTE: parallel non-degradation gate vacuous on 1-domain host" \
+    "(BENCH_parallel.json gate_vacuous=true)"
+fi
 awk -F'"sweep_speedup": ' '/sweep_speedup/ {
   split($2, a, ","); if (a[1] + 0 < 0.75) bad = 1
 } END { exit bad }' BENCH_parallel.json || {

@@ -113,9 +113,11 @@ let all_categories =
 type thread = {
   tid : int;
   stack : Work_stack.t;
-  clock : float ref;
-      (** a [float ref] rather than a mutable field: refs to floats are
-          flat, so the tens of clock stores per work item never box *)
+  clock : float array;
+      (** one-element flat array: a mutable float field in this mixed
+          record — or a [float ref] — boxes a fresh float on every
+          store, and the hot path stores the clock several times per
+          work item; a float-array store does not box *)
   mutable terminated : bool;
   mutable pair : Write_cache.pair option;
   mutable survivor : R.t option;
@@ -131,10 +133,21 @@ type thread = {
   mutable hm_fallbacks : int;
   mutable steals : int;
   mutable async_flushes : int;
-  spin_ns : float ref;
+  spin_ns : float array;
       (** time spent in the termination protocol waiting for stealable
           work — the visible face of load imbalance *)
   breakdown : float array;  (** time by {!category} *)
+  (* Copy-destination scratch: the destination allocators fill these
+     fields in place and [copy_object] reads them back — out-of-band so
+     the per-object hot path allocates no destination record.  Only valid
+     between an [alloc_destination] and the end of the same copy. *)
+  mutable dest_addr : int;  (** official (post-GC) address *)
+  mutable dest_phys : int;  (** where the bytes are written now *)
+  mutable dest_space : Memsim.Access.space;
+  mutable dest_region : R.t;  (** region owning the official address *)
+  mutable dest_pair : Write_cache.pair option;
+      (** always the [th.pair] box itself when cached — reusing it keeps
+          the cached path free of a per-object [Some] *)
 }
 
 type t = {
@@ -148,7 +161,27 @@ type t = {
   header_map : Header_map.t option;  (** [Some] iff active this pause *)
   write_cache : Write_cache.t option;
   threads : thread array;
-  pair_of_cache_region : (int, Write_cache.pair) Hashtbl.t;
+  pool : Work_stack.pool;
+      (** pause-local slot registry backing the packed work items *)
+  mark_stolen : int -> unit;
+      (** flag a cache region (by scratch index) stolen-from; built once
+          so the steal path allocates no closure *)
+  mutable last_copy_home : int;
+      (** home (cache-region index) of the first slot pushed by the most
+          recent {!copy_object} — the flush tracker pairs it with that
+          copy's [first_slot]; only read when [first_slot] is valid *)
+  mutable scratch_first_slot : int;
+      (** {!copy_object}'s first-pushed-field cursor — a [t] field
+          instead of a local [ref] so the per-object path does not
+          allocate one *)
+  mutable pair_by_region : Write_cache.pair option array;
+      (** live pair of each cache region, indexed by scratch-region
+          index (grown on demand) — the per-item home-pair lookup is a
+          plain array read where a [Hashtbl.find_opt] would hash and
+          allocate *)
+  mutable pairs_outstanding : int;
+      (** registered-but-unflushed pairs, mirroring the former
+          [Hashtbl.length] telemetry *)
   old_addrs : int Simstats.Vec.t;
       (** pre-copy addresses of evacuated objects; their address-table
           bindings must survive the pause (forwarding lookups) and be
@@ -166,11 +199,16 @@ type t = {
   mutable tamper_armed : bool;
 }
 
+(* Placeholder for the destination-scratch region field before the first
+   allocation fills it. *)
+let dummy_region =
+  R.create ~idx:(-1) ~base:0 ~bytes:0 ~space:Memsim.Access.Dram ~kind:R.Free
+
 let make_thread ~start_ns tid =
   {
     tid;
     stack = Work_stack.create ();
-    clock = ref start_ns;
+    clock = [| start_ns |];
     terminated = false;
     pair = None;
     survivor = None;
@@ -185,8 +223,13 @@ let make_thread ~start_ns tid =
     hm_fallbacks = 0;
     steals = 0;
     async_flushes = 0;
-    spin_ns = ref 0.0;
+    spin_ns = [| 0.0 |];
     breakdown = Array.make category_count 0.0;
+    dest_addr = 0;
+    dest_phys = 0;
+    dest_space = Memsim.Access.Dram;
+    dest_region = dummy_region;
+    dest_pair = None;
   }
 
 (* Telemetry lane convention: lane 0 carries the pause-level spans
@@ -204,7 +247,19 @@ let create ?tamper ~schedule ~heap ~memory ~(config : Gc_config.t) ~header_map
       header_map;
       write_cache;
       threads = Array.init config.Gc_config.threads (make_thread ~start_ns);
-      pair_of_cache_region = Hashtbl.create 64;
+      pool = Work_stack.create_pool ();
+      mark_stolen =
+        (fun idx ->
+          (* By index, not via the live-pair table: the record semantics
+             this replaces marked whatever region record the stolen item
+             pointed at, including regions already released (whose next
+             acquisition then starts stolen-from).  Scratch regions are
+             singleton records per index, so this is the same marking. *)
+          (Simheap.Heap.scratch_region heap idx).R.stolen_from <- true);
+      last_copy_home = -1;
+      scratch_first_slot = Work_stack.no_slot;
+      pair_by_region = Array.make 64 None;
+      pairs_outstanding = 0;
       old_addrs = Simstats.Vec.create 0;
       busy = 0;
       start_ns;
@@ -270,7 +325,7 @@ let crash_point t =
    armed mode, then disarms. *)
 let consume_tamper t which =
   t.tamper_armed
-  && t.tamper = Some which
+  && (match t.tamper with Some w -> w = which | None -> false)
   && begin
        t.tamper_armed <- false;
        true
@@ -292,27 +347,56 @@ let cause_of_category = function
 
 let charge ?force_device t th ~cat ~addr ~space ~kind ~pattern ~bytes =
   Memsim.Memory.set_cause t.memory (cause_of_category cat);
-  Memsim.Memory.access_into ?force_device t.memory ~now_ns:!(th.clock) ~addr
+  Memsim.Memory.access_into ?force_device t.memory ~now_ns:th.clock.(0) ~addr
     ~space ~kind ~pattern ~bytes;
   let d = Memsim.Memory.last_duration t.memory in
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. d;
-  th.clock := !(th.clock) +. d
+  th.clock.(0) <- th.clock.(0) +. d
 
 let charge_cpu th ns =
   th.breakdown.(category_index Cat_cpu) <-
     th.breakdown.(category_index Cat_cpu) +. ns;
-  th.clock := !(th.clock) +. ns
+  th.clock.(0) <- th.clock.(0) +. ns
 
 let add_breakdown th cat ns =
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. ns
 
 (* Device space a slot's own storage lives on. *)
-let slot_space t (slot : O.slot) =
-  match slot with
-  | O.Root _ -> Memsim.Access.Dram
-  | O.Field (holder, _) ->
-      if holder.O.cached then Memsim.Access.Dram
-      else (Simheap.Heap.region_of_addr t.heap holder.O.addr).R.space
+let slot_space t slot =
+  if Work_stack.slot_is_root slot then Memsim.Access.Dram
+  else begin
+    let holder = Work_stack.slot_holder t.pool slot in
+    if holder.O.cached then Memsim.Access.Dram
+    else (Simheap.Heap.region_of_addr t.heap holder.O.addr).R.space
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Live-pair table                                                     *)
+
+(* [boxed] is the [Some pair] the caller already holds, stored as-is so
+   per-item lookups hand back that box without allocating. *)
+let register_pair t (pair : Write_cache.pair) boxed =
+  let idx = pair.Write_cache.cache.R.idx in
+  let n = Array.length t.pair_by_region in
+  if idx >= n then begin
+    let a = Array.make (max (idx + 1) (2 * n)) None in
+    Array.blit t.pair_by_region 0 a 0 n;
+    t.pair_by_region <- a
+  end;
+  (match t.pair_by_region.(idx) with
+  | None -> t.pairs_outstanding <- t.pairs_outstanding + 1
+  | Some _ -> ());
+  t.pair_by_region.(idx) <- boxed
+
+let forget_pair t (pair : Write_cache.pair) =
+  let idx = pair.Write_cache.cache.R.idx in
+  if
+    idx < Array.length t.pair_by_region
+    && match t.pair_by_region.(idx) with Some _ -> true | None -> false
+  then begin
+    t.pair_by_region.(idx) <- None;
+    t.pairs_outstanding <- t.pairs_outstanding - 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Region flushing                                                     *)
@@ -322,7 +406,7 @@ let slot_space t (slot : O.slot) =
 let flush_pair t th (pair : Write_cache.pair) =
   let used = R.used_bytes pair.Write_cache.cache in
   if Nvmtrace.Hooks.tracing () then
-    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-start" ~ts_ns:!(th.clock)
+    Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-start" ~ts_ns:th.clock.(0)
       ~args:
         [
           ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx);
@@ -354,19 +438,19 @@ let flush_pair t th (pair : Write_cache.pair) =
     end;
     crash_point t
   end;
-  Hashtbl.remove t.pair_of_cache_region pair.Write_cache.cache.R.idx;
+  forget_pair t pair;
   if Nvmtrace.Hooks.recording () then
-    Nvmtrace.Hooks.sample ~now_ns:!(th.clock) "wc.pairs_outstanding"
-      (float_of_int (Hashtbl.length t.pair_of_cache_region));
+    Nvmtrace.Hooks.sample ~now_ns:th.clock.(0) "wc.pairs_outstanding"
+      (float_of_int t.pairs_outstanding);
   if Nvmtrace.Hooks.tracing () then
     Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"flush-complete"
-      ~ts_ns:!(th.clock)
+      ~ts_ns:th.clock.(0)
       ~args:[ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
       ();
   (match t.write_cache with
   | Some wc -> Write_cache.complete_flush wc pair
   | None -> assert false);
-  if t.schedule <> None then begin
+  if match t.schedule with Some _ -> true | None -> false then begin
     (* The flush is now reported durable: from here on the oracle holds
        the shadow to the full obligations, and any later write into it
        is a protocol violation. *)
@@ -391,64 +475,61 @@ let async_flush t th pair =
 
 (* Copy destination: either through the DRAM write cache (official NVM
    address known via the region mapping) or directly into an NVM survivor
-   region. *)
-type destination = {
-  dest_addr : int;  (** official (post-GC) address *)
-  dest_phys : int;  (** where the bytes are written now *)
-  dest_space : Memsim.Access.space;
-  dest_region : R.t;  (** region owning the official address *)
-  dest_pair : Write_cache.pair option;
-}
-
+   region.  The allocators fill the [th.dest_*] scratch fields in place
+   and [alloc_cached] answers success as a bool — a destination record
+   (and the options/tuples feeding it) would otherwise be allocated per
+   copied object. *)
 let rec alloc_cached t th size =
   match th.pair with
-  | Some pair -> begin
-      match Write_cache.alloc_in_pair pair size with
-      | Some (dram_addr, nvm_addr) ->
-          Some
-            {
-              dest_addr = nvm_addr;
-              dest_phys = dram_addr;
-              dest_space = Memsim.Access.Dram;
-              dest_region = pair.Write_cache.shadow;
-              dest_pair = Some pair;
-            }
-      | None ->
-          (* Pair filled.  If its tracker already drained, it can be
-             flushed right away in async mode; otherwise the Figure-4
-             protocol (or the final write-only sub-phase) picks it up. *)
-          Write_cache.mark_filled pair;
-          th.pair <- None;
-          if Flush_tracker.ready_on_fill pair then async_flush t th pair
-          else if
-            async_mode t
-            && (not pair.Write_cache.flushed)
-            && consume_tamper t Tamper_early_ready
-          then begin
-            (* Injected fault: the Figure-4 protocol says this pair is
-               NOT ready (its memorized last reference is unprocessed, or
-               stealing broke the LIFO order it relies on), but flush it
-               anyway — reported ready one step early. *)
-            th.async_flushes <- th.async_flushes + 1;
-            flush_pair t th pair
-          end;
-          alloc_cached t th size
-    end
+  | Some pair ->
+      let dram_addr = Write_cache.alloc_addr pair size in
+      if dram_addr >= 0 then begin
+        th.dest_addr <-
+          dram_addr - pair.Write_cache.cache.R.base
+          + pair.Write_cache.shadow.R.base;
+        th.dest_phys <- dram_addr;
+        th.dest_space <- Memsim.Access.Dram;
+        th.dest_region <- pair.Write_cache.shadow;
+        (* Reuse the caller's own [Some pair] box. *)
+        th.dest_pair <- th.pair;
+        true
+      end
+      else begin
+        (* Pair filled.  If its tracker already drained, it can be
+           flushed right away in async mode; otherwise the Figure-4
+           protocol (or the final write-only sub-phase) picks it up. *)
+        Write_cache.mark_filled pair;
+        th.pair <- None;
+        if Flush_tracker.ready_on_fill pair then async_flush t th pair
+        else if
+          async_mode t
+          && (not pair.Write_cache.flushed)
+          && consume_tamper t Tamper_early_ready
+        then begin
+          (* Injected fault: the Figure-4 protocol says this pair is
+             NOT ready (its memorized last reference is unprocessed, or
+             stealing broke the LIFO order it relies on), but flush it
+             anyway — reported ready one step early. *)
+          th.async_flushes <- th.async_flushes + 1;
+          flush_pair t th pair
+        end;
+        alloc_cached t th size
+      end
   | None -> begin
       match t.write_cache with
-      | None -> None
-      | Some _ when defer_region_grab t th -> None
+      | None -> false
+      | Some _ when defer_region_grab t th -> false
       | Some wc -> begin
           match Write_cache.new_pair wc with
-          | None -> None
+          | None -> false
           | Some pair ->
               charge_cpu th region_refill_ns;
-              Hashtbl.replace t.pair_of_cache_region
-                pair.Write_cache.cache.R.idx pair;
-              th.pair <- Some pair;
+              let boxed = Some pair in
+              register_pair t pair boxed;
+              th.pair <- boxed;
               if Nvmtrace.Hooks.tracing () then
                 Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"region-grab"
-                  ~ts_ns:!(th.clock)
+                  ~ts_ns:th.clock.(0)
                   ~args:
                     [ ("region", Nvmtrace.Tracer.Int pair.Write_cache.cache.R.idx) ]
                   ();
@@ -458,20 +539,19 @@ let rec alloc_cached t th size =
 
 let rec alloc_direct t th size =
   match th.survivor with
-  | Some region -> begin
-      match R.alloc region size with
-      | Some addr ->
-          {
-            dest_addr = addr;
-            dest_phys = addr;
-            dest_space = region.R.space;
-            dest_region = region;
-            dest_pair = None;
-          }
-      | None ->
-          th.survivor <- None;
-          alloc_direct t th size
-    end
+  | Some region ->
+      let addr = R.try_alloc region size in
+      if addr >= 0 then begin
+        th.dest_addr <- addr;
+        th.dest_phys <- addr;
+        th.dest_space <- region.R.space;
+        th.dest_region <- region;
+        th.dest_pair <- None
+      end
+      else begin
+        th.survivor <- None;
+        alloc_direct t th size
+      end
   | None -> begin
       match Simheap.Heap.alloc_region t.heap R.Survivor with
       | None -> raise (Evacuation_failure "survivor space exhausted")
@@ -492,46 +572,46 @@ let charge_lab t th size =
     end
   end
 
+(* Fills [th.dest_*]. *)
 let alloc_destination t th size =
   charge_cpu th alloc_cpu_ns;
   charge_lab t th size;
   let cacheable = size <= t.config.Gc_config.direct_copy_threshold in
-  let cached = if cacheable then alloc_cached t th size else None in
-  match cached with
-  | Some d -> d
-  | None ->
-      let d = alloc_direct t th size in
-      (match t.write_cache with
-      | Some wc -> Write_cache.record_direct_copy wc size
-      | None -> ());
-      d
+  if not (cacheable && alloc_cached t th size) then begin
+    alloc_direct t th size;
+    match t.write_cache with
+    | Some wc -> Write_cache.record_direct_copy wc size
+    | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Forwarding                                                          *)
 
 (* Look up whether [obj] (at old address [old_addr]) was already copied.
+   Returns the forwarding pointer, or [Simheap.Layout.null] when the
+   object is not yet forwarded — an int sentinel (the header map never
+   stores null values) so the per-item hot path allocates no option.
    Charges header-map probe reads; the NVM header itself was read as part
    of locating the referent. *)
 let lookup_forward t th ~old_addr (obj : O.t) =
   match t.header_map with
-  | Some map -> begin
-      let result, probes = Header_map.get map ~key:old_addr in
+  | Some map ->
+      let fwd = Header_map.get_addr map ~key:old_addr in
+      let probes = Header_map.last_probes map in
       charge t th ~cat:Cat_header_map
         ~addr:(Header_map.probe_addr map ~key:old_addr)
         ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
         ~pattern:Memsim.Access.Random
         ~bytes:(probes * header_probe_bytes);
-      match result with
-      | Some fwd ->
-          th.hm_hits <- th.hm_hits + 1;
-          Some fwd
-      | None ->
-          (* Not in the map: the header on NVM is authoritative (it may
-             hold a fallback install). *)
-          if obj.O.forward <> Simheap.Layout.null then Some obj.O.forward
-          else None
-    end
-  | None -> if obj.O.forward <> Simheap.Layout.null then Some obj.O.forward else None
+      if fwd <> Simheap.Layout.null then begin
+        th.hm_hits <- th.hm_hits + 1;
+        fwd
+      end
+      else
+        (* Not in the map: the header on NVM is authoritative (it may
+           hold a fallback install). *)
+        obj.O.forward
+  | None -> obj.O.forward
 
 (* The header is written twice on the old copy: the CAS claiming the
    object and the final forwarding value (paper §3.1).  Both are atomic
@@ -555,94 +635,103 @@ let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
       th.hm_fallbacks <- th.hm_fallbacks + 1;
       if Nvmtrace.Hooks.tracing () then
         Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
-          ~ts_ns:!(th.clock)
+          ~ts_ns:th.clock.(0)
           ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
           ();
       install_in_header t th ~old_addr ~old_space ~new_addr obj
-  | Some map -> begin
-      let result, probes = Header_map.put map ~key:old_addr ~value:new_addr in
+  | Some map ->
+      (* [put_code]: 0 = installed, -1 = full, >0 = racing installer's
+         value — int-coded so the per-object path allocates no tuple. *)
+      let code = Header_map.put_code map ~key:old_addr ~value:new_addr in
+      let probes = Header_map.last_probes map in
       (* probe reads + the claiming CAS + the value store, all DRAM *)
       charge t th ~cat:Cat_header_map
         ~addr:(Header_map.probe_addr map ~key:old_addr)
         ~space:Memsim.Access.Dram ~kind:Memsim.Access.Read
         ~pattern:Memsim.Access.Random
         ~bytes:(probes * header_probe_bytes);
-      match result with
-      | Header_map.Installed ->
-          th.hm_installs <- th.hm_installs + 1;
-          charge t th ~cat:Cat_header_map
-            ~addr:(Header_map.probe_addr map ~key:old_addr)
-            ~space:Memsim.Access.Dram ~kind:Memsim.Access.Write
-            ~pattern:Memsim.Access.Random ~bytes:header_probe_bytes
-      | Header_map.Found _ ->
-          (* Only reachable with racing installers; the simulator is
-             single-installer per object, so treat as a hit. *)
-          th.hm_hits <- th.hm_hits + 1
-      | Header_map.Full ->
-          th.hm_fallbacks <- th.hm_fallbacks + 1;
-          if Nvmtrace.Hooks.tracing () then
-            Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
-              ~ts_ns:!(th.clock)
-              ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
-              ();
-          install_in_header t th ~old_addr ~old_space ~new_addr obj
-    end
+      if code = 0 then begin
+        th.hm_installs <- th.hm_installs + 1;
+        charge t th ~cat:Cat_header_map
+          ~addr:(Header_map.probe_addr map ~key:old_addr)
+          ~space:Memsim.Access.Dram ~kind:Memsim.Access.Write
+          ~pattern:Memsim.Access.Random ~bytes:header_probe_bytes
+      end
+      else if code > 0 then
+        (* Only reachable with racing installers; the simulator is
+           single-installer per object, so treat as a hit. *)
+        th.hm_hits <- th.hm_hits + 1
+      else begin
+        th.hm_fallbacks <- th.hm_fallbacks + 1;
+        if Nvmtrace.Hooks.tracing () then
+          Nvmtrace.Hooks.instant ~lane:(lane th) ~name:"hm-fallback"
+            ~ts_ns:th.clock.(0)
+            ~args:[ ("addr", Nvmtrace.Tracer.Int old_addr) ]
+            ();
+        install_in_header t th ~old_addr ~old_space ~new_addr obj
+      end
   | None -> install_in_header t th ~old_addr ~old_space ~new_addr obj
 
 (* ------------------------------------------------------------------ *)
 (* Copy-and-traverse                                                   *)
 
-let push_item t th item =
+let push_item t th ~slot ~home =
   if Work_stack.is_empty th.stack then t.busy <- t.busy + 1;
-  Work_stack.push th.stack ~clock:!(th.clock) item
+  Work_stack.push th.stack ~clock:th.clock.(0) ~slot ~home
 
+(* Copy one object and push its reference fields.  Returns the packed
+   slot id of the first pushed field (negative if none); its home index
+   is latched in [t.last_copy_home] and the new address in [obj.O.addr] —
+   out-of-band so the per-object hot path returns an immediate int
+   instead of allocating a tuple. *)
 let copy_object t th ~old_addr ~old_space (obj : O.t) =
-  let dest = alloc_destination t th obj.O.size in
+  alloc_destination t th obj.O.size;
   (* Read the object body from the collection set, write it to the
      destination (step 2: sequential read + write). *)
   charge t th ~cat:Cat_copy_read ~addr:old_addr ~space:old_space
     ~kind:Memsim.Access.Read ~pattern:Memsim.Access.Sequential
     ~bytes:obj.O.size;
-  charge t th ~cat:Cat_copy_write ~addr:dest.dest_phys ~space:dest.dest_space
+  charge t th ~cat:Cat_copy_write ~addr:th.dest_phys ~space:th.dest_space
     ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
     ~bytes:obj.O.size;
-  install_forward t th ~old_addr ~new_addr:dest.dest_addr ~old_space obj;
+  install_forward t th ~old_addr ~new_addr:th.dest_addr ~old_space obj;
   (* Re-home the object. *)
   Simstats.Vec.push t.old_addrs old_addr;
-  obj.O.addr <- dest.dest_addr;
-  obj.O.phys <- dest.dest_phys;
-  obj.O.cached <- dest.dest_pair <> None;
+  obj.O.addr <- th.dest_addr;
+  obj.O.phys <- th.dest_phys;
+  obj.O.cached <- (match th.dest_pair with Some _ -> true | None -> false);
   obj.O.age <- obj.O.age + 1;
-  Simheap.Heap.bind t.heap dest.dest_addr obj;
-  Simstats.Vec.push dest.dest_region.R.objs obj;
-  (match dest.dest_pair with
+  Simheap.Heap.bind t.heap th.dest_addr obj;
+  Simstats.Vec.push th.dest_region.R.objs obj;
+  (match th.dest_pair with
   | Some pair -> Simstats.Vec.push pair.Write_cache.cache.R.objs obj
   | None -> ());
   th.objects_copied <- th.objects_copied + 1;
   th.bytes_copied <- th.bytes_copied + obj.O.size;
-  if dest.dest_pair <> None then
-    th.bytes_cached <- th.bytes_cached + obj.O.size
-  else th.bytes_direct <- th.bytes_direct + obj.O.size;
+  (match th.dest_pair with
+  | Some _ -> th.bytes_cached <- th.bytes_cached + obj.O.size
+  | None -> th.bytes_direct <- th.bytes_direct + obj.O.size);
   (* Step 4 second half: scan the copied object's reference fields and
      push them (sequential read of the fresh copy — cache-hot). *)
   let nfields = O.nfields obj in
-  let first_item = ref None in
+  t.scratch_first_slot <- Work_stack.no_slot;
+  let home =
+    match th.dest_pair with
+    | Some pair -> pair.Write_cache.cache.R.idx
+    | None -> Work_stack.no_home
+  in
   if nfields > 0 then begin
     charge t th ~cat:Cat_scan ~addr:(O.field_phys_addr obj 0)
-      ~space:dest.dest_space ~kind:Memsim.Access.Read
+      ~space:th.dest_space ~kind:Memsim.Access.Read
       ~pattern:Memsim.Access.Sequential
       ~bytes:(nfields * Simheap.Layout.ref_bytes);
-    let home =
-      match dest.dest_pair with
-      | Some pair -> Some pair.Write_cache.cache
-      | None -> None
-    in
+    let hidx = Work_stack.register_holder t.pool obj in
     for i = 0 to nfields - 1 do
       let target = obj.O.fields.(i) in
       if target <> Simheap.Layout.null then begin
-        let item = { Work_stack.slot = O.Field (obj, i); home } in
-        if !first_item = None then first_item := Some item;
-        push_item t th item;
+        let slot = Work_stack.field_slot ~holder:hidx ~field:i in
+        if t.scratch_first_slot < 0 then t.scratch_first_slot <- slot;
+        push_item t th ~slot ~home;
         if t.config.Gc_config.prefetch then begin
           (* Prefetch the referent's header (vanilla G1 already does
              this) and, with the header map on, its probe line (§4.3). *)
@@ -653,13 +742,13 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
           in
           Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Evac_copy;
           charge_cpu th
-            (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock) ~addr:target
+            (Memsim.Memory.prefetch t.memory ~now_ns:th.clock.(0) ~addr:target
                space);
           match t.header_map with
           | Some map ->
               Memsim.Memory.set_cause t.memory Nvmtrace.Recorder.Header_map;
               charge_cpu th
-                (Memsim.Memory.prefetch t.memory ~now_ns:!(th.clock)
+                (Memsim.Memory.prefetch t.memory ~now_ns:th.clock.(0)
                    ~addr:(Header_map.probe_addr map ~key:target)
                    Memsim.Access.Dram)
           | None -> ()
@@ -668,10 +757,11 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
     done
   end;
   (* Arm the async-flush tracker for the destination pair (Figure 4a). *)
-  (match dest.dest_pair with
-  | Some pair -> Flush_tracker.on_copy pair ~first_item:!first_item
+  (match th.dest_pair with
+  | Some pair -> Flush_tracker.on_copy pair ~first_slot:t.scratch_first_slot
   | None -> ());
-  (dest.dest_addr, !first_item)
+  t.last_copy_home <- home;
+  t.scratch_first_slot
 
 (* Step 4 first half: write the referent's new address into the slot
    (random write wherever the slot physically lives).  (Top-level rather
@@ -679,43 +769,45 @@ let copy_object t th ~old_addr ~old_space (obj : O.t) =
    closure.) *)
 let update_slot t th slot ~ref_addr new_addr =
   if new_addr <> ref_addr then begin
-    charge t th ~cat:Cat_ref_update ~addr:(O.slot_addr slot)
-      ~space:(slot_space t slot) ~kind:Memsim.Access.Write
-      ~pattern:Memsim.Access.Random ~bytes:Simheap.Layout.ref_bytes;
-    if t.schedule <> None then begin
+    let addr = Work_stack.slot_addr t.pool slot in
+    charge t th ~cat:Cat_ref_update ~addr ~space:(slot_space t slot)
+      ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
+      ~bytes:Simheap.Layout.ref_bytes;
+    if (match t.schedule with Some _ -> true | None -> false) then begin
       (* Flush-protocol invariant: a shadow reported durable must never
          receive another write.  Record violations for the recovery
          oracle (the write also leaves the line LLC-dirty, so the
          durability model flags it independently). *)
-      let addr = O.slot_addr slot in
       if Simheap.Heap.in_heap_range t.heap addr then begin
         let region = Simheap.Heap.region_of_addr t.heap addr in
         if Hashtbl.mem t.flushed_shadows region.R.idx then
           t.post_flush_writes <- (region.R.idx, addr) :: t.post_flush_writes
       end
     end;
-    O.slot_write slot new_addr
+    Work_stack.slot_write t.pool slot new_addr
   end
 
-(* Process a single popped work item: the §3.1 four-step loop. *)
-let process_item t th (item : Work_stack.item) =
+(* Process a single popped work item: the §3.1 four-step loop.
+   [slot]/[home] are the packed slot id and home cache-region index
+   popped off a work stack ([home] negative for "no home"). *)
+let process_item t th ~slot ~home =
   charge_cpu th ref_cpu_ns;
   th.refs_processed <- th.refs_processed + 1;
-  let slot = item.Work_stack.slot in
-  let ref_addr = O.slot_referent slot in
+  let ref_addr = Work_stack.slot_referent t.pool slot in
   (* The home pair must be resolved before processing: copying the
      referent can retire this very pair (flush completion) or grab a new
      one, and the flush tracker must see the pair that held the slot when
      the item was popped. *)
   let home_pair =
-    match item.Work_stack.home with
-    | Some region -> Hashtbl.find_opt t.pair_of_cache_region region.R.idx
-    | None -> None
+    (* Plain array read: hands back the [Some pair] box stored at
+       registration, so the per-item path allocates nothing. *)
+    if home < 0 || home >= Array.length t.pair_by_region then None
+    else t.pair_by_region.(home)
   in
-  let referent_first_item =
+  let referent_first_slot =
     if ref_addr = Simheap.Layout.null
        || not (Simheap.Heap.in_heap_range t.heap ref_addr)
-    then None
+    then Work_stack.no_slot
     else begin
       let region = Simheap.Heap.region_of_addr t.heap ref_addr in
       (* Step 1: locate the referent — random read of its header. *)
@@ -724,25 +816,30 @@ let process_item t th (item : Work_stack.item) =
         ~bytes:Simheap.Layout.header_bytes;
       if not region.R.in_cset then
         (* Outside the collection set: nothing to copy or update. *)
-        None
+        Work_stack.no_slot
       else begin
         let obj = Simheap.Heap.lookup_exn t.heap ref_addr in
-        match lookup_forward t th ~old_addr:ref_addr obj with
-        | Some fwd ->
-            update_slot t th slot ~ref_addr fwd;
-            None
-        | None ->
-            let new_addr, first_item =
-              copy_object t th ~old_addr:ref_addr ~old_space:region.R.space obj
-            in
-            update_slot t th slot ~ref_addr new_addr;
-            first_item
+        let fwd = lookup_forward t th ~old_addr:ref_addr obj in
+        if fwd <> Simheap.Layout.null then begin
+          update_slot t th slot ~ref_addr fwd;
+          Work_stack.no_slot
+        end
+        else begin
+          let first_slot =
+            copy_object t th ~old_addr:ref_addr ~old_space:region.R.space obj
+          in
+          update_slot t th slot ~ref_addr obj.O.addr;
+          first_slot
+        end
       end
     end
   in
   match home_pair with
   | Some pair -> begin
-      match Flush_tracker.on_processed pair ~item ~referent_first_item with
+      match
+        Flush_tracker.on_processed pair ~slot ~referent_first_slot
+          ~referent_home:t.last_copy_home
+      with
       | Flush_tracker.Ready p -> async_flush t th p
       | Flush_tracker.Keep ->
           if
@@ -770,19 +867,22 @@ let process_item t th (item : Work_stack.item) =
 (* Index of the non-terminated thread with the smallest clock (ties by
    lowest tid), -1 when all are terminated.  Allocation-free: this runs
    once per popped work item, scanning every thread. *)
-let min_clock_thread t =
-  let threads = t.threads in
-  let n = Array.length threads in
-  let best = ref (-1) in
-  let best_clock = ref infinity in
-  for i = 0 to n - 1 do
+(* Top-level recursion carrying only ints (the current best's clock is
+   re-read by index): both a [ref] pair and a captured local [let rec]
+   would allocate once per popped work item in classic ocamlopt. *)
+let rec min_clock_go threads n i best =
+  if i >= n then best
+  else begin
     let th = threads.(i) in
-    if (not th.terminated) && !(th.clock) < !best_clock then begin
-      best := i;
-      best_clock := !(th.clock)
-    end
-  done;
-  !best
+    let best =
+      if th.terminated then best
+      else if best < 0 || th.clock.(0) < threads.(best).clock.(0) then i
+      else best
+    in
+    min_clock_go threads n (i + 1) best
+  end
+
+let min_clock_thread t = min_clock_go t.threads (Array.length t.threads) 0 (-1)
 
 (* Steal from the victim with the largest stack, but only if it has at
    least two items: single-item stacks (pointer chains) stay with their
@@ -832,28 +932,40 @@ let try_steal t thief =
           (min t.config.Gc_config.steal_chunk
              (Work_stack.length victim.stack / 2))
       in
-      let stolen = Work_stack.steal victim.stack ~chunk in
+      (* Sync the thief's clock before the move: the victim's
+         last-push-clock is unchanged by stealing, so this matches the
+         old sync-after-steal order while letting [steal_into] stamp the
+         thief's pushes with the synced clock. *)
+      thief.clock.(0) <-
+        Float.max thief.clock.(0) (Work_stack.last_push_clock victim.stack);
+      let thief_was_empty = Work_stack.is_empty thief.stack in
+      let moved =
+        Work_stack.steal_into victim.stack ~thief:thief.stack ~chunk
+          ~clock:thief.clock.(0) ~mark_home:t.mark_stolen
+      in
       if Work_stack.length victim.stack = 0 then t.busy <- t.busy - 1;
-      thief.clock :=
-        Float.max !(thief.clock) (Work_stack.last_push_clock victim.stack);
+      if moved > 0 && thief_was_empty then t.busy <- t.busy + 1;
       thief.steals <- thief.steals + 1;
       if Nvmtrace.Hooks.tracing () then
         Nvmtrace.Hooks.instant ~lane:(lane thief) ~name:"steal"
-          ~ts_ns:!(thief.clock)
+          ~ts_ns:thief.clock.(0)
           ~args:
             [
               ("victim", Nvmtrace.Tracer.Int victim.tid);
-              ("items", Nvmtrace.Tracer.Int (List.length stolen));
+              ("items", Nvmtrace.Tracer.Int moved);
             ]
           ();
-      List.iter (push_item t thief) stolen;
-      stolen <> []
+      moved > 0
 
 let all_stacks_empty t =
   Array.for_all (fun th -> Work_stack.is_empty th.stack) t.threads
 
 (** Seed an initial work item onto a thread's stack (before [run]). *)
-let seed t ~tid item = push_item t t.threads.(tid) item
+let seed t ~tid slot =
+  push_item t
+    t.threads.(tid)
+    ~slot:(Work_stack.register_slot t.pool slot)
+    ~home:Work_stack.no_home
 
 (** Charge a thread for scanning its share of remembered sets ([bytes] of
     sequential metadata reads). *)
@@ -873,18 +985,19 @@ let run_min_clock t =
     | i -> begin
         let th = t.threads.(i) in
         if not (Work_stack.is_empty th.stack) then begin
-          let item = Work_stack.pop_nonempty th.stack in
+          let slot = Work_stack.pop_nonempty th.stack in
+          let home = Work_stack.popped_home th.stack in
           if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
           (* popping may empty the stack; pushes during processing
              re-mark it busy *)
-          process_item t th item
+          process_item t th ~slot ~home
         end
         else if not (try_steal t th) then begin
               if all_stacks_empty t then th.terminated <- true
               else begin
                 (* Someone still holds unstealable work (e.g. a chain):
                    spin in the termination protocol and retry. *)
-                th.spin_ns := !(th.spin_ns) +. idle_spin_ns;
+                th.spin_ns.(0) <- th.spin_ns.(0) +. idle_spin_ns;
                 charge_cpu th idle_spin_ns
               end
             end
@@ -927,9 +1040,10 @@ let run_scheduled t (s : Schedule.t) =
         let i = s.Schedule.pick_thread ~runnable in
         let th = t.threads.(runnable.(((i mod n) + n) mod n)) in
         if not (Work_stack.is_empty th.stack) then begin
-          let item = Work_stack.pop_nonempty th.stack in
+          let slot = Work_stack.pop_nonempty th.stack in
+          let home = Work_stack.popped_home th.stack in
           if Work_stack.is_empty th.stack then t.busy <- t.busy - 1;
-          process_item t th item
+          process_item t th ~slot ~home
         end
         else
           (* runnable with an empty stack means a victim with >= 2
@@ -954,20 +1068,20 @@ let run t =
   if Nvmtrace.Hooks.tracing () then
     Array.iter
       (fun th ->
-        if !(th.clock) > t.start_ns then
+        if th.clock.(0) > t.start_ns then
           Nvmtrace.Hooks.span ~lane:(lane th) ~name:"evacuate"
-            ~start_ns:t.start_ns ~end_ns:!(th.clock)
+            ~start_ns:t.start_ns ~end_ns:th.clock.(0)
             ~args:
               [
                 ("refs", Nvmtrace.Tracer.Int th.refs_processed);
                 ("objects", Nvmtrace.Tracer.Int th.objects_copied);
                 ("bytes", Nvmtrace.Tracer.Int th.bytes_copied);
                 ("steals", Nvmtrace.Tracer.Int th.steals);
-                ("spin_ns", Nvmtrace.Tracer.Float !(th.spin_ns));
+                ("spin_ns", Nvmtrace.Tracer.Float th.spin_ns.(0));
               ]
             ())
       t.threads;
-  Array.fold_left (fun acc th -> Float.max acc !(th.clock)) t.start_ns t.threads
+  Array.fold_left (fun acc th -> Float.max acc th.clock.(0)) t.start_ns t.threads
 
 (** Synchronous write-only sub-phase: flush every remaining cache region,
     distributed round-robin over threads starting at the barrier. *)
@@ -976,7 +1090,7 @@ let flush_remaining t ~barrier_ns =
   | None -> (barrier_ns, 0)
   | Some wc ->
       let pairs = Write_cache.unflushed_pairs wc in
-      Array.iter (fun th -> th.clock := Float.max !(th.clock) barrier_ns) t.threads;
+      Array.iter (fun th -> th.clock.(0) <- Float.max th.clock.(0) barrier_ns) t.threads;
       let n = Array.length t.threads in
       (* only threads that actually got a region contend for bandwidth *)
       t.busy <- min n (List.length pairs);
@@ -987,7 +1101,7 @@ let flush_remaining t ~barrier_ns =
         pairs;
       t.busy <- 0;
       let finish =
-        Array.fold_left (fun acc th -> Float.max acc !(th.clock)) barrier_ns
+        Array.fold_left (fun acc th -> Float.max acc th.clock.(0)) barrier_ns
           t.threads
       in
       (finish, List.length pairs)

@@ -62,9 +62,11 @@ val all_categories : category list
 type thread = {
   tid : int;
   stack : Work_stack.t;
-  clock : float ref;
-      (** flat float cell: hot-path clock stores must not box (a mutable
-          float field in this mixed record would) *)
+  clock : float array;
+      (** one-element flat array: hot-path clock stores must not box.
+          A mutable float field in this mixed record would box on every
+          store, and so would a [float ref] — [r := !r +. d] allocates a
+          fresh boxed float; a float-array store does not. *)
   mutable terminated : bool;
   mutable pair : Write_cache.pair option;
   mutable survivor : Simheap.Region.t option;
@@ -79,8 +81,16 @@ type thread = {
   mutable hm_fallbacks : int;
   mutable steals : int;
   mutable async_flushes : int;
-  spin_ns : float ref;
+  spin_ns : float array;  (** one-element, same boxing rationale *)
   breakdown : float array;
+  (* Copy-destination scratch: filled in place by the destination
+     allocators so the per-object hot path allocates no destination
+     record.  Only valid during a single copy. *)
+  mutable dest_addr : int;
+  mutable dest_phys : int;
+  mutable dest_space : Memsim.Access.space;
+  mutable dest_region : Simheap.Region.t;
+  mutable dest_pair : Write_cache.pair option;
 }
 
 type t
@@ -109,7 +119,7 @@ val old_addrs : t -> int Simstats.Vec.t
 
 val add_breakdown : thread -> category -> float -> unit
 
-val seed : t -> tid:int -> Work_stack.item -> unit
+val seed : t -> tid:int -> Simheap.Objmodel.slot -> unit
 (** Place an initial work item on a thread's stack (before {!run}). *)
 
 val charge_remset_scan : t -> tid:int -> bytes:int -> unit

@@ -30,61 +30,65 @@ type decision =
   | Ready of Write_cache.pair
       (** the pair may be flushed asynchronously right now *)
 
-(** Called when [obj] (with a first pushed field item [first_item], if any)
-    has been copied into [pair]. *)
-let on_copy (pair : Write_cache.pair) ~first_item =
-  match pair.Write_cache.last, first_item with
-  | None, Some item -> pair.Write_cache.last <- Some item
-  | (Some _ | None), _ -> ()
+(* Items are the packed int slot ids of {!Work_stack}: non-negative for
+   real references, negative ({!Work_stack.no_slot}) for "none".  Every
+   id is minted once per pause, so integer equality below is equivalent
+   to the physical item equality of the record representation.  Homes
+   are cache-region indices; scratch regions are singleton records per
+   index, so index equality is region identity. *)
+
+(** Called when an object (with a first pushed field slot [first_slot],
+    if any) has been copied into [pair]. *)
+let on_copy (pair : Write_cache.pair) ~first_slot =
+  if pair.Write_cache.last < 0 && first_slot >= 0 then
+    pair.Write_cache.last <- first_slot
 
 (** Called after an item has been fully processed.  [pair] is the pair
-    holding the item's holder object (its home), and [referent_first_item]
-    is the first field item pushed for the item's referent during this
-    processing step (if the referent was copied just now). *)
-let on_processed (pair : Write_cache.pair) ~item ~referent_first_item =
-  match pair.Write_cache.last with
-  | Some memorized when memorized == item ->
-      if pair.Write_cache.filled
-         && not pair.Write_cache.cache.Simheap.Region.stolen_from
-      then begin
-        pair.Write_cache.last <- None;
-        Nvmtrace.Hooks.count "flush_tracker.ready";
-        Ready pair
-      end
-      else begin
-        (* Figure 4c: the region is still open; memorize the leftmost
-           reference of the referent instead — but only when the referent
-           was copied into {e this} pair.  A reference whose holder lives
-           in a different pair pops with that pair as its home, so it
-           would never be matched against our [last] and the pair would
-           silently lose async-flush eligibility.  In that case drop the
-           tracking; the next object copied into the pair re-arms it. *)
-        let same_pair_item =
-          match referent_first_item with
-          | Some ri
-            when (match ri.Work_stack.home with
-                 | Some region -> region == pair.Write_cache.cache
-                 | None -> false) ->
-              referent_first_item
-          | Some _ | None -> None
-        in
-        if same_pair_item <> None then
-          Nvmtrace.Hooks.count "flush_tracker.rearms"
-        else
-          (* Tracking lost: the pair waits for the write-only sub-phase.
-             Counting these makes the conservatism of the Figure-4c
-             heuristic visible in the metrics/recorder output. *)
-          Nvmtrace.Hooks.count "flush_tracker.lost_tracking";
-        pair.Write_cache.last <- same_pair_item;
-        Keep
-      end
-  | Some _ | None -> Keep
+    holding the item's holder object (its home); [referent_first_slot]
+    is the first field slot pushed for the item's referent during this
+    processing step (negative if the referent was not copied just now or
+    contributed no reference), and [referent_home] that slot's home
+    cache-region index. *)
+let on_processed (pair : Write_cache.pair) ~slot ~referent_first_slot
+    ~referent_home =
+  if pair.Write_cache.last >= 0 && pair.Write_cache.last = slot then begin
+    if pair.Write_cache.filled
+       && not pair.Write_cache.cache.Simheap.Region.stolen_from
+    then begin
+      pair.Write_cache.last <- Work_stack.no_slot;
+      Nvmtrace.Hooks.count "flush_tracker.ready";
+      Ready pair
+    end
+    else begin
+      (* Figure 4c: the region is still open; memorize the leftmost
+         reference of the referent instead — but only when the referent
+         was copied into {e this} pair.  A reference whose holder lives
+         in a different pair pops with that pair as its home, so it
+         would never be matched against our [last] and the pair would
+         silently lose async-flush eligibility.  In that case drop the
+         tracking; the next object copied into the pair re-arms it. *)
+      let same_pair =
+        referent_first_slot >= 0
+        && referent_home = pair.Write_cache.cache.Simheap.Region.idx
+      in
+      if same_pair then Nvmtrace.Hooks.count "flush_tracker.rearms"
+      else
+        (* Tracking lost: the pair waits for the write-only sub-phase.
+           Counting these makes the conservatism of the Figure-4c
+           heuristic visible in the metrics/recorder output. *)
+        Nvmtrace.Hooks.count "flush_tracker.lost_tracking";
+      pair.Write_cache.last <-
+        (if same_pair then referent_first_slot else Work_stack.no_slot);
+      Keep
+    end
+  end
+  else Keep
 
 (** A filled pair whose [last] was already consumed (e.g. all trackable
     references processed before it filled) is also ready; the evacuation
     loop polls this when it fills a pair. *)
 let ready_on_fill (pair : Write_cache.pair) =
   pair.Write_cache.filled
-  && pair.Write_cache.last = None
+  && pair.Write_cache.last < 0
   && (not pair.Write_cache.flushed)
   && not pair.Write_cache.cache.Simheap.Region.stolen_from

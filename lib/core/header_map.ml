@@ -21,6 +21,12 @@ type t = {
   mask : int;  (** size - 1; size is a power of two *)
   search_bound : int;
   occupied : int Atomic.t;  (** number of claimed entries, for occupancy stats *)
+  mutable last_probes : int;
+      (** probe count of the latest {!get_addr}/{!put_code} — an
+          out-of-band channel so the per-object hot path need not
+          allocate a result tuple.  Only the simulator's single-domain
+          cost accounting reads it; concurrent [put]s from the parallel
+          unit tests race benignly on this int. *)
 }
 
 let entry_bytes = Gc_config.header_map_entry_bytes
@@ -38,6 +44,7 @@ let create ~entries ~search_bound =
     mask = size - 1;
     search_bound;
     occupied = Atomic.make 0;
+    last_probes = 0;
   }
 
 let size t = t.mask + 1
@@ -45,6 +52,8 @@ let size t = t.mask + 1
 let occupied t = Atomic.get t.occupied
 
 let occupancy t = float_of_int (occupied t) /. float_of_int (size t)
+
+let last_probes t = t.last_probes
 
 (** Direct entry inspection, for tests and the heap-invariant verifier
     (which asserts the table is fully zeroed after every pause). *)
@@ -82,69 +91,110 @@ let rec await_value t idx =
     await_value t idx
   end
 
-(** [put t ~key ~value] follows Algorithm 1 lines 6–42.  Returns the
-    outcome and the number of entries probed.  The scan starts at
-    [hash key] — the entry {!probe_addr} names — so cost accounting and
-    §4.3 header-map prefetches target the line the scan actually reads
+(* Scan loops are top-level recursions (a captured local [let rec] would
+   allocate a closure per call under classic ocamlopt) and report through
+   int codes plus [t.last_probes] — the evacuation engine runs one [put]
+   per copied object and one [get] per in-cset reference, so the hot path
+   must not box a result tuple or option.
+
+   [put_scan] code: [0] installed, [-1] probe bound exhausted, otherwise
+   the already-installed forwarding value (values are non-null). *)
+let rec put_scan t key value idx cnt =
+  if cnt > t.search_bound then begin
+    t.last_probes <- cnt;
+    -1
+  end
+  else begin
+    let probed_key = Atomic.get t.keys.(idx) in
+    if probed_key = key then begin
+      (* Another thread is installing the same object: wait for its value
+         (Algorithm 1 lines 35–39). *)
+      t.last_probes <- cnt;
+      await_value t idx
+    end
+    else if probed_key <> 0 then put_scan t key value ((idx + 1) land t.mask) (cnt + 1)
+    else if Atomic.compare_and_set t.keys.(idx) 0 key then begin
+      (* Claimed the entry (lines 31–32). *)
+      Atomic.incr t.occupied;
+      Atomic.set t.values.(idx) value;
+      t.last_probes <- cnt;
+      0
+    end
+    else begin
+      (* CAS failed: someone claimed this entry concurrently.  If it was
+         for the same key, wait for the value (lines 22–27); otherwise
+         keep probing (lines 28–30). *)
+      let winner = Atomic.get t.keys.(idx) in
+      if winner = key then begin
+        t.last_probes <- cnt;
+        await_value t idx
+      end
+      else put_scan t key value ((idx + 1) land t.mask) (cnt + 1)
+    end
+  end
+
+(** [put_code t ~key ~value] follows Algorithm 1 lines 6–42.  Returns
+    [0] when this thread claimed the entry ({!Installed}), [-1] when the
+    probe bound was exhausted ({!Full}), and the winner's value when
+    another thread already installed this key ({!Found}).  The probe
+    count is left in {!last_probes}.  The scan starts at [hash key] —
+    the entry {!probe_addr} names — so cost accounting and §4.3
+    header-map prefetches target the line the scan actually reads
     first. *)
-let put t ~key ~value =
+let put_code t ~key ~value =
   if key = 0 then invalid_arg "Header_map.put: null key";
   if value = 0 then invalid_arg "Header_map.put: null value";
-  let rec scan idx cnt =
-    if cnt > t.search_bound then (Full, cnt)
-    else begin
-      let probed_key = Atomic.get t.keys.(idx) in
-      if probed_key = key then
-        (* Another thread is installing the same object: wait for its value
-           (Algorithm 1 lines 35–39). *)
-        (Found (await_value t idx), cnt)
-      else if probed_key <> 0 then scan ((idx + 1) land t.mask) (cnt + 1)
-      else if Atomic.compare_and_set t.keys.(idx) 0 key then begin
-        (* Claimed the entry (lines 31–32). *)
-        Atomic.incr t.occupied;
-        Atomic.set t.values.(idx) value;
-        (Installed, cnt)
-      end
-      else begin
-        (* CAS failed: someone claimed this entry concurrently.  If it was
-           for the same key, wait for the value (lines 22–27); otherwise
-           keep probing (lines 28–30). *)
-        let winner = Atomic.get t.keys.(idx) in
-        if winner = key then (Found (await_value t idx), cnt)
-        else scan ((idx + 1) land t.mask) (cnt + 1)
-      end
-    end
-  in
-  let ((outcome, _) as result) = scan (hash t key) 1 in
+  let code = put_scan t key value (hash t key) 1 in
   (* Telemetry outcome counters (no-ops without an installed registry;
      the registry is only ever installed on single-domain runs). *)
-  (match outcome with
-  | Installed -> Nvmtrace.Hooks.count "header_map.installs"
-  | Found _ -> Nvmtrace.Hooks.count "header_map.races_found"
-  | Full -> Nvmtrace.Hooks.count "header_map.fallbacks");
-  result
+  (if code = 0 then Nvmtrace.Hooks.count "header_map.installs"
+   else if code > 0 then Nvmtrace.Hooks.count "header_map.races_found"
+   else Nvmtrace.Hooks.count "header_map.fallbacks");
+  code
 
-(** [get t ~key] is the bounded lookup described in §3.3: probes with the
-    same bound as [put] so every entry a racing [put] may have used is
-    examined.  Returns the forwarding pointer if installed, with the probe
-    count. *)
-let get t ~key =
-  if key = 0 then invalid_arg "Header_map.get: null key";
-  let rec scan idx cnt =
-    if cnt > t.search_bound then (None, cnt)
-    else begin
-      let probed_key = Atomic.get t.keys.(idx) in
-      if probed_key = key then (Some (await_value t idx), cnt)
-      else if probed_key = 0 then
-        (* An empty slot ends the probe chain: linear probing never leaves
-           gaps for keys inserted before this lookup began. *)
-        (None, cnt)
-      else scan ((idx + 1) land t.mask) (cnt + 1)
-    end
+(** Allocating [put_code] wrapper kept for tests and tools. *)
+let put t ~key ~value =
+  let code = put_code t ~key ~value in
+  let outcome =
+    if code = 0 then Installed else if code > 0 then Found code else Full
   in
-  let ((found, _) as result) = scan (hash t key) 1 in
-  if found <> None then Nvmtrace.Hooks.count "header_map.hits";
-  result
+  (outcome, t.last_probes)
+
+let rec get_scan t key idx cnt =
+  if cnt > t.search_bound then begin
+    t.last_probes <- cnt;
+    0
+  end
+  else begin
+    let probed_key = Atomic.get t.keys.(idx) in
+    if probed_key = key then begin
+      t.last_probes <- cnt;
+      await_value t idx
+    end
+    else if probed_key = 0 then begin
+      (* An empty slot ends the probe chain: linear probing never leaves
+         gaps for keys inserted before this lookup began. *)
+      t.last_probes <- cnt;
+      0
+    end
+    else get_scan t key ((idx + 1) land t.mask) (cnt + 1)
+  end
+
+(** [get_addr t ~key] is the bounded lookup described in §3.3: probes
+    with the same bound as [put] so every entry a racing [put] may have
+    used is examined.  Returns the forwarding pointer, or [0] (the null
+    address — never a legal value) when absent; the probe count is left
+    in {!last_probes}. *)
+let get_addr t ~key =
+  if key = 0 then invalid_arg "Header_map.get: null key";
+  let v = get_scan t key (hash t key) 1 in
+  if v <> 0 then Nvmtrace.Hooks.count "header_map.hits";
+  v
+
+(** Allocating [get_addr] wrapper kept for tests and tools. *)
+let get t ~key =
+  let v = get_addr t ~key in
+  ((if v = 0 then None else Some v), t.last_probes)
 
 (** Clear a slice of the table; GC threads split the index space and clear
     in parallel at the end of the pause (§3.3). *)

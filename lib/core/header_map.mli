@@ -43,5 +43,21 @@ val get : t -> key:int -> int option * int
 (** Look up a forwarding pointer; [None] means the caller must check the
     object header on NVM.  Returns the probe count. *)
 
+val put_code : t -> key:int -> value:int -> int
+(** Allocation-free [put]: [0] = installed, [-1] = probe bound exhausted
+    (fall back to the NVM header), any other value = a racing installer's
+    forwarding pointer.  The probe count is left in {!last_probes}.  The
+    evacuation engine runs one [put] per copied object, so the hot path
+    must not box a result tuple. *)
+
+val get_addr : t -> key:int -> int
+(** Allocation-free [get]: the forwarding pointer, or [0] (the null
+    address, never a legal value) when the caller must check the object
+    header on NVM.  The probe count is left in {!last_probes}. *)
+
+val last_probes : t -> int
+(** Probe count of the latest {!get_addr}/{!put_code} on this table —
+    out-of-band so hot-path lookups need not allocate a tuple. *)
+
 val clear_range : t -> lo:int -> hi:int -> unit
 val clear : t -> unit

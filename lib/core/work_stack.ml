@@ -5,19 +5,96 @@
     Idle threads steal a chunk from the *bottom* of a victim's stack — the
     end opposite the owner — which is also the event that breaks the LIFO
     order the asynchronous-flush tracker relies on, so stolen items' home
-    regions are marked [stolen_from] (paper §4.2). *)
+    regions are marked [stolen_from] (paper §4.2).
 
-type item = {
-  slot : Simheap.Objmodel.slot;
-  home : Simheap.Region.t option;
-      (** survivor/cache region holding the slot's holder object; [None]
-          for roots and remembered-set slots *)
+    Items are structure-of-arrays: parallel int vectors for a packed slot
+    id and a home cache-region index (-1 = none), so the push/pop/steal
+    hot paths allocate nothing.  A slot id is either
+
+    - a field slot: [(holder_idx << (field_bits + 1)) | (field << 1)],
+      where [holder_idx] indexes the pause-local holder registry; or
+    - a root slot: [(root_idx << 1) | 1].
+
+    Each pushed id is minted exactly once per pause (objects are copied
+    once, and the seeding path registers every remembered-set slot
+    separately), so integer equality on ids is equivalent to the physical
+    equality the record representation gave the flush tracker. *)
+
+module O = Simheap.Objmodel
+
+let no_home = -1
+let no_slot = -1
+
+(* ------------------------------------------------------------------ *)
+(* Slot pool                                                           *)
+
+let field_bits = 24
+let max_fields = 1 lsl field_bits
+let field_mask = max_fields - 1
+
+type pool = {
+  holders : O.t Simstats.Vec.t;
+  proots : O.root Simstats.Vec.t;
 }
 
-let dummy_item = { slot = Simheap.Region.dummy_slot; home = None }
+let dummy_root : O.root = { O.root_id = -1; target = 0 }
+
+let create_pool () =
+  {
+    holders = Simstats.Vec.create Simheap.Region.dummy_obj;
+    proots = Simstats.Vec.create dummy_root;
+  }
+
+let register_holder pool obj =
+  Simstats.Vec.push pool.holders obj;
+  Simstats.Vec.length pool.holders - 1
+
+let field_slot ~holder ~field = (holder lsl (field_bits + 1)) lor (field lsl 1)
+
+let register_slot pool (slot : O.slot) =
+  match slot with
+  | O.Field (holder, i) ->
+      assert (i < max_fields);
+      field_slot ~holder:(register_holder pool holder) ~field:i
+  | O.Root r ->
+      Simstats.Vec.push pool.proots r;
+      ((Simstats.Vec.length pool.proots - 1) lsl 1) lor 1
+
+let slot_is_root id = id land 1 = 1
+
+let slot_referent pool id =
+  if id land 1 = 1 then
+    (Simstats.Vec.unsafe_get pool.proots (id lsr 1)).O.target
+  else
+    (Simstats.Vec.unsafe_get pool.holders (id lsr (field_bits + 1))).O.fields.(
+      (id lsr 1) land field_mask)
+
+let slot_write pool id v =
+  if id land 1 = 1 then
+    (Simstats.Vec.unsafe_get pool.proots (id lsr 1)).O.target <- v
+  else
+    (Simstats.Vec.unsafe_get pool.holders (id lsr (field_bits + 1))).O.fields.(
+      (id lsr 1) land field_mask) <- v
+
+let slot_addr pool id =
+  if id land 1 = 1 then
+    O.root_addr (Simstats.Vec.unsafe_get pool.proots (id lsr 1))
+  else
+    O.field_phys_addr
+      (Simstats.Vec.unsafe_get pool.holders (id lsr (field_bits + 1)))
+      ((id lsr 1) land field_mask)
+
+let slot_holder pool id =
+  Simstats.Vec.unsafe_get pool.holders (id lsr (field_bits + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Stacks                                                              *)
 
 type t = {
-  items : item Simstats.Vec.t;
+  mutable slots : int array;
+  mutable homes : int array;
+  mutable len : int;
+  mutable popped_home_ : int;
   mutable last_push_clock : float;
       (** simulated instant of the most recent push; a thief's clock is
           advanced to at least this, keeping steals causal *)
@@ -26,50 +103,88 @@ type t = {
   mutable stolen_from_count : int;
 }
 
+let initial_capacity = 64
+
 let create () =
   {
-    items = Simstats.Vec.create dummy_item;
+    slots = Array.make initial_capacity no_slot;
+    homes = Array.make initial_capacity no_home;
+    len = 0;
+    popped_home_ = no_home;
     last_push_clock = 0.0;
     pushes = 0;
     pops = 0;
     stolen_from_count = 0;
   }
 
-let length t = Simstats.Vec.length t.items
-let is_empty t = Simstats.Vec.is_empty t.items
+let length t = t.len
+let is_empty t = t.len = 0
 
-let push t ~clock item =
-  Simstats.Vec.push t.items item;
+let grow t needed =
+  let cap = Array.length t.slots in
+  let new_cap = max needed (cap * 2) in
+  let slots = Array.make new_cap no_slot and homes = Array.make new_cap no_home in
+  Array.blit t.slots 0 slots 0 t.len;
+  Array.blit t.homes 0 homes 0 t.len;
+  t.slots <- slots;
+  t.homes <- homes
+
+let push t ~clock ~slot ~home =
+  if t.len >= Array.length t.slots then grow t (t.len + 1);
+  t.slots.(t.len) <- slot;
+  t.homes.(t.len) <- home;
+  t.len <- t.len + 1;
   t.last_push_clock <- Float.max t.last_push_clock clock;
   t.pushes <- t.pushes + 1
 
-let pop t =
-  (* Return [Vec.pop]'s option as-is rather than re-wrapping — one less
-     allocation per popped item. *)
-  let r = Simstats.Vec.pop t.items in
-  if r != None then t.pops <- t.pops + 1;
-  r
-
 let pop_nonempty t =
-  (* Allocation-free pop for the traversal loops, which test [is_empty]
-     before popping anyway — the option wrapper of [pop] costs one minor
-     allocation per work item, and a sweep pops millions. *)
   t.pops <- t.pops + 1;
-  Simstats.Vec.pop_or_dummy t.items
+  if t.len = 0 then begin
+    t.popped_home_ <- no_home;
+    no_slot
+  end
+  else begin
+    let i = t.len - 1 in
+    t.len <- i;
+    t.popped_home_ <- t.homes.(i);
+    t.slots.(i)
+  end
 
-(** [steal victim ~chunk] takes up to [chunk] items from the bottom of the
-    victim's stack and marks each item's home region as stolen-from
-    (disabling asynchronous flushing for it). *)
-let steal victim ~chunk =
-  let stolen = Simstats.Vec.take_front victim.items chunk in
-  victim.stolen_from_count <- victim.stolen_from_count + List.length stolen;
-  List.iter
-    (fun item ->
-      match item.home with
-      | Some region -> region.Simheap.Region.stolen_from <- true
-      | None -> ())
-    stolen;
-  stolen
+let popped_home t = t.popped_home_
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let slot = pop_nonempty t in
+    Some (slot, t.popped_home_)
+  end
+
+(** [steal_into victim ~thief ~chunk ~clock ~mark_home] moves up to [chunk]
+    items from the bottom of the victim's stack onto [thief] (in push
+    order), reporting each moved item's home region index to [mark_home]
+    so it can be flagged stolen-from (disabling asynchronous flushing). *)
+let steal_into victim ~thief ~chunk ~clock ~mark_home =
+  let k = min chunk victim.len in
+  if k > 0 then begin
+    if thief.len + k > Array.length thief.slots then grow thief (thief.len + k);
+    let vs = victim.slots and vh = victim.homes in
+    let ts = thief.slots and th = thief.homes in
+    for i = 0 to k - 1 do
+      ts.(thief.len + i) <- vs.(i);
+      let home = vh.(i) in
+      th.(thief.len + i) <- home;
+      if home >= 0 then mark_home home
+    done;
+    thief.len <- thief.len + k;
+    thief.pushes <- thief.pushes + k;
+    thief.last_push_clock <- Float.max thief.last_push_clock clock;
+    victim.stolen_from_count <- victim.stolen_from_count + k;
+    (* slide the survivors down to keep the bottom at index 0 *)
+    Array.blit vs k vs 0 (victim.len - k);
+    Array.blit vh k vh 0 (victim.len - k);
+    victim.len <- victim.len - k
+  end;
+  k
 
 let pushes t = t.pushes
 let pops t = t.pops

@@ -21,9 +21,10 @@ type pair = {
   shadow : Simheap.Region.t;  (** NVM survivor region at the same offsets *)
   mutable filled : bool;  (** no further allocation will target this pair *)
   mutable flushed : bool;
-  mutable last : Work_stack.item option;
-      (** the Figure-4 "last" field: the reference expected to be processed
-          last among those targeting this pair *)
+  mutable last : int;
+      (** the Figure-4 "last" field: packed {!Work_stack} slot id of the
+          reference expected to be processed last among those targeting
+          this pair; negative = unarmed *)
 }
 
 type t = {
@@ -41,7 +42,7 @@ let dummy_pair =
     Simheap.Region.create ~idx:(-1) ~base:0 ~bytes:0 ~space:Memsim.Access.Dram
       ~kind:Simheap.Region.Free
   in
-  { cache = r; shadow = r; filled = false; flushed = false; last = None }
+  { cache = r; shadow = r; filled = false; flushed = false; last = -1 }
 
 let create heap ~limit_bytes =
   {
@@ -79,28 +80,38 @@ let new_pair t =
             Nvmtrace.Hooks.count "write_cache.pairs_allocated";
             t.allocated_bytes <- t.allocated_bytes + cache.Simheap.Region.bytes;
             let pair =
-              { cache; shadow; filled = false; flushed = false; last = None }
+              { cache; shadow; filled = false; flushed = false; last = -1 }
             in
             Simstats.Vec.push t.pairs pair;
             Some pair
       end
   end
 
-(** Bump-allocate [size] bytes in a pair; keeps the cache and shadow tops in
-    lockstep so DRAM offset = NVM offset.  Returns (dram_addr, nvm_addr). *)
+(** Bump-allocate [size] bytes in a pair; keeps the cache and shadow tops
+    in lockstep so DRAM offset = NVM offset.  Returns the DRAM address, or
+    [-1] when the pair is full; the NVM address is [dram_addr -
+    cache.base + shadow.base] (the region mapping).  Runs once per cached
+    object copy, hence the int sentinel instead of an option. *)
+let alloc_addr pair size =
+  let dram_addr = Simheap.Region.try_alloc pair.cache size in
+  if dram_addr < 0 then -1
+  else begin
+    let nvm_addr = Simheap.Region.try_alloc pair.shadow size in
+    assert (nvm_addr >= 0 (* same geometry, same top *));
+    assert (
+      dram_addr - pair.cache.Simheap.Region.base
+      = nvm_addr - pair.shadow.Simheap.Region.base);
+    dram_addr
+  end
+
 let alloc_in_pair pair size =
-  match Simheap.Region.alloc pair.cache size with
-  | None -> None
-  | Some dram_addr ->
-      let nvm_addr =
-        match Simheap.Region.alloc pair.shadow size with
-        | Some a -> a
-        | None -> assert false (* same geometry, same top *)
-      in
-      assert (
+  let dram_addr = alloc_addr pair size in
+  if dram_addr < 0 then None
+  else
+    Some
+      ( dram_addr,
         dram_addr - pair.cache.Simheap.Region.base
-        = nvm_addr - pair.shadow.Simheap.Region.base);
-      Some (dram_addr, nvm_addr)
+        + pair.shadow.Simheap.Region.base )
 
 let mark_filled pair = pair.filled <- true
 

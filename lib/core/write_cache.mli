@@ -6,8 +6,10 @@ type pair = {
   shadow : Simheap.Region.t;  (** NVM survivor region at the same offsets *)
   mutable filled : bool;
   mutable flushed : bool;
-  mutable last : Work_stack.item option;
-      (** the Figure-4 "last" field used by {!Flush_tracker} *)
+  mutable last : int;
+      (** the Figure-4 "last" field used by {!Flush_tracker}: packed
+          {!Work_stack} slot id, negative ({!Work_stack.no_slot}) when
+          unarmed *)
 }
 
 type t
@@ -23,6 +25,12 @@ val new_pair : t -> pair option
 val alloc_in_pair : pair -> int -> (int * int) option
 (** Bump-allocate; returns [(dram_addr, nvm_addr)] with equal offsets in
     both regions (the region mapping). *)
+
+val alloc_addr : pair -> int -> int
+(** Allocation-free [alloc_in_pair]: the DRAM address, or [-1] when the
+    pair is full.  The NVM address is [dram_addr - cache.base +
+    shadow.base].  The evacuation hot path calls this once per cached
+    object, so the failure case must not box. *)
 
 val mark_filled : pair -> unit
 val record_direct_copy : t -> int -> unit

@@ -97,8 +97,7 @@ let seed_work t evac =
   in
   let bytes_per_thread = Array.make nthreads 0 in
   let seed_slot target_tid slot =
-    Evacuation.seed evac ~tid:target_tid
-      { Work_stack.slot; home = None };
+    Evacuation.seed evac ~tid:target_tid slot;
     bytes_per_thread.(target_tid) <-
       bytes_per_thread.(target_tid) + Simheap.Layout.ref_bytes
   in
@@ -140,10 +139,10 @@ let cleanup_header_map t evac ~from_ns =
       Array.iteri
         (fun i (th : Evacuation.thread) ->
           let slice = slices.(i) in
-          th.Evacuation.clock :=
-            Float.max !(th.Evacuation.clock) from_ns;
+          th.Evacuation.clock.(0) <-
+            Float.max th.Evacuation.clock.(0) from_ns;
           let d =
-            Memsim.Memory.access t.memory ~now_ns:!(th.Evacuation.clock)
+            Memsim.Memory.access t.memory ~now_ns:th.Evacuation.clock.(0)
               ~addr:(Simheap.Layout.header_map_base + !offset)
               (Memsim.Access.v ~space:Memsim.Access.Dram
                  ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
@@ -151,8 +150,8 @@ let cleanup_header_map t evac ~from_ns =
           in
           offset := !offset + slice;
           Evacuation.add_breakdown th Evacuation.Cat_cleanup d;
-          th.Evacuation.clock := !(th.Evacuation.clock) +. d;
-          finish := Float.max !finish !(th.Evacuation.clock))
+          th.Evacuation.clock.(0) <- th.Evacuation.clock.(0) +. d;
+          finish := Float.max !finish th.Evacuation.clock.(0))
         (Evacuation.threads evac);
       Header_map.clear map;
       !finish
@@ -222,8 +221,8 @@ let collect t ~now_ns =
     Array.fold_left
       (fun acc (th : Evacuation.thread) ->
         acc
-        +. (traverse_end -. !(th.Evacuation.clock))
-        +. !(th.Evacuation.spin_ns))
+        +. (traverse_end -. th.Evacuation.clock.(0))
+        +. th.Evacuation.spin_ns.(0))
       0.0 threads
   in
   let flush_end, sync_flushes =

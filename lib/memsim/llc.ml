@@ -19,6 +19,14 @@ let line_bytes = 64
 
 type set = {
   tags : int array;  (** line ids; -1 = invalid *)
+  fps : int array;
+      (** packed 8-bit fingerprints of the resident lines, 7 ways per
+          native int in 9-bit lanes; an absent way's lane holds 0x100,
+          which no 8-bit fingerprint can equal.  Lookups scan these words
+          with a SWAR equal-lane test instead of walking [tags] — one ALU
+          probe covers 7 ways.  The lane test can report false positives
+          (borrow propagation in the subtraction trick), never false
+          negatives, so candidates are confirmed against [tags]. *)
   mutable prefetched : int;  (** bitmask over ways *)
   mutable dirty : int;  (** bitmask over ways *)
   mutable nvm : int;  (** bitmask: line belongs to the NVM space *)
@@ -58,6 +66,25 @@ type t = {
   mutable writebacks : int;
 }
 
+(* Fingerprint packing: 7 ways per word, 9-bit lanes (7 * 9 = 63 bits,
+   the full native int).  The 9th lane bit lets the absent marker 0x100
+   sit outside the 8-bit fingerprint range and doubles as the SWAR
+   match-detect bit. *)
+let fp_lanes = 7
+let fp_shift = 9
+let fp_lane_mask = 0x1FF
+let fp_absent = 0x100
+
+let fp_low =
+  (* bit 0 of every lane *)
+  let rec go l acc =
+    if l >= fp_lanes then acc else go (l + 1) (acc lor (1 lsl (fp_shift * l)))
+  in
+  go 0 0
+
+let fp_high = fp_low lsl 8 (* bit 8 of every lane *)
+let fp_absent_word = fp_absent * fp_low
+
 let create ~capacity_bytes ~ways =
   let ways = max 1 ways in
   let lines = max ways (capacity_bytes / line_bytes) in
@@ -65,6 +92,7 @@ let create ~capacity_bytes ~ways =
   (* round set count down to a power of two for cheap indexing *)
   let rec pow2 acc = if acc * 2 > nsets_raw then acc else pow2 (acc * 2) in
   let nsets = pow2 1 in
+  let fp_words = (ways + fp_lanes - 1) / fp_lanes in
   {
     nsets;
     set_mask = nsets - 1;
@@ -73,6 +101,7 @@ let create ~capacity_bytes ~ways =
       Array.init nsets (fun _ ->
           {
             tags = Array.make ways (-1);
+            fps = Array.make fp_words fp_absent_word;
             prefetched = 0;
             dirty = 0;
             nvm = 0;
@@ -96,33 +125,78 @@ let capacity_bytes t = t.nsets * t.ways * line_bytes
 
 (* Mix the line id so that strided heap layouts spread over sets.  The
    multiply keeps the id non-negative on 63-bit ints for any heap-sized
-   line id, and nsets is a power of two, so masking == mod. *)
-let set_of t line = (line * 0x9E3779B1) land max_int land t.set_mask
+   line id, and nsets is a power of two, so masking == mod.  The set
+   index takes the hash's low bits; the fingerprint takes 8 bits from
+   the middle so the two stay decorrelated within a set. *)
+let hash_line line = line * 0x9E3779B1 land max_int
+let fp_of_hash h = (h lsr 24) land 0xff
 
 let touch t set way =
   set.stamp.(way) <- t.tick;
   t.tick <- t.tick + 1
 
-let find_way set line =
+(* Way holding [line], or -1: scan the packed fingerprint words and
+   confirm candidate lanes (false positives only) against [tags].  The
+   lane loop is bounded by [ways], never the lane count — the tail word's
+   spare lanes hold [fp_absent] and under [-unsafe] an unchecked
+   [tags] read past [ways] must stay unreachable.  Pure: mutates no
+   LRU/hint state. *)
+(* The scan/confirm recursions live at top level with all state passed
+   as arguments: a captured local [let rec] costs a closure allocation
+   per call in classic (non-flambda) ocamlopt, and this probe runs once
+   per simulated memory access. *)
+let rec fp_confirm (tags : int array) (line : int) m base limit l =
+  if l >= limit then -1
+  else if
+    m land (1 lsl ((l * fp_shift) + 8)) <> 0 && tags.(base + l) = line
+  then base + l
+  else fp_confirm tags line m base limit (l + 1)
+
+let rec fp_scan (fps : int array) tags nwords needle line ways w =
+  if w >= nwords then -1
+  else begin
+    (* lanes equal to the needle become 0; the classic haszero mask sets
+       the high lane bit of every zero lane (and, via borrows, possibly
+       of lanes just above one) *)
+    let x = fps.(w) lxor needle in
+    let m = (x - fp_low) land lnot x land fp_high in
+    if m = 0 then fp_scan fps tags nwords needle line ways (w + 1)
+    else begin
+      let base = w * fp_lanes in
+      (* [if]-form rather than [min]: polymorphic [min] is a generic
+         compare call under classic ocamlopt, on the hottest path of the
+         whole simulator. *)
+      let d = ways - base in
+      let limit = if d < fp_lanes then d else fp_lanes in
+      match fp_confirm tags line m base limit 0 with
+      | -1 -> fp_scan fps tags nwords needle line ways (w + 1)
+      | way -> way
+    end
+  end
+
+let fp_probe set line ~fp ~ways =
+  fp_scan set.fps set.tags (Array.length set.fps) (fp * fp_low) line ways 0
+
+let find_way t set line ~fp =
   if set.tags.(set.hint) = line then set.hint
   else begin
-    let n = Array.length set.tags in
-    let rec loop i =
-      if i >= n then -1 else if set.tags.(i) = line then i else loop (i + 1)
-    in
-    let way = loop 0 in
+    let way = fp_probe set line ~fp ~ways:t.ways in
     if way >= 0 then set.hint <- way;
     way
   end
 
-let victim_way set =
-  let n = Array.length set.stamp in
-  let rec loop i best =
-    if i >= n then best
-    else if set.stamp.(i) < set.stamp.(best) then loop (i + 1) i
-    else loop (i + 1) best
-  in
-  loop 1 0
+(* Record way [way]'s fingerprint (or [fp_absent]) in the packed words. *)
+let set_fp set way fp =
+  let w = way / fp_lanes and sh = way mod fp_lanes * fp_shift in
+  set.fps.(w) <- set.fps.(w) land lnot (fp_lane_mask lsl sh) lor (fp lsl sh)
+
+(* Top level for the same no-closure reason as [fp_scan]. *)
+let rec victim_loop (stamp : int array) n i best =
+  if i >= n then best
+  else
+    victim_loop stamp n (i + 1) (if stamp.(i) < stamp.(best) then i else best)
+
+let victim_way set = victim_loop set.stamp (Array.length set.stamp) 1 0
 
 type outcome = Hit | Miss | Prefetched_hit
 
@@ -132,7 +206,7 @@ type writeback = { wb_addr : int; wb_nvm : bool; wb_seq : bool }
 
 (* Install [line] in [set], evicting the LRU way.  Returns the way used;
    a dirty eviction is recorded in the pending write-back slots. *)
-let install t set line ~write ~seq ~nvm =
+let install t set line ~fp ~write ~seq ~nvm =
   let way = victim_way set in
   let bit = 1 lsl way in
   if set.dirty land bit <> 0 && set.tags.(way) >= 0 then begin
@@ -143,6 +217,7 @@ let install t set line ~write ~seq ~nvm =
     t.wb_seq_q <- set.seqw land bit <> 0
   end;
   set.tags.(way) <- line;
+  set_fp set way fp;
   set.prefetched <- set.prefetched land lnot bit;
   set.dirty <- (if write then set.dirty lor bit else set.dirty land lnot bit);
   set.seqw <-
@@ -159,8 +234,10 @@ let install t set line ~write ~seq ~nvm =
 let access_q t addr ~write ~seq ~nvm =
   t.wb_pending <- false;
   let line = addr / line_bytes in
-  let set = t.sets.(set_of t line) in
-  let way = find_way set line in
+  let h = hash_line line in
+  let fp = fp_of_hash h in
+  let set = t.sets.(h land t.set_mask) in
+  let way = find_way t set line ~fp in
   if way >= 0 then begin
     touch t set way;
     let bit = 1 lsl way in
@@ -180,7 +257,7 @@ let access_q t addr ~write ~seq ~nvm =
   end
   else begin
     t.misses <- t.misses + 1;
-    ignore (install t set line ~write ~seq ~nvm : int);
+    ignore (install t set line ~fp ~write ~seq ~nvm : int);
     Miss
   end
 
@@ -206,9 +283,11 @@ let access t addr ~write ~seq ~nvm =
 let prefetch_q t addr ~nvm =
   t.wb_pending <- false;
   let line = addr / line_bytes in
-  let set = t.sets.(set_of t line) in
+  let h = hash_line line in
+  let fp = fp_of_hash h in
+  let set = t.sets.(h land t.set_mask) in
   t.prefetch_issued <- t.prefetch_issued + 1;
-  let way = find_way set line in
+  let way = find_way t set line ~fp in
   if way >= 0 then begin
     (* Already resident: re-mark so the consumer still sees the cheap
        path (prefetching a resident line costs nothing extra). *)
@@ -216,7 +295,7 @@ let prefetch_q t addr ~nvm =
     false
   end
   else begin
-    let way = install t set line ~write:false ~seq:false ~nvm in
+    let way = install t set line ~fp ~write:false ~seq:false ~nvm in
     set.prefetched <- set.prefetched lor (1 lsl way);
     true
   end
@@ -229,17 +308,13 @@ let prefetch t addr ~nvm =
    dirty?  Used by the crash model — dirty lines die with the cache, so
    an NVM address whose line sits dirty here has not reached the device.
    Deliberately avoids [find_way]: no LRU stamp or way-hint mutation, so
-   querying is pure observation. *)
+   querying is pure observation ([fp_probe] mutates nothing). *)
 let line_dirty t addr =
   let line = addr / line_bytes in
-  let set = t.sets.(set_of t line) in
-  let n = Array.length set.tags in
-  let rec loop i =
-    if i >= n then false
-    else if set.tags.(i) = line then set.dirty land (1 lsl i) <> 0
-    else loop (i + 1)
-  in
-  loop 0
+  let h = hash_line line in
+  let set = t.sets.(h land t.set_mask) in
+  let way = fp_probe set line ~fp:(fp_of_hash h) ~ways:t.ways in
+  way >= 0 && set.dirty land (1 lsl way) <> 0
 
 (** Invalidate everything (used between independent simulation phases);
     dirty contents are discarded, not written back. *)
@@ -247,6 +322,7 @@ let clear t =
   Array.iter
     (fun set ->
       Array.fill set.tags 0 (Array.length set.tags) (-1);
+      Array.fill set.fps 0 (Array.length set.fps) fp_absent_word;
       set.prefetched <- 0;
       set.dirty <- 0;
       set.nvm <- 0;

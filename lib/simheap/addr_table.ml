@@ -45,38 +45,34 @@ let create () =
 
 let length t = t.live
 
+(* Probe loops are top-level recursions over int arguments: local [ref]
+   cursors (or a captured local [let rec]) would allocate on every call,
+   and [find] runs once per evacuated reference slot. *)
+let rec find_from (keys : int array) mask (addr : int) i =
+  let k = keys.(i) in
+  if k = addr then i
+  else if k = empty_key then -1
+  else find_from keys mask addr ((i + 1) land mask)
+
 (** Probe index of [addr], or [-1] when unbound. *)
-let find t addr =
-  let keys = t.keys and mask = t.mask in
-  let i = ref (slot_of mask addr) in
-  let res = ref (-2) in
-  while !res = -2 do
-    let k = keys.(!i) in
-    if k = addr then res := !i
-    else if k = empty_key then res := -1
-    else i := (!i + 1) land mask
-  done;
-  !res
+let find t addr = find_from t.keys t.mask addr (slot_of t.mask addr)
 
 let value t i = t.vals.(i)
 
+(* First tombstone seen is reusable, but only if [addr] turns out to be
+   absent — [grave] carries its index through the probe. *)
+let rec insert_dest (keys : int array) mask (addr : int) i grave =
+  let k = keys.(i) in
+  if k = addr then i
+  else if k = empty_key then if grave >= 0 then grave else i
+  else
+    insert_dest keys mask addr
+      ((i + 1) land mask)
+      (if k = tombstone && grave < 0 then i else grave)
+
 let rec insert t addr obj =
   let keys = t.keys and mask = t.mask in
-  (* First tombstone seen is reusable, but only if [addr] is absent. *)
-  let i = ref (slot_of mask addr) in
-  let grave = ref (-1) in
-  let dest = ref (-2) in
-  while !dest = -2 do
-    let k = keys.(!i) in
-    if k = addr then dest := !i
-    else if k = empty_key then
-      dest := if !grave >= 0 then !grave else !i
-    else begin
-      if k = tombstone && !grave < 0 then grave := !i;
-      i := (!i + 1) land mask
-    end
-  done;
-  let d = !dest in
+  let d = insert_dest keys mask addr (slot_of mask addr) (-1) in
   if keys.(d) = addr then t.vals.(d) <- obj
   else begin
     if keys.(d) = empty_key then t.fill <- t.fill + 1;

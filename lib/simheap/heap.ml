@@ -194,6 +194,8 @@ let iter_regions f t = Array.iter f t.regions
 
 let iter_scratch_regions f t = Array.iter f t.scratch
 
+let scratch_region t i = t.scratch.(i)
+
 let scratch_regions t = t.config.dram_scratch_regions
 
 let iter_bindings f t = Addr_table.iter f t.addr_map

@@ -54,6 +54,12 @@ val iter_scratch_regions : (Region.t -> unit) -> t -> unit
 val scratch_regions : t -> int
 (** Size of the DRAM scratch pool (free or not). *)
 
+val scratch_region : t -> int -> Region.t
+(** The scratch region with index [i].  Scratch regions are singleton
+    records per index, so comparing indices is equivalent to comparing
+    region identity — which is what lets work items carry their home
+    cache region as a bare int. *)
+
 val regions_of_kind : t -> Region.kind -> Region.t list
 val young_regions : t -> Region.t list
 val live_objects : t -> int

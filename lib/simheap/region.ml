@@ -58,13 +58,20 @@ let used_bytes t = t.top
 let is_full t = free_bytes t <= 0
 
 (** Bump-allocate [size] bytes; [None] when the region cannot fit it. *)
-let alloc t size =
-  if size > free_bytes t then None
+(* [try_alloc] is the evacuation hot path's entry: one bump-allocation
+   per copied object, so the failure case is an int sentinel rather than
+   an option ([Some] would allocate per object). *)
+let try_alloc t size =
+  if size > free_bytes t then -1
   else begin
     let addr = t.base + t.top in
     t.top <- t.top + size;
-    Some addr
+    addr
   end
+
+let alloc t size =
+  let addr = try_alloc t size in
+  if addr < 0 then None else Some addr
 
 let contains t addr = addr >= t.base && addr < t.base + t.bytes
 

@@ -37,6 +37,11 @@ val is_full : t -> bool
 val alloc : t -> int -> int option
 (** Bump-allocate; [None] when the region cannot fit the request. *)
 
+val try_alloc : t -> int -> int
+(** Allocation-free [alloc]: the address, or [-1] when the region cannot
+    fit the request.  The evacuation engine bump-allocates once per
+    copied object, so its failure case must not box an option. *)
+
 val contains : t -> int -> bool
 val reset : t -> unit
 (** Back to an empty free region. *)

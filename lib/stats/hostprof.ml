@@ -43,16 +43,53 @@ let register name =
       end
   | id -> id
 
+(* Optional exact per-phase allocation attribution: when armed, every
+   phase switch charges the minor words allocated since the previous
+   switch to the phase being left.  Unlike the sampling counters this is
+   deterministic, so it is the noise-free signal for de-boxing work —
+   but reading [Gc.minor_words] costs a C call (plus one boxed float)
+   per switch, so it stays off unless a driver arms it.  The cold path
+   pays one load-and-branch. *)
+let track_alloc = ref false
+let alloc_words = Array.make max_phases 0.0
+let switch_count = Array.make max_phases 0
+let last_minor = Array.make 1 0.0
+
+let alloc_switch prev =
+  let mw = Gc.minor_words () in
+  alloc_words.(prev) <- alloc_words.(prev) +. (mw -. last_minor.(0));
+  switch_count.(prev) <- switch_count.(prev) + 1;
+  last_minor.(0) <- mw
+
 let enter id =
   let prev = !current in
   current := id;
+  if !track_alloc then alloc_switch prev;
   prev
 
-let leave prev = current := prev
+let leave prev =
+  let cur = !current in
+  current := prev;
+  if !track_alloc then alloc_switch cur
 
 let tick () = sample_counts.(!current) <- sample_counts.(!current) + 1
 
-let reset () = Array.fill sample_counts 0 max_phases 0
+let set_alloc_tracking on =
+  if on then last_minor.(0) <- Gc.minor_words ();
+  track_alloc := on
+
+let alloc_samples () =
+  let rows = ref [] in
+  for i = !n_phases - 1 downto 0 do
+    if alloc_words.(i) > 0.0 || switch_count.(i) > 0 then
+      rows := (names.(i), alloc_words.(i), switch_count.(i)) :: !rows
+  done;
+  List.sort (fun (_, a, _) (_, b, _) -> compare b a) !rows
+
+let reset () =
+  Array.fill sample_counts 0 max_phases 0;
+  Array.fill alloc_words 0 max_phases 0.0;
+  Array.fill switch_count 0 max_phases 0
 
 let total () = Array.fold_left ( + ) 0 sample_counts
 

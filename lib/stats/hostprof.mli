@@ -33,4 +33,17 @@ val total : unit -> int
 val samples : unit -> (string * int) list
 (** Non-zero phases with their sample counts, descending. *)
 
+val set_alloc_tracking : bool -> unit
+(** Arm (or disarm) exact per-phase minor-allocation attribution: every
+    phase switch then charges the words allocated since the last switch
+    to the phase being left.  Deterministic — the noise-free signal for
+    hot-path de-boxing work — but each switch pays a [Gc.minor_words]
+    call, so leave it off for wall-clock measurements. *)
+
+val alloc_samples : unit -> (string * float * int) list
+(** [(phase, minor words, phase switches)] rows with any activity,
+    descending by words.  Each switch itself allocates ~2 words (the
+    boxed [Gc.minor_words] result), charged to the phase being left —
+    subtract [2 * switches] for a self-overhead-free reading. *)
+
 val pp : Format.formatter -> unit -> unit

@@ -55,14 +55,16 @@ let split_n t n =
   if n < 0 then invalid_arg "Prng.split_n: negative count";
   Array.init n (fun _ -> split t)
 
+(* Top level so [normal] allocates no closure per call (a captured
+   local [let rec] would, under classic ocamlopt). *)
+let rec nonzero_float t =
+  let u = float t 1.0 in
+  if u > 0. then u else nonzero_float t
+
 (** Standard normal via Box–Muller (one value per call; the twin is
     discarded to keep the state trajectory simple and deterministic). *)
 let normal t =
-  let rec nonzero () =
-    let u = float t 1.0 in
-    if u > 0. then u else nonzero ()
-  in
-  let u1 = nonzero () and u2 = float t 1.0 in
+  let u1 = nonzero_float t and u2 = float t 1.0 in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
 (** Precomputed log-normal parameters: the [mu]/[sigma] derivation costs

@@ -68,6 +68,8 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
   t.data.(i)
 
+let unsafe_get t i = t.data.(i)
+
 let set t i x =
   if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
   t.data.(i) <- x
@@ -85,6 +87,30 @@ let take_front t n =
     t.len <- t.len - n;
     stolen
   end
+
+let reverse_in_place t =
+  let data = t.data in
+  let i = ref 0 and j = ref (t.len - 1) in
+  while !i < !j do
+    let tmp = data.(!i) in
+    data.(!i) <- data.(!j);
+    data.(!j) <- tmp;
+    incr i;
+    decr j
+  done
+
+(** Fisher–Yates over the live prefix, drawing exactly as {!Prng.shuffle}
+    does on an array of the same length — callers that migrate from
+    [Array.of_list]+[Prng.shuffle] to a reused vector keep a bit-identical
+    generator stream. *)
+let shuffle rng t =
+  let data = t.data in
+  for i = t.len - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = data.(i) in
+    data.(i) <- data.(j);
+    data.(j) <- tmp
+  done
 
 let iter f t =
   for i = 0 to t.len - 1 do

@@ -28,6 +28,18 @@ val pop_or_dummy : 'a t -> 'a
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the logical-length check, for hot loops whose index is
+    already known to be in [0, length).  With the library's [-unsafe]
+    build flags this compiles to a bare load. *)
+
+val reverse_in_place : 'a t -> unit
+(** Reverse the live prefix in place. *)
+
+val shuffle : Prng.t -> 'a t -> unit
+(** In-place Fisher–Yates over the live prefix.  Consumes exactly the
+    generator draws {!Prng.shuffle} would on an array of equal length. *)
+
 val take_front : 'a t -> int -> 'a list
 (** [take_front t n] removes up to [n] elements from the front (oldest end)
     and returns them in insertion order.  Complements [pop], which works on

@@ -13,7 +13,14 @@
       load imbalance) or bushy trees, mixed per [chain_fraction];
     - primitive arrays attach as leaves; some node fields point into old
       space; a small share of objects carries duplicate incoming
-      references, exercising forwarding-pointer deduplication. *)
+      references, exercising forwarding-pointer deduplication.
+
+    Generation is arena-style: the intermediate populations (nodes,
+    arrays, entries, open nodes, chain tails) live in per-domain vectors
+    reused across cycles, so the construction path performs no list
+    consing and no per-object record allocation — a sweep generates
+    thousands of graphs and the old cons/[Array.of_list] path dominated
+    its host-allocation profile. *)
 
 module R = Simheap.Region
 module O = Simheap.Objmodel
@@ -77,6 +84,9 @@ type builder = {
   mutable live : int;
 }
 
+(* Allocate one live object (with its dead-allocation gap); returns
+   [R.dummy_obj] when eden is exhausted — sentinel rather than option so
+   the per-object loop allocates nothing. *)
 let rec alloc_live b size nfields =
   match b.eden with
   | Some region -> begin
@@ -96,16 +106,16 @@ let rec alloc_live b size nfields =
       | Some obj ->
           b.allocated <- b.allocated + size;
           b.live <- b.live + size;
-          Some obj
+          obj
       | None ->
           b.eden <- None;
           alloc_live b size nfields
     end
   | None -> begin
-      if b.eden_count >= P.young_regions b.profile then None
+      if b.eden_count >= P.young_regions b.profile then R.dummy_obj
       else begin
         match Simheap.Heap.alloc_region b.heap R.Eden with
-        | None -> None
+        | None -> R.dummy_obj
         | Some region ->
             b.eden <- Some region;
             b.eden_count <- b.eden_count + 1;
@@ -113,8 +123,42 @@ let rec alloc_live b size nfields =
       end
   end
 
-(* A node with at least one unused field, for attaching children. *)
-type open_node = { obj : O.t; mutable next_field : int }
+(* Per-domain construction arena, reused across cycles.  Open nodes are
+   structure-of-arrays: the object and its next free field index in
+   parallel vectors (the record version allocated one box per open node
+   and another per chain-tail advance). *)
+type arena = {
+  nodes : O.t Simstats.Vec.t;
+  arrays : O.t Simstats.Vec.t;
+  entries : O.t Simstats.Vec.t;
+  open_objs : O.t Simstats.Vec.t;
+  open_next : int Simstats.Vec.t;
+  tail_objs : O.t Simstats.Vec.t;
+      (** chain tails; a tail's link field is always 0, so only the
+          object needs storing *)
+  mutable shapes : (P.t * shape_params) option;
+      (** [shapes_of] cache, keyed by physical profile identity *)
+}
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        nodes = Simstats.Vec.create R.dummy_obj;
+        arrays = Simstats.Vec.create R.dummy_obj;
+        entries = Simstats.Vec.create R.dummy_obj;
+        open_objs = Simstats.Vec.create R.dummy_obj;
+        open_next = Simstats.Vec.create 0;
+        tail_objs = Simstats.Vec.create R.dummy_obj;
+        shapes = None;
+      })
+
+let shapes_for arena profile =
+  match arena.shapes with
+  | Some (p, sp) when p == profile -> sp
+  | _ ->
+      let sp = shapes_of profile in
+      arena.shapes <- Some (profile, sp);
+      sp
 
 (** Generate the live graph for one cycle.  The caller must have reset the
     roots and the old-space holder pool. *)
@@ -123,9 +167,18 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
     { heap; profile; rng; eden = None; eden_count = 0; allocated = 0; live = 0 }
   in
   let target_live = P.live_bytes_per_gc profile in
-  let shapes = shapes_of profile in
-  let nodes = ref [] and arrays = ref [] in
-  let n_nodes = ref 0 and n_arrays = ref 0 in
+  let a = Domain.DLS.get arena_key in
+  let shapes = shapes_for a profile in
+  let nodes = a.nodes and arrays = a.arrays in
+  let entries = a.entries in
+  let open_objs = a.open_objs and open_next = a.open_next in
+  let tail_objs = a.tail_objs in
+  Simstats.Vec.clear nodes;
+  Simstats.Vec.clear arrays;
+  Simstats.Vec.clear entries;
+  Simstats.Vec.clear open_objs;
+  Simstats.Vec.clear open_next;
+  Simstats.Vec.clear tail_objs;
   (* 1. Materialize the live population. *)
   let continue_ = ref true in
   while !continue_ && b.live < target_live do
@@ -134,78 +187,80 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
       if is_array then array_shape profile shapes rng
       else node_shape shapes rng
     in
-    match alloc_live b size nfields with
-    | None -> continue_ := false
-    | Some obj ->
-        if is_array then begin
-          arrays := obj :: !arrays;
-          incr n_arrays
-        end
-        else begin
-          nodes := obj :: !nodes;
-          incr n_nodes
-        end
+    let obj = alloc_live b size nfields in
+    if obj == R.dummy_obj then continue_ := false
+    else if is_array then Simstats.Vec.push arrays obj
+    else Simstats.Vec.push nodes obj
   done;
-  let nodes = Array.of_list !nodes and arrays = Array.of_list !arrays in
-  Simstats.Prng.shuffle rng nodes;
+  (* The retired cons/[Array.of_list] representation enumerated both
+     populations newest-first; reversing the push-ordered vectors keeps
+     the generator stream (and thus every produced graph) bit-identical. *)
+  Simstats.Vec.reverse_in_place nodes;
+  Simstats.Vec.reverse_in_place arrays;
+  Simstats.Vec.shuffle rng nodes;
   (* 2. Partition nodes into entry-anchored structures. *)
-  let total_live = Array.length nodes + Array.length arrays in
+  let total_live = Simstats.Vec.length nodes + Simstats.Vec.length arrays in
   let entry_count =
     max 1
-      (min (Array.length nodes)
+      (min
+         (Simstats.Vec.length nodes)
          (int_of_float (profile.P.entry_fraction *. float_of_int total_live)))
   in
   let chains = ref 0 and trees = ref 0 in
-  let all_entries = ref [] in
-  let open_nodes = Simstats.Vec.create { obj = R.dummy_obj; next_field = 0 } in
-  let chain_tails = Simstats.Vec.create { obj = R.dummy_obj; next_field = 0 } in
   let new_entry (obj : O.t) =
-    all_entries := obj :: !all_entries;
+    Simstats.Vec.push entries obj;
     if O.nfields obj > 0
        && Simstats.Prng.float rng 1.0 < profile.P.chain_fraction
     then begin
       incr chains;
-      Simstats.Vec.push chain_tails { obj; next_field = 0 }
+      Simstats.Vec.push tail_objs obj
     end
     else begin
       incr trees;
-      if O.nfields obj > 0 then
-        Simstats.Vec.push open_nodes { obj; next_field = 0 }
+      if O.nfields obj > 0 then begin
+        Simstats.Vec.push open_objs obj;
+        Simstats.Vec.push open_next 0
+      end
     end
   in
-  Array.iter new_entry (Array.sub nodes 0 entry_count);
+  for i = 0 to entry_count - 1 do
+    new_entry (Simstats.Vec.get nodes i)
+  done;
   (* Members join a random structure: chains grow at their tail through
      field 0; trees attach members at any open field. *)
   let attach_to_tree (member : O.t) =
-    let n = Simstats.Vec.length open_nodes in
+    let n = Simstats.Vec.length open_objs in
     if n = 0 then false
     else begin
       let i = Simstats.Prng.int rng n in
-      let parent = Simstats.Vec.get open_nodes i in
-      parent.obj.O.fields.(parent.next_field) <- member.O.addr;
-      parent.next_field <- parent.next_field + 1;
-      if parent.next_field >= O.nfields parent.obj then begin
-        (* swap-remove the saturated parent *)
-        let last = Simstats.Vec.length open_nodes - 1 in
-        Simstats.Vec.set open_nodes i (Simstats.Vec.get open_nodes last);
-        ignore (Simstats.Vec.pop open_nodes)
-      end;
+      let parent = Simstats.Vec.get open_objs i in
+      let next_field = Simstats.Vec.get open_next i in
+      parent.O.fields.(next_field) <- member.O.addr;
+      if next_field + 1 >= O.nfields parent then begin
+        (* swap-remove the saturated parent from both columns *)
+        let last = Simstats.Vec.length open_objs - 1 in
+        Simstats.Vec.set open_objs i (Simstats.Vec.get open_objs last);
+        Simstats.Vec.set open_next i (Simstats.Vec.get open_next last);
+        ignore (Simstats.Vec.pop_or_dummy open_objs : O.t);
+        ignore (Simstats.Vec.pop_or_dummy open_next : int)
+      end
+      else Simstats.Vec.set open_next i (next_field + 1);
       true
     end
   in
   let attach_to_chain (member : O.t) =
-    let n = Simstats.Vec.length chain_tails in
+    let n = Simstats.Vec.length tail_objs in
     if n = 0 then false
     else begin
       let i = Simstats.Prng.int rng n in
-      let tail = Simstats.Vec.get chain_tails i in
-      tail.obj.O.fields.(0) <- member.O.addr;
-      Simstats.Vec.set chain_tails i { obj = member; next_field = 0 };
+      let tail = Simstats.Vec.get tail_objs i in
+      tail.O.fields.(0) <- member.O.addr;
+      Simstats.Vec.set tail_objs i member;
       true
     end
   in
-  for i = entry_count to Array.length nodes - 1 do
-    let member = nodes.(i) in
+  for i = entry_count to Simstats.Vec.length nodes - 1 do
+    let member = Simstats.Vec.get nodes i in
     let prefer_chain = Simstats.Prng.float rng 1.0 < profile.P.chain_fraction in
     (* How the member actually attached matters: a chain tail's field 0 is
        reserved for its successor, so only members that really joined a
@@ -225,28 +280,38 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
         new_entry member
     | `Chain ->
         (* field 0 is the chain link; remaining fields may host children *)
-        if O.nfields member > 1 then
-          Simstats.Vec.push open_nodes { obj = member; next_field = 1 }
-    | `Tree -> Simstats.Vec.push open_nodes { obj = member; next_field = 0 }
+        if O.nfields member > 1 then begin
+          Simstats.Vec.push open_objs member;
+          Simstats.Vec.push open_next 1
+        end
+    | `Tree ->
+        Simstats.Vec.push open_objs member;
+        Simstats.Vec.push open_next 0
   done;
   (* 3. Arrays attach as leaves wherever a field is open; orphans become
-     entry structures of their own (anchored directly). *)
-  Array.iter (fun arr -> if not (attach_to_tree arr) then new_entry arr) arrays;
+     entry structures of their own (anchored directly).  [arrays] was
+     reversed above, so a forward walk is newest-first — the retired
+     list order. *)
+  for i = 0 to Simstats.Vec.length arrays - 1 do
+    let arr = Simstats.Vec.get arrays i in
+    if not (attach_to_tree arr) then new_entry arr
+  done;
   (* 4. Point some remaining open fields at old space; null the rest
      (they were initialized null). *)
-  Simstats.Vec.iter
-    (fun open_node ->
-      let obj = open_node.obj in
-      for i = open_node.next_field to O.nfields obj - 1 do
-        if Simstats.Prng.float rng 1.0 < profile.P.old_target_fraction then begin
-          let holder = Old_space.random_holder old_pool rng in
-          obj.O.fields.(i) <- holder.O.addr
-        end
-      done)
-    open_nodes;
-  (* 5. Anchor every structure entry from a remset slot or a root. *)
+  for k = 0 to Simstats.Vec.length open_objs - 1 do
+    let obj = Simstats.Vec.get open_objs k in
+    for i = Simstats.Vec.get open_next k to O.nfields obj - 1 do
+      if Simstats.Prng.float rng 1.0 < profile.P.old_target_fraction then begin
+        let holder = Old_space.random_holder old_pool rng in
+        obj.O.fields.(i) <- holder.O.addr
+      end
+    done
+  done;
+  (* 5. Anchor every structure entry from a remset slot or a root
+     (newest-first, matching the retired list order). *)
   let remset_slots = ref 0 and root_slots = ref 0 in
-  let anchor (obj : O.t) =
+  for i = Simstats.Vec.length entries - 1 downto 0 do
+    let obj = Simstats.Vec.get entries i in
     if Simstats.Prng.float rng 1.0 < profile.P.remset_fraction then begin
       let region = Simheap.Heap.region_of_addr heap obj.O.addr in
       let holder, field = Old_space.take_slot old_pool in
@@ -258,14 +323,16 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
       ignore (Simheap.Heap.new_root heap obj.O.addr);
       incr root_slots
     end
-  in
-  List.iter anchor !all_entries;
+  done;
   (* 6. Duplicate references: extra remset slots at ~5 % of live nodes,
      exercising forwarding-pointer deduplication. *)
-  let dup_count = Array.length nodes / 20 in
+  let dup_count = Simstats.Vec.length nodes / 20 in
   for _ = 1 to dup_count do
-    if Array.length nodes > 0 then begin
-      let obj = nodes.(Simstats.Prng.int rng (Array.length nodes)) in
+    if Simstats.Vec.length nodes > 0 then begin
+      let obj =
+        Simstats.Vec.get nodes
+          (Simstats.Prng.int rng (Simstats.Vec.length nodes))
+      in
       let holder, field = Old_space.take_slot old_pool in
       holder.O.fields.(field) <- obj.O.addr;
       let region = Simheap.Heap.region_of_addr heap obj.O.addr in
@@ -276,7 +343,7 @@ let generate ~heap ~(profile : P.t) ~rng ~old_pool =
   {
     live_objects = total_live;
     live_bytes = b.live;
-    arrays = Array.length arrays;
+    arrays = Simstats.Vec.length arrays;
     chains = !chains;
     trees = !trees;
     remset_slots = !remset_slots;

@@ -4,15 +4,15 @@
    on synthetic pairs, without running an evacuation around them. *)
 
 module R = Simheap.Region
-module O = Simheap.Objmodel
 module WS = Nvmgc.Work_stack
 module WC = Nvmgc.Write_cache
 module FT = Nvmgc.Flush_tracker
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 (* A synthetic (cache, shadow) pair; the tracker only reads the regions'
-   identity and [stolen_from], so empty regions suffice. *)
+   index and [stolen_from], so empty regions suffice. *)
 let make_pair idx =
   let cache =
     R.create ~idx ~base:(0x100000 + (idx * 0x10000)) ~bytes:8192
@@ -23,66 +23,70 @@ let make_pair idx =
       ~base:(0x800000 + (idx * 0x10000))
       ~bytes:8192 ~space:Memsim.Access.Nvm ~kind:R.Survivor
   in
-  { WC.cache; shadow; filled = false; flushed = false; last = None }
+  { WC.cache; shadow; filled = false; flushed = false; last = WS.no_slot }
 
-(* A work item homed in [pair]'s cache region.  Root slots keep the
-   object model out of the picture; the tracker matches items by
-   physical identity only. *)
-let make_item ?home (pair : WC.pair) id =
-  ignore home;
-  { WS.slot = O.Root { O.root_id = id; target = 0 }; home = Some pair.WC.cache }
+(* Work items are packed slot ids: any distinct non-negative ints do,
+   since the tracker matches them by integer equality only.  A slot's
+   home is its pair's cache-region index. *)
+let home_of (pair : WC.pair) = pair.WC.cache.R.idx
 
 let test_on_copy_arms_first_only () =
   let pair = make_pair 0 in
-  let a = make_item pair 1 and b = make_item pair 2 in
-  FT.on_copy pair ~first_item:(Some a);
-  check_bool "armed with first item" true
-    (match pair.WC.last with Some i -> i == a | None -> false);
-  FT.on_copy pair ~first_item:(Some b);
-  check_bool "second copy does not re-arm" true
-    (match pair.WC.last with Some i -> i == a | None -> false);
-  FT.on_copy pair ~first_item:None;
-  check_bool "copy without references leaves arming" true
-    (match pair.WC.last with Some i -> i == a | None -> false)
+  let a = 2 and b = 4 in
+  FT.on_copy pair ~first_slot:a;
+  check_int "armed with first slot" a pair.WC.last;
+  FT.on_copy pair ~first_slot:b;
+  check_int "second copy does not re-arm" a pair.WC.last;
+  FT.on_copy pair ~first_slot:WS.no_slot;
+  check_int "copy without references leaves arming" a pair.WC.last
 
 let test_ready_when_memorized_pops_filled () =
   let pair = make_pair 0 in
-  let a = make_item pair 1 in
-  FT.on_copy pair ~first_item:(Some a);
+  let a = 2 in
+  FT.on_copy pair ~first_slot:a;
   WC.mark_filled pair;
   check_bool "filled but memorized pending: not ready on fill" false
     (FT.ready_on_fill pair);
-  (match FT.on_processed pair ~item:a ~referent_first_item:None with
+  (match
+     FT.on_processed pair ~slot:a ~referent_first_slot:WS.no_slot
+       ~referent_home:WS.no_home
+   with
   | FT.Ready p -> check_bool "ready pair is this pair" true (p == pair)
   | FT.Keep -> Alcotest.fail "memorized pop on a filled pair must be Ready");
-  check_bool "tracking consumed" true (pair.WC.last = None)
+  check_bool "tracking consumed" true (pair.WC.last < 0)
 
 let test_steal_during_arm_blocks_flush () =
   (* Stealing breaks the LIFO order the protocol relies on: a pair whose
      cache region was stolen from must never be reported ready, even
      when its memorized item pops after the fill. *)
   let pair = make_pair 0 in
-  let a = make_item pair 1 in
-  FT.on_copy pair ~first_item:(Some a);
+  let a = 2 in
+  FT.on_copy pair ~first_slot:a;
   pair.WC.cache.R.stolen_from <- true;
   WC.mark_filled pair;
   check_bool "stolen pair not ready on fill" false (FT.ready_on_fill pair);
-  (match FT.on_processed pair ~item:a ~referent_first_item:None with
+  (match
+     FT.on_processed pair ~slot:a ~referent_first_slot:WS.no_slot
+       ~referent_home:WS.no_home
+   with
   | FT.Keep -> ()
   | FT.Ready _ -> Alcotest.fail "stolen pair must never be Ready");
   check_bool "still not ready after the drain" false (FT.ready_on_fill pair)
 
 let test_ready_on_fill_after_drain () =
   (* The memorized item pops while the pair is still open and the
-     referent contributes nothing: tracking drains to None.  When the
+     referent contributes nothing: tracking drains to unarmed.  When the
      pair later fills, it is immediately flushable. *)
   let pair = make_pair 0 in
-  let a = make_item pair 1 in
-  FT.on_copy pair ~first_item:(Some a);
-  (match FT.on_processed pair ~item:a ~referent_first_item:None with
+  let a = 2 in
+  FT.on_copy pair ~first_slot:a;
+  (match
+     FT.on_processed pair ~slot:a ~referent_first_slot:WS.no_slot
+       ~referent_home:WS.no_home
+   with
   | FT.Keep -> ()
   | FT.Ready _ -> Alcotest.fail "open pair must not be Ready");
-  check_bool "tracking drained" true (pair.WC.last = None);
+  check_bool "tracking drained" true (pair.WC.last < 0);
   check_bool "not ready while open" false (FT.ready_on_fill pair);
   WC.mark_filled pair;
   check_bool "ready once filled" true (FT.ready_on_fill pair);
@@ -97,39 +101,48 @@ let test_cross_pair_rearm_regression () =
      so it would never match and the pair would silently lose
      async-flush eligibility forever. *)
   let pair = make_pair 0 and other = make_pair 1 in
-  let a = make_item pair 1 in
-  let foreign = make_item other 2 in
-  FT.on_copy pair ~first_item:(Some a);
-  (match FT.on_processed pair ~item:a ~referent_first_item:(Some foreign) with
+  let a = 2 in
+  let foreign = 4 in
+  FT.on_copy pair ~first_slot:a;
+  (match
+     FT.on_processed pair ~slot:a ~referent_first_slot:foreign
+       ~referent_home:(home_of other)
+   with
   | FT.Keep -> ()
   | FT.Ready _ -> Alcotest.fail "open pair must not be Ready");
-  check_bool "foreign item must NOT re-arm" true (pair.WC.last = None);
+  check_bool "foreign slot must NOT re-arm" true (pair.WC.last < 0);
   (* Same shape, but the referent's item is homed here: re-arm. *)
   let pair2 = make_pair 2 in
-  let b = make_item pair2 3 in
-  let own = make_item pair2 4 in
-  FT.on_copy pair2 ~first_item:(Some b);
-  (match FT.on_processed pair2 ~item:b ~referent_first_item:(Some own) with
+  let b = 6 and own = 8 in
+  FT.on_copy pair2 ~first_slot:b;
+  (match
+     FT.on_processed pair2 ~slot:b ~referent_first_slot:own
+       ~referent_home:(home_of pair2)
+   with
   | FT.Keep -> ()
   | FT.Ready _ -> Alcotest.fail "open pair must not be Ready");
-  check_bool "same-pair item re-arms" true
-    (match pair2.WC.last with Some i -> i == own | None -> false);
+  check_int "same-pair slot re-arms" own pair2.WC.last;
   (* The re-armed item behaves like the original memorized one. *)
   WC.mark_filled pair2;
-  match FT.on_processed pair2 ~item:own ~referent_first_item:None with
+  match
+    FT.on_processed pair2 ~slot:own ~referent_first_slot:WS.no_slot
+      ~referent_home:WS.no_home
+  with
   | FT.Ready p -> check_bool "re-armed pop is Ready" true (p == pair2)
   | FT.Keep -> Alcotest.fail "re-armed memorized pop on filled pair must be Ready"
 
 let test_unrelated_pop_is_keep () =
   let pair = make_pair 0 in
-  let a = make_item pair 1 and b = make_item pair 2 in
-  FT.on_copy pair ~first_item:(Some a);
+  let a = 2 and b = 4 in
+  FT.on_copy pair ~first_slot:a;
   WC.mark_filled pair;
-  (match FT.on_processed pair ~item:b ~referent_first_item:None with
+  (match
+     FT.on_processed pair ~slot:b ~referent_first_slot:WS.no_slot
+       ~referent_home:WS.no_home
+   with
   | FT.Keep -> ()
   | FT.Ready _ -> Alcotest.fail "non-memorized pop must be Keep");
-  check_bool "arming untouched" true
-    (match pair.WC.last with Some i -> i == a | None -> false)
+  check_int "arming untouched" a pair.WC.last
 
 let () =
   Alcotest.run "flush_tracker"

@@ -260,32 +260,42 @@ let test_evacuation_failure () =
 (* ------------------------------------------------------------------ *)
 (* Work stack                                                          *)
 
-let mk_item () = { WS.slot = R.dummy_slot; home = None }
-
 let test_work_stack_lifo () =
   let s = WS.create () in
-  let a = mk_item () and b = mk_item () in
-  WS.push s ~clock:1.0 a;
-  WS.push s ~clock:2.0 b;
+  let a = 2 and b = 4 in
+  WS.push s ~clock:1.0 ~slot:a ~home:WS.no_home;
+  WS.push s ~clock:2.0 ~slot:b ~home:7;
   check_int "length" 2 (WS.length s);
-  check_bool "LIFO pop" true (Option.get (WS.pop s) == b);
-  check_bool "then the first" true (Option.get (WS.pop s) == a);
+  check_int "LIFO pop" b (WS.pop_nonempty s);
+  check_int "popped home latched" 7 (WS.popped_home s);
+  check_int "then the first" a (WS.pop_nonempty s);
+  check_int "its home" WS.no_home (WS.popped_home s);
   Alcotest.(check bool) "empty" true (WS.pop s = None);
   Alcotest.(check (float 0.0)) "push clock tracked" 2.0 (WS.last_push_clock s)
 
 let test_work_stack_steal_marks_region () =
-  let s = WS.create () in
+  let s = WS.create () and thief = WS.create () in
   let region =
     R.create ~idx:0 ~base:0 ~bytes:4096 ~space:Memsim.Access.Dram ~kind:R.Cache
   in
-  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = Some region };
-  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = None };
-  WS.push s ~clock:0.0 { WS.slot = R.dummy_slot; home = None };
-  let stolen = WS.steal s ~chunk:2 in
-  check_int "stole the chunk" 2 (List.length stolen);
+  WS.push s ~clock:0.0 ~slot:2 ~home:region.R.idx;
+  WS.push s ~clock:0.0 ~slot:4 ~home:WS.no_home;
+  WS.push s ~clock:0.0 ~slot:6 ~home:WS.no_home;
+  let moved =
+    WS.steal_into s ~thief ~chunk:2 ~clock:0.0 ~mark_home:(fun idx ->
+        check_int "marked home is the pushed one" region.R.idx idx;
+        region.R.stolen_from <- true)
+  in
+  check_int "stole the chunk" 2 moved;
+  check_int "thief received it" 2 (WS.length thief);
   check_int "owner keeps the rest" 1 (WS.length s);
   check_bool "stolen item's home region marked" true region.R.stolen_from;
-  check_int "stolen count" 2 (WS.stolen_from_count s)
+  check_int "stolen count" 2 (WS.stolen_from_count s);
+  (* stolen items arrive in push order: popping the thief is LIFO over
+     the oldest chunk *)
+  check_int "thief pops newest of the chunk" 4 (WS.pop_nonempty thief);
+  check_int "then the oldest" 2 (WS.pop_nonempty thief);
+  check_int "oldest slot's home rides along" region.R.idx (WS.popped_home thief)
 
 (* ------------------------------------------------------------------ *)
 (* Write cache                                                         *)
@@ -330,24 +340,29 @@ let test_flush_tracker_protocol () =
   let heap = H.create (Workloads.App_profile.heap_config test_profile) in
   let wc = WC.create heap ~limit_bytes:None in
   let pair = Option.get (WC.new_pair wc) in
-  let item = mk_item () in
+  let item = 2 in
   (* arm on first copy *)
-  Nvmgc.Flush_tracker.on_copy pair ~first_item:(Some item);
-  check_bool "armed" true (pair.WC.last == Some item || pair.WC.last <> None);
+  Nvmgc.Flush_tracker.on_copy pair ~first_slot:item;
+  check_int "armed" item pair.WC.last;
   (* popping the memorized item while the pair is open re-arms — the
      referent's first item only counts when it landed in the same pair *)
-  let item2 = { WS.slot = R.dummy_slot; home = Some pair.WC.cache } in
-  (match Nvmgc.Flush_tracker.on_processed pair ~item ~referent_first_item:(Some item2) with
+  let item2 = 4 in
+  (match
+     Nvmgc.Flush_tracker.on_processed pair ~slot:item ~referent_first_slot:item2
+       ~referent_home:pair.WC.cache.R.idx
+   with
   | Nvmgc.Flush_tracker.Keep -> ()
   | Nvmgc.Flush_tracker.Ready _ -> Alcotest.fail "open pair must not be ready");
-  check_bool "re-armed with same-pair referent" true
-    (match pair.WC.last with Some i -> i == item2 | None -> false);
+  check_int "re-armed with same-pair referent" item2 pair.WC.last;
   (* filling the pair and popping the memorized item -> Ready *)
   WC.mark_filled pair;
-  (match Nvmgc.Flush_tracker.on_processed pair ~item:item2 ~referent_first_item:None with
+  (match
+     Nvmgc.Flush_tracker.on_processed pair ~slot:item2
+       ~referent_first_slot:WS.no_slot ~referent_home:WS.no_home
+   with
   | Nvmgc.Flush_tracker.Ready p -> check_bool "ready pair is ours" true (p == pair)
   | Nvmgc.Flush_tracker.Keep -> Alcotest.fail "filled pair must be ready");
-  check_bool "tracking consumed" true (pair.WC.last = None)
+  check_bool "tracking consumed" true (pair.WC.last < 0)
 
 (* Regression: re-arming [pair.last] with a reference whose referent was
    copied into a {e different} pair used to wedge the pair out of async
@@ -359,18 +374,18 @@ let test_flush_tracker_cross_pair_rearm () =
   let wc = WC.create heap ~limit_bytes:None in
   let pair_a = Option.get (WC.new_pair wc) in
   let pair_b = Option.get (WC.new_pair wc) in
-  let item = { WS.slot = R.dummy_slot; home = Some pair_a.WC.cache } in
-  Nvmgc.Flush_tracker.on_copy pair_a ~first_item:(Some item);
+  let item = 2 in
+  Nvmgc.Flush_tracker.on_copy pair_a ~first_slot:item;
   (* The popped reference's referent was copied into pair_b: its first
      item belongs to pair_b, not pair_a. *)
-  let foreign = { WS.slot = R.dummy_slot; home = Some pair_b.WC.cache } in
+  let foreign = 4 in
   (match
-     Nvmgc.Flush_tracker.on_processed pair_a ~item
-       ~referent_first_item:(Some foreign)
+     Nvmgc.Flush_tracker.on_processed pair_a ~slot:item
+       ~referent_first_slot:foreign ~referent_home:pair_b.WC.cache.R.idx
    with
   | Nvmgc.Flush_tracker.Keep -> ()
   | Nvmgc.Flush_tracker.Ready _ -> Alcotest.fail "open pair must not be ready");
-  check_bool "foreign referent must not re-arm" true (pair_a.WC.last = None);
+  check_bool "foreign referent must not re-arm" true (pair_a.WC.last < 0);
   WC.mark_filled pair_a;
   check_bool "pair recovers async eligibility on fill" true
     (Nvmgc.Flush_tracker.ready_on_fill pair_a)
@@ -379,11 +394,14 @@ let test_flush_tracker_stolen_blocks_async () =
   let heap = H.create (Workloads.App_profile.heap_config test_profile) in
   let wc = WC.create heap ~limit_bytes:None in
   let pair = Option.get (WC.new_pair wc) in
-  let item = mk_item () in
-  Nvmgc.Flush_tracker.on_copy pair ~first_item:(Some item);
+  let item = 2 in
+  Nvmgc.Flush_tracker.on_copy pair ~first_slot:item;
   WC.mark_filled pair;
   pair.WC.cache.R.stolen_from <- true;
-  (match Nvmgc.Flush_tracker.on_processed pair ~item ~referent_first_item:None with
+  (match
+     Nvmgc.Flush_tracker.on_processed pair ~slot:item
+       ~referent_first_slot:WS.no_slot ~referent_home:WS.no_home
+   with
   | Nvmgc.Flush_tracker.Keep -> ()
   | Nvmgc.Flush_tracker.Ready _ ->
       Alcotest.fail "stolen-from region must not flush early");
@@ -404,56 +422,140 @@ let gen_scenario =
     let* seed = int_range 1 10_000 in
     return (survival, chain, entry, array_fraction, threads, preset, seed))
 
-(* Work stealing: [steal] must take the oldest items (front of the
-   stack, opposite the owner's LIFO end), preserve their order, leave
-   the rest poppable in LIFO order, and mark exactly the stolen items'
-   home regions as stolen-from. *)
+(* Work stealing: [steal_into] must take the oldest items (front of the
+   stack, opposite the owner's LIFO end), append them to the thief in
+   push order, leave the rest poppable in LIFO order, and report exactly
+   the stolen items' home indices for stolen-from marking. *)
 let prop_steal_takes_oldest =
   QCheck2.Test.make ~name:"steal takes oldest items and marks homes"
     ~count:200
     QCheck2.Gen.(pair (list_size (int_range 0 40) bool) (int_range 0 45))
     (fun (has_homes, chunk) ->
-      let s = WS.create () in
+      let s = WS.create () and thief = WS.create () in
       let items =
         List.mapi
           (fun i has_home ->
-            let home =
-              if has_home then
-                Some
-                  (R.create ~idx:i ~base:(i * 4096) ~bytes:4096
-                     ~space:Memsim.Access.Dram ~kind:R.Cache)
-              else None
-            in
-            { WS.slot = R.dummy_slot; home })
+            ((i * 2) + 100, if has_home then i else WS.no_home))
           has_homes
       in
-      List.iteri (fun i it -> WS.push s ~clock:(float_of_int i) it) items;
-      let stolen = WS.steal s ~chunk in
+      List.iteri
+        (fun i (slot, home) -> WS.push s ~clock:(float_of_int i) ~slot ~home)
+        items;
+      let marked = ref [] in
+      let moved =
+        WS.steal_into s ~thief ~chunk ~clock:0.0 ~mark_home:(fun idx ->
+            marked := idx :: !marked)
+      in
       let n = List.length items in
       let k = min (max chunk 0) n in
       let expected_stolen = List.filteri (fun i _ -> i < k) items in
       let expected_rest = List.filteri (fun i _ -> i >= k) items in
-      let remaining =
+      let drain stack =
         List.rev
-          (List.init (WS.length s) (fun _ -> Option.get (WS.pop s)))
+          (List.init (WS.length stack) (fun _ ->
+               let slot = WS.pop_nonempty stack in
+               (slot, WS.popped_home stack)))
       in
-      List.length stolen = k
-      && List.for_all2 ( == ) stolen expected_stolen
-      && List.for_all2 ( == ) remaining expected_rest
+      moved = k
+      && drain thief = expected_stolen
+      && drain s = expected_rest
       && WS.stolen_from_count s = k
       && WS.pushes s = n
-      && List.for_all
-           (fun (it : WS.item) ->
-             match it.WS.home with
-             | Some r -> r.R.stolen_from
-             | None -> true)
-           stolen
-      && List.for_all
-           (fun (it : WS.item) ->
-             match it.WS.home with
-             | Some r -> not r.R.stolen_from
-             | None -> true)
-           expected_rest)
+      && WS.pushes thief = k
+      && List.rev !marked
+         = List.filter_map
+             (fun (_, home) -> if home >= 0 then Some home else None)
+             expected_stolen)
+
+(* Round-trip: an SoA stack driven by a random push/pop/steal script
+   behaves exactly like a record-based reference model — same popped
+   (slot, home) sequences, lengths and stolen-from markings. *)
+let prop_soa_matches_reference_model =
+  let module Ref_model = struct
+    type item = { slot : int; home : int }
+    type t = { mutable items : item list (* top first *) }
+
+    let create () = { items = [] }
+    let push t slot home = t.items <- { slot; home } :: t.items
+
+    let pop t =
+      match t.items with
+      | [] -> None
+      | it :: rest ->
+          t.items <- rest;
+          Some (it.slot, it.home)
+
+    let steal victim ~thief ~chunk ~mark =
+      let n = List.length victim.items in
+      let k = min chunk n in
+      (* bottom of the stack = last k of the top-first list, oldest
+         first *)
+      let stolen = List.filteri (fun i _ -> i >= n - k) victim.items in
+      let stolen = List.rev stolen in
+      victim.items <- List.filteri (fun i _ -> i < n - k) victim.items;
+      (* thief receives them in push order *)
+      List.iter
+        (fun it ->
+          if it.home >= 0 then mark it.home;
+          thief.items <- it :: thief.items)
+        stolen;
+      k
+  end in
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map2 (fun slot home -> `Push (slot, home)) (int_range 0 1000)
+            (oneof [ return WS.no_home; int_range 0 20 ]);
+          return `Pop;
+          map (fun chunk -> `Steal chunk) (int_range 1 8);
+        ])
+  in
+  QCheck2.Test.make ~name:"SoA stack matches record reference model"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 120) op_gen)
+    (fun ops ->
+      let s = WS.create () and thief = WS.create () in
+      let rs = Ref_model.create () and rthief = Ref_model.create () in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push (slot, home) ->
+              WS.push s ~clock:0.0 ~slot ~home;
+              Ref_model.push rs slot home
+          | `Pop -> begin
+              match (WS.pop s, Ref_model.pop rs) with
+              | None, None -> ()
+              | Some got, Some want -> check (got = want)
+              | _ -> check false
+            end
+          | `Steal chunk ->
+              let marked = ref [] and rmarked = ref [] in
+              let moved =
+                WS.steal_into s ~thief ~chunk ~clock:0.0
+                  ~mark_home:(fun i -> marked := i :: !marked)
+              in
+              let rmoved =
+                Ref_model.steal rs ~thief:rthief ~chunk ~mark:(fun i ->
+                    rmarked := i :: !rmarked)
+              in
+              check (moved = rmoved);
+              check (!marked = !rmarked))
+        ops;
+      (* drain both pairs of stacks and compare the tails *)
+      let drain stack =
+        List.init (WS.length stack) (fun _ ->
+            let slot = WS.pop_nonempty stack in
+            (slot, WS.popped_home stack))
+      in
+      let rdrain (r : Ref_model.t) =
+        List.map (fun it -> (it.Ref_model.slot, it.Ref_model.home)) r.items
+      in
+      check (drain s = rdrain rs);
+      check (drain thief = rdrain rthief);
+      !ok)
 
 let prop_collection_invariants =
   QCheck2.Test.make ~name:"collection preserves heap integrity" ~count:25
@@ -583,6 +685,7 @@ let () =
       ( "properties",
         [
           qc prop_steal_takes_oldest;
+          qc prop_soa_matches_reference_model;
           qc prop_collection_invariants;
           qc prop_optimizations_never_lose_objects;
         ] );

@@ -181,7 +181,82 @@ let test_heap_kind_queries () =
   check_int "young = eden + survivor" 3 (List.length (H.young_regions h));
   check_int "old count" 1 (List.length (H.regions_of_kind h R.Old))
 
+(* ------------------------------------------------------------------ *)
+(* Addr_table vs Hashtbl model                                         *)
+
+module AT = Simheap.Addr_table
+
+let obj_for addr = O.make ~id:addr ~addr ~size:32 ~fields:[||]
+
+(* Random insert/remove sequences over a small positive-key universe
+   must leave the table in agreement with a Hashtbl model — for bound
+   and unbound keys alike, including removes of absent keys (no-ops).
+   The [heavy] variant multiplies every key by a power-of-two stride so
+   all of them hash into the same probe neighbourhood: the adversarial
+   case for linear probing with tombstones. *)
+let addr_table_agreement ~stride (ops : (int * int) list) =
+  let t = AT.create () and model = Hashtbl.create 16 in
+  List.iter
+    (fun (op, k) ->
+      let key = k * stride in
+      if op <= 1 then begin
+        AT.insert t key (obj_for key);
+        Hashtbl.replace model key key
+      end
+      else begin
+        AT.remove t key;
+        Hashtbl.remove model key
+      end)
+    ops;
+  AT.length t = Hashtbl.length model
+  &&
+  let ok = ref true in
+  for k = 1 to 64 do
+    let key = k * stride in
+    let i = AT.find t key in
+    (match Hashtbl.find_opt model key with
+    | Some id -> if not (i >= 0 && (AT.value t i).O.id = id) then ok := false
+    | None -> if i <> -1 then ok := false)
+  done;
+  !ok
+
+let op_gen = QCheck2.Gen.(pair (int_range 0 2) (int_range 1 64))
+
+let test_addr_table_model =
+  QCheck2.Test.make ~name:"addr table agrees with Hashtbl model" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) op_gen)
+    (addr_table_agreement ~stride:1)
+
+let test_addr_table_collisions =
+  QCheck2.Test.make ~name:"agreement under collision-heavy keys" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) op_gen)
+    (addr_table_agreement ~stride:4096)
+
+(* find is deterministic between mutations, and bindings inserted before
+   a growth rehash stay reachable (at possibly relocated indices)
+   afterwards.  8192 extra keys force at least one capacity doubling
+   from the initial 4096 slots. *)
+let test_addr_table_growth =
+  QCheck2.Test.make ~name:"bindings survive growth rehash" ~count:20
+    QCheck2.Gen.(int_range 1 64)
+    (fun n ->
+      let t = AT.create () in
+      let keys = List.init n (fun i -> 1 + (i * 4096)) in
+      List.iter (fun k -> AT.insert t k (obj_for k)) keys;
+      let stable = List.for_all (fun k -> AT.find t k = AT.find t k) keys in
+      for j = 1 to 8192 do
+        let k = 100_000_000 + (j * 8) in
+        AT.insert t k (obj_for k)
+      done;
+      stable
+      && List.for_all
+           (fun k ->
+             let i = AT.find t k in
+             i >= 0 && (AT.value t i).O.id = k)
+           keys)
+
 let () =
+  let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "simheap"
     [
       ("layout", [ Alcotest.test_case "disjoint ranges" `Quick test_layout_disjoint_ranges ]);
@@ -205,5 +280,11 @@ let () =
           Alcotest.test_case "objects and roots" `Quick test_heap_objects_and_roots;
           Alcotest.test_case "object fills region" `Quick test_heap_object_fills_region;
           Alcotest.test_case "kind queries" `Quick test_heap_kind_queries;
+        ] );
+      ( "addr_table",
+        [
+          qc test_addr_table_model;
+          qc test_addr_table_collisions;
+          qc test_addr_table_growth;
         ] );
     ]
