@@ -1,15 +1,24 @@
 (* Engine-roofline benchmark: simulated objects evacuated per host
-   wall-second on the representative serial sweep, compared against the
-   recorded pre-optimization baseline.
+   second on the representative serial sweep, compared against recorded
+   baselines.
 
    The sweep is the same figure-5 slice bench_parallel times (4 apps x 5
    setups, gc_scale 0.25) run serially with the verifier off, so the
    measurement is the evacuation engine + memory model and nothing else.
    The sweep runs [rounds] times (default 3) and the fastest round is
    reported: shared hosts jitter CPU speed by tens of percent run to run,
-   and only the floor reflects the engine.  Emits BENCH_throughput.json.
-   `--check` additionally exits non-zero when the measured rate regresses
-   below 0.95x the baseline (used by ci.sh).
+   and only the floor reflects the engine.
+
+   Two time series are reported:
+   - wall clock (the historical headline, kept for milestone continuity);
+   - user CPU (rusage), which descheduling on a busy host does NOT
+     inflate.  The round-1 -> round-2 wall-clock "dip" (281,016 ->
+     270,720 obj/s) was exactly this kind of artifact, so the regression
+     gate compares the CPU series: best round = lowest CPU time, and
+     `--check` exits non-zero when objects-per-CPU-second falls below
+     0.95x the recorded CPU baseline (0.9x with --record, which bounds
+     the continuous recorder's hot-path overhead instead).  Emits
+     BENCH_throughput.json.
 
    BENCH_throughput.json also carries a `history` array — one line per
    deliberately recorded milestone (label, objects/s, speedup at record
@@ -54,6 +63,14 @@ let setups =
    shared host and is not reproducible by *any* build today).  The
    absolute number is host-dependent — the CI gate checks the ratio. *)
 let baseline_objects_per_s = 238_050.0
+
+(* Round-3 baseline on the user-CPU series, recorded with the batched
+   run-API access path and release-profile (cross-module-inlined) bench
+   builds — see EXPERIMENTS.md round-3 for the protocol.  This is the
+   series the --check gate compares (wall time on this shared host
+   varied by up to 1.4x across identical builds in one session; user CPU
+   is immune to the descheduling component of that noise). *)
+let baseline_objects_per_cpu_s = 368_000.0
 
 let options =
   {
@@ -101,9 +118,10 @@ let read_history path =
        with End_of_file -> close_in ic);
       if !found then List.rev !entries else seed_history
 
-let history_entry ~label ~rate ~speedup =
-  Printf.sprintf {|{"label": "%s", "objects_per_s": %.1f, "speedup": %.3f}|}
-    label rate speedup
+let history_entry ~label ~rate ~speedup ~cpu_rate =
+  Printf.sprintf
+    {|{"label": "%s", "objects_per_s": %.1f, "speedup": %.3f, "objects_per_cpu_s": %.1f}|}
+    label rate speedup cpu_rate
 
 let run_round () =
   let acc = Nvmtrace.Throughput.create () in
@@ -161,28 +179,33 @@ let () =
   let best = ref (run_round ()) in
   for _ = 2 to rounds do
     let acc = run_round () in
-    if acc.Nvmtrace.Throughput.wall_s < !best.Nvmtrace.Throughput.wall_s then
+    (* Floor of the user-CPU series, not wall: a descheduled round has a
+       fast CPU time but a slow wall time, and CPU is what we gate. *)
+    if acc.Nvmtrace.Throughput.cpu_s < !best.Nvmtrace.Throughput.cpu_s then
       best := acc
   done;
   let acc = !best in
   let rate = Nvmtrace.Throughput.objects_per_s acc in
+  let cpu_rate = Nvmtrace.Throughput.objects_per_cpu_s acc in
   let speedup = rate /. baseline_objects_per_s in
+  let cpu_speedup = cpu_rate /. baseline_objects_per_cpu_s in
   Format.printf "serial evacuation roofline: %a@." Nvmtrace.Throughput.pp acc;
   Printf.printf
-    "best of %d rounds; speedup vs pre-optimization baseline (%.0f obj/s): \
-     %.2fx\n\
+    "best of %d rounds; wall speedup vs pre-optimization baseline (%.0f \
+     obj/s): %.2fx; CPU speedup vs round-3 baseline (%.0f obj/CPU-s): %.2fx\n\
      %!"
-    rounds baseline_objects_per_s speedup;
+    rounds baseline_objects_per_s speedup baseline_objects_per_cpu_s
+    cpu_speedup;
   (* The JSON artifact records the *plain* configuration only: a --record
      run measures recorder overhead and must not overwrite the baseline
      numbers CI archives. *)
   if record then begin
-    if check && speedup < 0.9 then begin
+    if check && cpu_speedup < 0.9 then begin
       Printf.eprintf
-        "bench_throughput: FAIL: %.2fx vs baseline with --record (threshold \
-         0.9x) — the recorder hot path is too slow\n\
+        "bench_throughput: FAIL: %.2fx vs CPU baseline with --record \
+         (threshold 0.9x) — the recorder hot path is too slow\n\
          %!"
-        speedup;
+        cpu_speedup;
       exit 1
     end;
     exit 0
@@ -191,7 +214,7 @@ let () =
     let prior = read_history "BENCH_throughput.json" in
     match label with
     | None -> prior
-    | Some l -> prior @ [ history_entry ~label:l ~rate ~speedup ]
+    | Some l -> prior @ [ history_entry ~label:l ~rate ~speedup ~cpu_rate ]
   in
   let out = open_out "BENCH_throughput.json" in
   Printf.fprintf out
@@ -204,16 +227,21 @@ let () =
     \  \"objects_evacuated\": %d,\n\
     \  \"bytes_copied\": %d,\n\
     \  \"wall_s\": %.6f,\n\
+    \  \"user_cpu_s\": %.6f,\n\
     \  \"objects_per_s\": %.1f,\n\
+    \  \"objects_per_cpu_s\": %.1f,\n\
     \  \"bytes_per_s\": %.1f,\n\
     \  \"baseline_objects_per_s\": %.1f,\n\
     \  \"speedup_vs_baseline\": %.3f,\n\
+    \  \"baseline_objects_per_cpu_s\": %.1f,\n\
+    \  \"cpu_speedup_vs_baseline\": %.3f,\n\
     \  \"history\": [\n"
     (List.length sweep_apps) (List.length setups) rounds
     acc.Nvmtrace.Throughput.pauses acc.Nvmtrace.Throughput.objects
-    acc.Nvmtrace.Throughput.bytes acc.Nvmtrace.Throughput.wall_s rate
+    acc.Nvmtrace.Throughput.bytes acc.Nvmtrace.Throughput.wall_s
+    acc.Nvmtrace.Throughput.cpu_s rate cpu_rate
     (Nvmtrace.Throughput.bytes_per_s acc)
-    baseline_objects_per_s speedup;
+    baseline_objects_per_s speedup baseline_objects_per_cpu_s cpu_speedup;
   let n = List.length history in
   List.iteri
     (fun i e ->
@@ -222,11 +250,11 @@ let () =
   Printf.fprintf out "  ]\n}\n";
   close_out out;
   Printf.printf "wrote BENCH_throughput.json (%d history entries)\n%!" n;
-  if check && speedup < 0.95 then begin
+  if check && cpu_speedup < 0.95 then begin
     Printf.eprintf
-      "bench_throughput: FAIL: %.2fx vs baseline (threshold 0.95x) — the \
+      "bench_throughput: FAIL: %.2fx vs CPU baseline (threshold 0.95x) — the \
        serial hot path regressed\n\
        %!"
-      speedup;
+      cpu_speedup;
     exit 1
   end

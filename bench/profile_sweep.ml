@@ -8,7 +8,14 @@
    that justified the memsim/evacuation hot-path optimizations — rerun
    it before claiming any further serial speedup (see EXPERIMENTS.md).
 
-   Usage: dune exec bench/profile_sweep.exe [-- --no-verify] *)
+   --alloc additionally arms Hostprof's exact per-phase minor-word
+   attribution (deterministic, unlike the sampling counters — the signal
+   for de-boxing work).  --csv PATH writes the top-N symbol table as a
+   machine-readable artifact (phase, samples, percent, minor-MW,
+   switches); ci.sh publishes it next to the BENCH_*.json artifacts.
+
+   Usage: dune exec bench/profile_sweep.exe \
+     [-- --no-verify] [--alloc] [--csv PATH] *)
 
 let sweep_apps =
   let preferred =
@@ -24,6 +31,16 @@ let sweep_apps =
 
 let () =
   let verify = not (Array.exists (( = ) "--no-verify") Sys.argv) in
+  let alloc = Array.exists (( = ) "--alloc") Sys.argv in
+  let csv_path =
+    let p = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--csv" && i + 1 < Array.length Sys.argv then
+          p := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !p
+  in
   let options =
     {
       Experiments.Runner.default_options with
@@ -40,6 +57,7 @@ let () =
     (Unix.setitimer Unix.ITIMER_PROF
        { Unix.it_interval = 0.001; it_value = 0.001 });
   Simstats.Hostprof.reset ();
+  if alloc then Simstats.Hostprof.set_alloc_tracking true;
   let minor0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let rows = Experiments.Fig5_gc_time.compute ~apps:sweep_apps options in
@@ -48,8 +66,50 @@ let () =
   ignore
     (Unix.setitimer Unix.ITIMER_PROF
        { Unix.it_interval = 0.0; it_value = 0.0 });
+  if alloc then Simstats.Hostprof.set_alloc_tracking false;
   ignore (Sys.opaque_identity rows);
   Printf.printf "sweep (%d apps x 5 setups, verify=%b): %.3fs wall, %.1f MW \
                  minor allocation (%.1f MW/s)\n"
     (List.length sweep_apps) verify wall (minor /. 1e6) (minor /. 1e6 /. wall);
-  Format.printf "%a" Simstats.Hostprof.pp ()
+  Format.printf "%a" Simstats.Hostprof.pp ();
+  if alloc then begin
+    Printf.printf "allocation by phase (exact, minor words):\n";
+    List.iter
+      (fun (name, words, switches) ->
+        Printf.printf "  %-24s %8.1f MW  %9d switches\n" name (words /. 1e6)
+          switches)
+      (Simstats.Hostprof.alloc_samples ())
+  end;
+  match csv_path with
+  | None -> ()
+  | Some path ->
+      (* Machine-readable top-N symbol table: one row per phase that
+         received samples (or, under --alloc, charged words), ranked by
+         sample count.  Published by ci.sh as a build artifact so the
+         profile shape is diffable across commits without rerunning. *)
+      let total = Simstats.Hostprof.total () in
+      let alloc_rows = Simstats.Hostprof.alloc_samples () in
+      let alloc_of name =
+        match List.find_opt (fun (n, _, _) -> n = name) alloc_rows with
+        | Some (_, words, switches) -> (words, switches)
+        | None -> (0.0, 0)
+      in
+      let oc = open_out path in
+      Printf.fprintf oc "phase,samples,percent,minor_mwords,switches\n";
+      List.iter
+        (fun (name, n) ->
+          let words, switches = alloc_of name in
+          Printf.fprintf oc "%s,%d,%.2f,%.3f,%d\n" name n
+            (100.0 *. float_of_int n /. float_of_int (max 1 total))
+            (words /. 1e6) switches)
+        (Simstats.Hostprof.samples ());
+      (* Phases with allocation but no samples still matter for de-boxing
+         work; emit them with zero samples. *)
+      List.iter
+        (fun (name, words, switches) ->
+          if not (List.mem_assoc name (Simstats.Hostprof.samples ())) then
+            Printf.fprintf oc "%s,0,0.00,%.3f,%d\n" name (words /. 1e6)
+              switches)
+        alloc_rows;
+      close_out oc;
+      Printf.printf "wrote %s\n" path

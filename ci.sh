@@ -40,16 +40,32 @@ dune exec bin/nvmgc_cli.exe -- run page-rank --threads 8 --gc-scale 0.1 \
 test -s "$tmp/stats.csv"
 test -s "$tmp/stats.prom"
 
-# Recording must be pure observation: the sweep digest is byte-identical
-# with the recorder armed and disarmed, serial and parallel.
+# Recording must be pure observation, and the batched run-API access
+# path (Memory.access_run_into) must be float-for-float identical to the
+# per-line semantics it replaced: the sweep digest is byte-identical
+# with the recorder armed and disarmed, serial and parallel, in both
+# build profiles.  The release-profile legs matter: benches are built
+# with cross-module inlining (see the bench gates below), and this pins
+# the inlined build to the exact same simulated results as dev.
 d_off=$(dune exec bench/digest_sweep.exe -- --jobs 1 | awk '{print $NF}')
+d_off8=$(dune exec bench/digest_sweep.exe -- --jobs 8 | awk '{print $NF}')
 d_on=$(dune exec bench/digest_sweep.exe -- --jobs 1 --record \
   | awk '{print $NF}')
 d_on8=$(dune exec bench/digest_sweep.exe -- --jobs 8 --record \
   | awk '{print $NF}')
-if [ "$d_off" != "$d_on" ] || [ "$d_off" != "$d_on8" ]; then
-  echo "ci: recorder perturbed simulated results" \
-    "(digest off=$d_off on=$d_on on,jobs8=$d_on8)" >&2
+if [ "$d_off" != "$d_off8" ] || [ "$d_off" != "$d_on" ] \
+  || [ "$d_off" != "$d_on8" ]; then
+  echo "ci: recorder or run API perturbed simulated results" \
+    "(digest off=$d_off off,jobs8=$d_off8 on=$d_on on,jobs8=$d_on8)" >&2
+  exit 1
+fi
+d_rel=$(dune exec --profile release bench/digest_sweep.exe -- --jobs 1 \
+  | awk '{print $NF}')
+d_rel8=$(dune exec --profile release bench/digest_sweep.exe -- --jobs 8 \
+  --record | awk '{print $NF}')
+if [ "$d_off" != "$d_rel" ] || [ "$d_off" != "$d_rel8" ]; then
+  echo "ci: release-profile build perturbed simulated results" \
+    "(digest dev=$d_off release=$d_rel release,jobs8,record=$d_rel8)" >&2
   exit 1
 fi
 
@@ -64,18 +80,30 @@ dune exec bin/nvmgc_cli.exe -- all --gc-scale 0.05 --jobs "$jobs" \
 echo "all-figures smoke (--jobs $jobs): $(($(date +%s) - start))s," \
   "$(wc -l < "$tmp/all.out") lines"
 
-# Engine-throughput gates.  bench_throughput re-times the serial sweep
-# (best of 4 rounds — the floor is the engine, the rest is host jitter)
-# and emits BENCH_throughput.json; --check fails the build when the rate
-# drops below 0.95x the recorded pre-PR baseline.  On shared hosts rare
-# multi-minute CPU-frequency sags can trip this gate even with floor
-# sampling (see EXPERIMENTS.md "host drift"); re-run before concluding a
-# code regression.
-dune exec bench/bench_throughput.exe -- --check --rounds 4
+# Engine-throughput gates, release profile.  The dev profile passes
+# -opaque, which disables all cross-module inlining — the recorded
+# baselines assume the inlined (release) build, the configuration the
+# digest gate above pinned to identical simulated results.
+# bench_throughput re-times the serial sweep (best of 4 rounds — the
+# floor is the engine, the rest is host jitter) and emits
+# BENCH_throughput.json; --check fails the build when objects-per-CPU-
+# second drops below 0.95x the recorded baseline (the user-CPU series is
+# immune to descheduling noise; see EXPERIMENTS.md "host drift").
+# CPU-frequency sags can still trip it; re-run before concluding a code
+# regression.
+dune exec --profile release bench/bench_throughput.exe -- --check --rounds 4
 
 # Recorder-overhead gate: the same roofline with the continuous recorder
 # armed must still clear the 0.9x baseline check.
-dune exec bench/bench_throughput.exe -- --check --record
+dune exec --profile release bench/bench_throughput.exe -- --check --record
+
+# Profile artifact: per-phase flat profile of the same sweep (SIGPROF
+# samples + exact per-phase minor-allocation attribution) published as
+# CSV so perf work can diff phase shares across commits without re-
+# deriving them from scratch.
+dune exec --profile release bench/profile_sweep.exe -- \
+  --no-verify --alloc --csv PROFILE_sweep.csv > /dev/null
+test -s PROFILE_sweep.csv
 
 # Parallel non-degradation gate: bench_parallel times the same sweep at
 # --jobs 1/2/4/8 inside one process and emits BENCH_parallel.json.  The

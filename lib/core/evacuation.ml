@@ -345,24 +345,38 @@ let cause_of_category = function
   | Cat_flush -> Nvmtrace.Recorder.Wc_writeback
   | Cat_cleanup | Cat_cpu -> Nvmtrace.Recorder.Gc_other
 
-let charge ?force_device t th ~cat ~addr ~space ~kind ~pattern ~bytes =
+(* All ordinary GC charges go through the memsim bulk-transfer entry:
+   object copies, write-cache write-backs and header-map probe bursts
+   are contiguous runs, and the run path is float-identical for the
+   single-line charges (digest-gated in CI). *)
+let[@inline] charge t th ~cat ~addr ~space ~kind ~pattern ~bytes =
   Memsim.Memory.set_cause t.memory (cause_of_category cat);
-  Memsim.Memory.access_into ?force_device t.memory ~now_ns:th.clock.(0) ~addr
-    ~space ~kind ~pattern ~bytes;
+  Memsim.Memory.access_run_into t.memory ~now_ns:th.clock.(0) ~addr ~space
+    ~kind ~pattern ~bytes;
   let d = Memsim.Memory.last_duration t.memory in
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. d;
   th.clock.(0) <- th.clock.(0) +. d
 
-let charge_cpu th ns =
+(* Atomic/uncoalesced charges (the forwarding CAS) bypass the cache and
+   cannot ride the run path. *)
+let charge_forced t th ~cat ~addr ~space ~kind ~pattern ~bytes =
+  Memsim.Memory.set_cause t.memory (cause_of_category cat);
+  Memsim.Memory.access_into ~force_device:true t.memory ~now_ns:th.clock.(0)
+    ~addr ~space ~kind ~pattern ~bytes;
+  let d = Memsim.Memory.last_duration t.memory in
+  th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. d;
+  th.clock.(0) <- th.clock.(0) +. d
+
+let[@inline] charge_cpu th ns =
   th.breakdown.(category_index Cat_cpu) <-
     th.breakdown.(category_index Cat_cpu) +. ns;
   th.clock.(0) <- th.clock.(0) +. ns
 
-let add_breakdown th cat ns =
+let[@inline] add_breakdown th cat ns =
   th.breakdown.(category_index cat) <- th.breakdown.(category_index cat) +. ns
 
 (* Device space a slot's own storage lives on. *)
-let slot_space t slot =
+let[@inline] slot_space t slot =
   if Work_stack.slot_is_root slot then Memsim.Access.Dram
   else begin
     let holder = Work_stack.slot_holder t.pool slot in
@@ -618,8 +632,8 @@ let lookup_forward t th ~old_addr (obj : O.t) =
    and reach the device uncoalesced.  (Top-level rather than local to
    [install_forward] so the per-object hot path allocates no closure.) *)
 let install_in_header t th ~old_addr ~old_space ~new_addr (obj : O.t) =
-  charge ~force_device:true t th ~cat:Cat_forward ~addr:old_addr
-    ~space:old_space ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
+  charge_forced t th ~cat:Cat_forward ~addr:old_addr ~space:old_space
+    ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
     ~bytes:Simheap.Layout.ref_bytes;
   charge t th ~cat:Cat_forward ~addr:old_addr ~space:old_space
     ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Random
@@ -675,7 +689,7 @@ let install_forward t th ~old_addr ~new_addr ~old_space (obj : O.t) =
 (* ------------------------------------------------------------------ *)
 (* Copy-and-traverse                                                   *)
 
-let push_item t th ~slot ~home =
+let[@inline] push_item t th ~slot ~home =
   if Work_stack.is_empty th.stack then t.busy <- t.busy + 1;
   Work_stack.push th.stack ~clock:th.clock.(0) ~slot ~home
 

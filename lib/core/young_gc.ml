@@ -141,13 +141,14 @@ let cleanup_header_map t evac ~from_ns =
           let slice = slices.(i) in
           th.Evacuation.clock.(0) <-
             Float.max th.Evacuation.clock.(0) from_ns;
-          let d =
-            Memsim.Memory.access t.memory ~now_ns:th.Evacuation.clock.(0)
-              ~addr:(Simheap.Layout.header_map_base + !offset)
-              (Memsim.Access.v ~space:Memsim.Access.Dram
-                 ~kind:Memsim.Access.Write ~pattern:Memsim.Access.Sequential
-                 slice)
-          in
+          (* Table-sized sequential run: the bulk-transfer path walks
+             its thousands of lines with buffered evictions. *)
+          Memsim.Memory.access_run_into t.memory
+            ~now_ns:th.Evacuation.clock.(0)
+            ~addr:(Simheap.Layout.header_map_base + !offset)
+            ~space:Memsim.Access.Dram ~kind:Memsim.Access.Write
+            ~pattern:Memsim.Access.Sequential ~bytes:slice;
+          let d = Memsim.Memory.last_duration t.memory in
           offset := !offset + slice;
           Evacuation.add_breakdown th Evacuation.Cat_cleanup d;
           th.Evacuation.clock.(0) <- th.Evacuation.clock.(0) +. d;

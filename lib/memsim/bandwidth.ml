@@ -25,12 +25,12 @@
     The [**] makes this the single most expensive float operation on the
     hot path, so {!Memory.access} computes it once per access and feeds
     the [~bowl] variants below. *)
-let mix_bowl ~write_frac =
+let[@inline] mix_bowl ~write_frac =
   let w = Float.max 0.0 (Float.min 1.0 write_frac) in
   (4.0 *. w *. (1.0 -. w)) ** 0.30
 
 (* floor keeps a pathological mix from zeroing bandwidth entirely *)
-let penalty_of_bowl (d : Device.t) ~bowl =
+let[@inline] penalty_of_bowl (d : Device.t) ~bowl =
   Float.max 0.18 (1.0 -. (d.Device.write_interference *. bowl))
 
 (** Interference penalty multiplier in (0, 1]; 1 when the stream is pure
@@ -40,7 +40,7 @@ let mix_penalty (d : Device.t) ~write_frac =
 
 (** Device-level cap for a given access class under the current mix, with
     the bowl precomputed by the caller. *)
-let device_cap_b (d : Device.t) (kind : Access.kind) (pattern : Access.pattern)
+let[@inline] device_cap_b (d : Device.t) (kind : Access.kind) (pattern : Access.pattern)
     ~bowl =
   let base = Device.device_bw d kind pattern in
   match kind with
@@ -87,7 +87,7 @@ let total_cap (d : Device.t) ~write_frac
 (** Rate at which an access of this class drains through the device pipe
     (GB/s): the class cap under the current interference penalty.  This is
     the service rate of the queueing model in {!Memory}. *)
-let service_gbps_b (d : Device.t) (kind : Access.kind)
+let[@inline] service_gbps_b (d : Device.t) (kind : Access.kind)
     (pattern : Access.pattern) ~bowl =
   Float.max 0.05 (device_cap_b d kind pattern ~bowl)
 
@@ -99,7 +99,7 @@ let service_gbps (d : Device.t) (kind : Access.kind)
     solo (MLP-limited) capability, degraded by the same interference
     penalty as the device (a lone thread mixing reads and writes also
     stalls on the media), never above the device's current class rate. *)
-let effective_gbps_b (d : Device.t) (kind : Access.kind)
+let[@inline] effective_gbps_b (d : Device.t) (kind : Access.kind)
     (pattern : Access.pattern) ~bowl =
   let cap = service_gbps_b d kind pattern ~bowl in
   let solo =
@@ -116,4 +116,4 @@ let effective_gbps (d : Device.t) (kind : Access.kind)
 
 (** Transfer time in nanoseconds for [bytes] at [gbps].
     1 GB/s = 1 byte/ns, so this is simply bytes / gbps. *)
-let transfer_ns ~bytes ~gbps = float_of_int bytes /. gbps
+let[@inline] transfer_ns ~bytes ~gbps = float_of_int bytes /. gbps

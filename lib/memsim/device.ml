@@ -78,7 +78,7 @@ let optane =
     price_per_gb = 3.01;
   }
 
-let device_bw t (kind : Access.kind) (pattern : Access.pattern) =
+let[@inline] device_bw t (kind : Access.kind) (pattern : Access.pattern) =
   match kind, pattern with
   | Access.Read, Access.Sequential -> t.bw_read_seq
   | Access.Read, Access.Random -> t.bw_read_random
@@ -86,7 +86,7 @@ let device_bw t (kind : Access.kind) (pattern : Access.pattern) =
   | Access.Write, Access.Random -> t.bw_write_random
   | Access.Nt_write, _ -> t.bw_nt_write
 
-let thread_bw t (kind : Access.kind) (pattern : Access.pattern) =
+let[@inline] thread_bw t (kind : Access.kind) (pattern : Access.pattern) =
   match kind, pattern with
   | Access.Read, Access.Sequential -> t.thread_bw_read_seq
   | Access.Read, Access.Random -> t.thread_bw_read_random
@@ -94,7 +94,7 @@ let thread_bw t (kind : Access.kind) (pattern : Access.pattern) =
   | Access.Write, Access.Random -> t.thread_bw_write_random
   | Access.Nt_write, _ -> t.thread_bw_nt_write
 
-let latency_ns t (kind : Access.kind) (pattern : Access.pattern) =
+let[@inline] latency_ns t (kind : Access.kind) (pattern : Access.pattern) =
   match kind, pattern with
   | Access.Read, Access.Random -> t.read_latency_random_ns
   | Access.Read, Access.Sequential -> t.read_latency_seq_ns

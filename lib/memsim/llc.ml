@@ -59,6 +59,13 @@ type t = {
   mutable wb_addr_q : int;
   mutable wb_nvm_q : bool;
   mutable wb_seq_q : bool;
+  (* Run write-back buffer: dirty evictions produced by {!access_run}
+     accumulate here instead of the single pending slot, so a whole
+     contiguous N-line run can be walked without draining between
+     probes.  Each entry packs the eviction's nvm (bit 0) and seq
+     (bit 1) flags — the write-back charge needs nothing else. *)
+  mutable run_wb : int array;
+  mutable run_wb_len : int;
   mutable hits : int;
   mutable misses : int;
   mutable prefetch_hits : int;
@@ -114,6 +121,8 @@ let create ~capacity_bytes ~ways =
     wb_addr_q = 0;
     wb_nvm_q = false;
     wb_seq_q = false;
+    run_wb = Array.make 64 0;
+    run_wb_len = 0;
     hits = 0;
     misses = 0;
     prefetch_hits = 0;
@@ -128,10 +137,10 @@ let capacity_bytes t = t.nsets * t.ways * line_bytes
    line id, and nsets is a power of two, so masking == mod.  The set
    index takes the hash's low bits; the fingerprint takes 8 bits from
    the middle so the two stay decorrelated within a set. *)
-let hash_line line = line * 0x9E3779B1 land max_int
+let[@inline] hash_line line = line * 0x9E3779B1 land max_int
 let fp_of_hash h = (h lsr 24) land 0xff
 
-let touch t set way =
+let[@inline] touch t set way =
   set.stamp.(way) <- t.tick;
   t.tick <- t.tick + 1
 
@@ -174,10 +183,10 @@ let rec fp_scan (fps : int array) tags nwords needle line ways w =
     end
   end
 
-let fp_probe set line ~fp ~ways =
+let[@inline] fp_probe set line ~fp ~ways =
   fp_scan set.fps set.tags (Array.length set.fps) (fp * fp_low) line ways 0
 
-let find_way t set line ~fp =
+let[@inline] find_way t set line ~fp =
   if set.tags.(set.hint) = line then set.hint
   else begin
     let way = fp_probe set line ~fp ~ways:t.ways in
@@ -260,6 +269,101 @@ let access_q t addr ~write ~seq ~nvm =
     ignore (install t set line ~fp ~write ~seq ~nvm : int);
     Miss
   end
+
+(* ------------------------------------------------------------------ *)
+(* Contiguous-run walk (bulk-transfer fast path)                       *)
+
+let run_wb_push t flags =
+  let n = t.run_wb_len in
+  if n >= Array.length t.run_wb then begin
+    let bigger = Array.make (2 * Array.length t.run_wb) 0 in
+    Array.blit t.run_wb 0 bigger 0 n;
+    t.run_wb <- bigger
+  end;
+  t.run_wb.(n) <- flags;
+  t.run_wb_len <- n + 1
+
+(* [install] for the run walk: per-way state changes identical to
+   {!install}, with a dirty eviction appended to the run buffer instead
+   of the pending slot. *)
+let install_run t set line ~fp ~write ~seq ~nvm =
+  let way = victim_way set in
+  let bit = 1 lsl way in
+  if set.dirty land bit <> 0 && set.tags.(way) >= 0 then begin
+    t.writebacks <- t.writebacks + 1;
+    run_wb_push t
+      ((if set.nvm land bit <> 0 then 1 else 0)
+      lor if set.seqw land bit <> 0 then 2 else 0)
+  end;
+  set.tags.(way) <- line;
+  set_fp set way fp;
+  set.prefetched <- set.prefetched land lnot bit;
+  set.dirty <- (if write then set.dirty lor bit else set.dirty land lnot bit);
+  set.seqw <-
+    (if write && seq then set.seqw lor bit else set.seqw land lnot bit);
+  set.nvm <- (if nvm then set.nvm lor bit else set.nvm land lnot bit);
+  set.hint <- way;
+  touch t set way
+
+(* One line of a run: lookup/fill exactly as {!access_q} (same counter
+   increments, same LRU/dirty/prefetched transitions), evictions
+   buffered. *)
+let[@inline] run_line t h line ~write ~seq ~nvm =
+  let fp = fp_of_hash h in
+  let set = t.sets.(h land t.set_mask) in
+  let way = find_way t set line ~fp in
+  if way >= 0 then begin
+    touch t set way;
+    let bit = 1 lsl way in
+    if write then begin
+      set.dirty <- set.dirty lor bit;
+      if seq then set.seqw <- set.seqw lor bit
+    end;
+    if set.prefetched land bit <> 0 then begin
+      set.prefetched <- set.prefetched land lnot bit;
+      t.prefetch_hits <- t.prefetch_hits + 1;
+      Prefetched_hit
+    end
+    else begin
+      t.hits <- t.hits + 1;
+      Hit
+    end
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    install_run t set line ~fp ~write ~seq ~nvm;
+    Miss
+  end
+
+(* [hash_line] stride for consecutive lines: [land max_int] is a mod-2^62
+   mask and multiplication distributes over addition mod 2^63, so
+   [hash_line (l + 1) = (hash_line l + 0x9E3779B1) land max_int]
+   exactly — the walk steps the hash instead of remultiplying. *)
+let hash_step = 0x9E3779B1
+
+(** Walk the [lines] contiguous cache lines starting at [addr]: per-line
+    lookup/fill identical to [lines] successive {!access_q} calls, with
+    dirty evictions appended to the run buffer (read with
+    {!run_wb_count} / {!run_wb_nvm} / {!run_wb_seq}, valid until the
+    next run walk).  Returns the FIRST line's outcome — the only one the
+    latency charge depends on.  Allocation-free. *)
+let access_run t addr ~lines ~write ~seq ~nvm =
+  t.wb_pending <- false;
+  t.run_wb_len <- 0;
+  let line = addr / line_bytes in
+  let h = hash_line line in
+  let first = run_line t h line ~write ~seq ~nvm in
+  let hr = ref h and lr = ref line in
+  for _ = 2 to lines do
+    hr := (!hr + hash_step) land max_int;
+    lr := !lr + 1;
+    ignore (run_line t !hr !lr ~write ~seq ~nvm : outcome)
+  done;
+  first
+
+let run_wb_count t = t.run_wb_len
+let run_wb_nvm t i = t.run_wb.(i) land 1 <> 0
+let run_wb_seq t i = t.run_wb.(i) land 2 <> 0
 
 let wb_pending t = t.wb_pending
 let wb_nvm t = t.wb_nvm_q

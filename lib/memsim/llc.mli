@@ -39,6 +39,22 @@ val wb_nvm : t -> bool
 val wb_seq : t -> bool
 val wb_addr : t -> int
 
+val access_run :
+  t -> int -> lines:int -> write:bool -> seq:bool -> nvm:bool -> outcome
+(** Walk the [lines] contiguous cache lines starting at the given
+    address: state transitions and counters identical to [lines]
+    successive {!access_q} calls, but dirty evictions accumulate in a
+    run buffer instead of the single pending slot, and the line hash is
+    stepped incrementally instead of recomputed.  Returns the {e first}
+    line's outcome (the only one the latency charge depends on).  Query
+    the buffered evictions with {!run_wb_count} / {!run_wb_nvm} /
+    {!run_wb_seq}; they stay valid until the next run walk.
+    Allocation-free after the buffer warms up. *)
+
+val run_wb_count : t -> int
+val run_wb_nvm : t -> int -> bool
+val run_wb_seq : t -> int -> bool
+
 val line_dirty : t -> int -> bool
 (** Pure residency query: the line containing the address is resident
     and dirty (its latest bytes live only in the cache).  Touches no LRU

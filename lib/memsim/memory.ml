@@ -84,9 +84,12 @@ type t = {
           write-seq, nt, writeback) — diagnostic *)
   trace_read : Simstats.Timeseries.t array;
   trace_write : Simstats.Timeseries.t array;
-  dur : float ref;
-      (** duration of the last {!access_into} charge — an out-parameter
-          cell so the hot path never boxes a returned float *)
+  dur : float array;
+      (** 1-slot out-parameter holding the duration of the last
+          {!access_into}/{!access_run_into} charge.  A flat float array,
+          not a [float ref]: the ref is a generic record, so every [:=]
+          boxes the float — millions of avoidable minor allocations per
+          sweep — while a float-array store is unboxed. *)
   mutable cause : Nvmtrace.Recorder.cause;
       (** attribution for the continuous recorder: the subsystem whose
           accesses are currently being charged.  Set by the GC around its
@@ -102,7 +105,7 @@ type t = {
           timing model. *)
 }
 
-let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
+let[@inline] space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -> 1
 
 (* Host-profiling phases ({!Simstats.Hostprof}): the memory model is the
    innermost layer every simulated component funnels through, so its
@@ -111,7 +114,7 @@ let space_index : Access.space -> int = function Access.Dram -> 0 | Access.Nvm -
 let prof_access = Simstats.Hostprof.register "memsim.access"
 let prof_llc = Simstats.Hostprof.register "memsim.llc"
 
-let class_idx (kind : Access.kind) (pattern : Access.pattern) =
+let[@inline] class_idx (kind : Access.kind) (pattern : Access.pattern) =
   match kind, pattern with
   | Access.Read, Access.Random -> 0
   | Access.Read, Access.Sequential -> 1
@@ -128,7 +131,7 @@ let pipe_burst_ns = 4_000.0
    what pins aggregate throughput at the device rate.  Arrivals slightly
    in the past (clock skew between simulated threads) accrue no credit
    but still join the queue. *)
-let pipe_consume t idx ~now_ns ~service_ns =
+let[@inline] pipe_consume t idx ~now_ns ~service_ns =
   let dt = Float.max 0.0 (now_ns -. t.pipe_last_ns.(idx)) in
   t.pipe_last_ns.(idx) <- Float.max t.pipe_last_ns.(idx) now_ns;
   let credit = Float.min pipe_burst_ns (t.pipe_credit_ns.(idx) +. dt) in
@@ -140,7 +143,7 @@ let pipe_consume t idx ~now_ns ~service_ns =
 
 (* Random accesses cost the device a full line regardless of useful
    bytes. *)
-let service_bytes ~(pattern : Access.pattern) ~bytes =
+let[@inline] service_bytes ~(pattern : Access.pattern) ~bytes =
   match pattern with
   | Access.Random ->
       Llc.line_bytes * ((bytes + Llc.line_bytes - 1) / Llc.line_bytes)
@@ -177,7 +180,7 @@ let create config =
     trace_write =
       Array.init 2 (fun _ ->
           Simstats.Timeseries.create ~bucket_ns:config.trace_bucket_ns);
-    dur = ref 0.0;
+    dur = Array.make 1 0.0;
     cause = Nvmtrace.Recorder.Mutator;
     durability = None;
   }
@@ -222,7 +225,7 @@ let nvm_undurable_in t ~base ~bytes =
         !acc
       end
 
-let decay_mix t mix ~now_ns =
+let[@inline] decay_mix t mix ~now_ns =
   let dt = now_ns -. mix.last_ns in
   if dt > 0.0 then begin
     let f = exp (-.dt /. t.config.mix_tau_ns) in
@@ -233,10 +236,10 @@ let decay_mix t mix ~now_ns =
     mix.last_ns <- now_ns
   end
 
-let mix_total mix = mix.read_rand +. mix.read_seq +. mix.write_rand +. mix.write_seq
+let[@inline] mix_total mix = mix.read_rand +. mix.read_seq +. mix.write_rand +. mix.write_seq
 
 (** Current write fraction of recent traffic to a space, in [0, 1]. *)
-let write_frac t space ~now_ns =
+let[@inline] write_frac t space ~now_ns =
   let mix = t.mixes.(space_index space) in
   decay_mix t mix ~now_ns;
   let total = mix_total mix in
@@ -263,7 +266,7 @@ let utilization t space ~now_ns =
     total /. t.config.mix_tau_ns /. cap
   end
 
-let record_mix t space ~now_ns ~bytes (kind : Access.kind)
+let[@inline] record_mix t space ~now_ns ~bytes (kind : Access.kind)
     (pattern : Access.pattern) =
   let mix = t.mixes.(space_index space) in
   decay_mix t mix ~now_ns;
@@ -275,12 +278,13 @@ let record_mix t space ~now_ns ~bytes (kind : Access.kind)
   | Access.Write, Access.Sequential | Access.Nt_write, _ ->
       mix.write_seq <- mix.write_seq +. b
 
-(* Charge an evicted dirty line: a posted 64-byte random write to its
-   backing device.  The evicting thread does not stall on it, but it
-   consumes device-pipe bandwidth and counts as write traffic — this is
-   how cached random header/reference updates become the NVM writes the
-   paper measures. *)
-let charge_writeback_sc t ~now_ns ~nvm ~seq =
+(* Device/bandwidth part of one evicted-dirty-line write-back: a posted
+   64-byte write to its backing device.  The evicting thread does not
+   stall on it, but it consumes device-pipe bandwidth and counts as
+   write traffic — this is how cached random header/reference updates
+   become the NVM writes the paper measures.  Recorder attribution is
+   the caller's business (the run drain batches it per space). *)
+let[@inline] wb_device_charge t ~now_ns ~nvm ~seq =
   let space = if nvm then Access.Nvm else Access.Dram in
   let pattern = if seq then Access.Sequential else Access.Random in
   let idx = space_index space in
@@ -296,9 +300,12 @@ let charge_writeback_sc t ~now_ns ~nvm ~seq =
     t.totals.(idx).write_bytes +. float_of_int Llc.line_bytes;
   if t.config.trace_enabled then
     Simstats.Timeseries.add t.trace_write.(idx) ~time_ns:now_ns
-      (float_of_int Llc.line_bytes);
-  (* Evicted dirty lines are posted write-backs: flush-pipeline traffic
-     regardless of which subsystem dirtied the line. *)
+      (float_of_int Llc.line_bytes)
+
+(* Evicted dirty lines are posted write-backs: flush-pipeline traffic
+   regardless of which subsystem dirtied the line. *)
+let charge_writeback_sc t ~now_ns ~nvm ~seq =
+  wb_device_charge t ~now_ns ~nvm ~seq;
   match Nvmtrace.Hooks.recorder () with
   | None -> ()
   | Some r ->
@@ -313,23 +320,34 @@ let charge_pending_wb t ~now_ns =
     charge_writeback_sc t ~now_ns ~nvm:(Llc.wb_nvm t.llc)
       ~seq:(Llc.wb_seq t.llc)
 
-(* Touch every line of a multi-line access so the cache model reflects the
-   pollution of bulk copies.  Only the first line's outcome decides the
-   latency charge; subsequent lines ride the stream.  Dirty evictions are
-   charged as posted write-backs. *)
-let llc_touch_lines t ~now_ns ~write ~seq ~nvm addr bytes =
-  let prev = Simstats.Hostprof.enter prof_llc in
-  let first = Llc.access_q t.llc addr ~write ~seq ~nvm in
-  charge_pending_wb t ~now_ns;
-  let lines = (bytes + Llc.line_bytes - 1) / Llc.line_bytes in
-  for i = 1 to lines - 1 do
-    ignore
-      (Llc.access_q t.llc (addr + (i * Llc.line_bytes)) ~write ~seq ~nvm
-        : Llc.outcome);
-    charge_pending_wb t ~now_ns
+(* Drain the dirty evictions buffered by an {!Llc.access_run} walk, in
+   eviction order.  Float-for-float identical to the retired interleaved
+   probe/charge loop: a write-back charge reads no LLC state and a probe
+   reads no mix/pipe state, so only the order AMONG the charges is
+   observable — and that order is preserved.  Recorder attribution is
+   batched into at most one delta per space: every contribution is an
+   integer-valued float below 2^53, so [k] additions of 64 and one
+   addition of [64 k] produce bit-identical totals and window buckets. *)
+let drain_run_wbs t ~now_ns recorder =
+  let llc = t.llc in
+  let n = Llc.run_wb_count llc in
+  let dram_lines = ref 0 and nvm_lines = ref 0 in
+  for i = 0 to n - 1 do
+    let nvm = Llc.run_wb_nvm llc i in
+    wb_device_charge t ~now_ns ~nvm ~seq:(Llc.run_wb_seq llc i);
+    if nvm then incr nvm_lines else incr dram_lines
   done;
-  Simstats.Hostprof.leave prev;
-  first
+  match recorder with
+  | None -> ()
+  | Some r ->
+      if !dram_lines > 0 then
+        Nvmtrace.Recorder.traffic r ~from_ns:now_ns ~until_ns:now_ns
+          ~nvm:false ~write:true ~cause:Nvmtrace.Recorder.Flush_pipe
+          ~bytes:(float_of_int (!dram_lines * Llc.line_bytes));
+      if !nvm_lines > 0 then
+        Nvmtrace.Recorder.traffic r ~from_ns:now_ns ~until_ns:now_ns
+          ~nvm:true ~write:true ~cause:Nvmtrace.Recorder.Flush_pipe
+          ~bytes:(float_of_int (!nvm_lines * Llc.line_bytes))
 
 (** [access t ~now_ns ~addr a] charges access [a] at address [addr] and
     returns its simulated duration in nanoseconds.
@@ -341,67 +359,102 @@ let llc_touch_lines t ~now_ns ~write ~seq ~nvm addr bytes =
     the hard bandwidth ceiling that makes NVM GC non-scalable (§2.3). *)
 let llc_gbps = 64.0
 
-let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
-    ~pattern ~bytes =
+(* Duration once [latency] is known.  A latency within the LLC hit cost
+   never reaches the device pipe and does not depend on the device rates
+   — skip the bandwidth model entirely (the fast path for the
+   cache-friendly majority of accesses; low-latency device classes like
+   DRAM stores ride it too, their drain being charged at eviction). *)
+let[@inline] duration_of t dev ~now_ns ~space ~kind ~pattern ~bytes ~latency ~w
+    ~force_device =
+  if latency <= t.config.llc_hit_ns then
+    latency +. Bandwidth.transfer_ns ~bytes ~gbps:llc_gbps
+  else begin
+    let bowl = Bandwidth.mix_bowl ~write_frac:w in
+    let idx_pipe = space_index space in
+    let rate = Bandwidth.service_gbps_b dev kind pattern ~bowl in
+    let sbytes = service_bytes ~pattern ~bytes in
+    let sbytes =
+      (* Uncoalesced RMWs on Optane touch a full 256-byte internal
+         block (the XPLine). *)
+      if force_device && space = Access.Nvm && sbytes < 128 then 128
+      else sbytes
+    in
+    let service = Bandwidth.transfer_ns ~bytes:sbytes ~gbps:rate in
+    let queue_wait = pipe_consume t idx_pipe ~now_ns ~service_ns:service in
+    let ci = class_idx kind pattern in
+    t.service_by_class.(idx_pipe).(ci) <-
+      t.service_by_class.(idx_pipe).(ci) +. service;
+    let gbps = Bandwidth.effective_gbps_b dev kind pattern ~bowl in
+    let transfer = Float.max service (Bandwidth.transfer_ns ~bytes ~gbps) in
+    queue_wait +. latency +. transfer
+  end
+
+(* The single implementation behind {!access_into} and
+   {!access_run_into}: charge a (possibly multi-line) transfer in one
+   call.  Restructured from the retired per-line loop into the run
+   shape — probe the whole run first with evictions buffered, then the
+   mix/bandwidth charges — which is float-for-float identical (the
+   probes touch no float state; see {!drain_run_wbs}) but exposes an LLC
+   hit fast path: when the first line hits and nothing was evicted, the
+   only float effect of the retired path was the mix decay to [now_ns],
+   which [record_mix] performs identically, so the write-fraction read
+   and the whole bandwidth model are skipped. *)
+let access_main t ~now_ns ~addr ~space ~kind ~pattern ~bytes ~force_device =
   let prof_prev = Simstats.Hostprof.enter prof_access in
   let dev = device t space in
   let is_write = kind <> Access.Read in
   if is_write && space = Access.Nvm && t.durability != None then
     mark_nvm_written t ~addr ~bytes;
-  (* Mix is read before this access is recorded, so a single large
-     transfer does not interfere with itself. *)
-  let w = write_frac t space ~now_ns in
-  record_mix t space ~now_ns ~bytes kind pattern;
-  let latency =
-    match kind with
-    | Access.Nt_write ->
-        (* Non-temporal stores bypass the cache hierarchy entirely. *)
-        dev.Device.write_latency_ns
-    | (Access.Read | Access.Write) when force_device ->
-        (* Atomic/uncoalesced operations (forwarding-pointer CAS): always
-           reach the device, regardless of cache residency. *)
-        Device.latency_ns dev kind pattern
-    | Access.Read | Access.Write -> begin
-        match
-          llc_touch_lines t ~now_ns ~write:is_write
-            ~seq:(pattern = Access.Sequential)
-            ~nvm:(space = Access.Nvm) addr bytes
-        with
-        | Llc.Hit -> t.config.llc_hit_ns
-        | Llc.Prefetched_hit ->
-            t.config.llc_hit_ns
-            +. (t.config.prefetch_residual
-               *. Device.latency_ns dev kind pattern)
-        | Llc.Miss -> Device.latency_ns dev kind pattern
-      end
-  in
-  let hit = latency <= t.config.llc_hit_ns in
+  let recorder = Nvmtrace.Hooks.recorder () in
   let duration =
-    (* LLC hits never reach the device pipe, and their duration does not
-       depend on the device rates — skip the bandwidth model entirely
-       (the fast path for the cache-friendly majority of accesses). *)
-    if hit then latency +. Bandwidth.transfer_ns ~bytes ~gbps:llc_gbps
-    else begin
-      let bowl = Bandwidth.mix_bowl ~write_frac:w in
-      let idx_pipe = space_index space in
-      let rate = Bandwidth.service_gbps_b dev kind pattern ~bowl in
-      let sbytes = service_bytes ~pattern ~bytes in
-      let sbytes =
-        (* Uncoalesced RMWs on Optane touch a full 256-byte internal
-           block (the XPLine). *)
-        if force_device && space = Access.Nvm then max sbytes 128 else sbytes
-      in
-      let service = Bandwidth.transfer_ns ~bytes:sbytes ~gbps:rate in
-      let queue_wait = pipe_consume t idx_pipe ~now_ns ~service_ns:service in
-      let ci = class_idx kind pattern in
-      t.service_by_class.(idx_pipe).(ci) <-
-        t.service_by_class.(idx_pipe).(ci) +. service;
-      let gbps = Bandwidth.effective_gbps_b dev kind pattern ~bowl in
-      let transfer =
-        Float.max service (Bandwidth.transfer_ns ~bytes ~gbps)
-      in
-      queue_wait +. latency +. transfer
-    end
+    match kind with
+    | (Access.Read | Access.Write) when not force_device ->
+        let prev = Simstats.Hostprof.enter prof_llc in
+        let lines = (bytes + Llc.line_bytes - 1) / Llc.line_bytes in
+        let first =
+          Llc.access_run t.llc addr ~lines ~write:is_write
+            ~seq:(pattern = Access.Sequential)
+            ~nvm:(space = Access.Nvm)
+        in
+        Simstats.Hostprof.leave prev;
+        if
+          (match first with Llc.Hit -> true | _ -> false)
+          && Llc.run_wb_count t.llc = 0
+        then begin
+          record_mix t space ~now_ns ~bytes kind pattern;
+          t.config.llc_hit_ns +. Bandwidth.transfer_ns ~bytes ~gbps:llc_gbps
+        end
+        else begin
+          (* Mix is read before this access is recorded, so a single
+             large transfer does not interfere with itself. *)
+          let w = write_frac t space ~now_ns in
+          record_mix t space ~now_ns ~bytes kind pattern;
+          drain_run_wbs t ~now_ns recorder;
+          let latency =
+            match first with
+            | Llc.Hit -> t.config.llc_hit_ns
+            | Llc.Prefetched_hit ->
+                t.config.llc_hit_ns
+                +. (t.config.prefetch_residual
+                   *. Device.latency_ns dev kind pattern)
+            | Llc.Miss -> Device.latency_ns dev kind pattern
+          in
+          duration_of t dev ~now_ns ~space ~kind ~pattern ~bytes ~latency ~w
+            ~force_device:false
+        end
+    | _ ->
+        (* Non-temporal stores bypass the cache hierarchy entirely;
+           atomic/uncoalesced operations (forwarding-pointer CAS) always
+           reach the device, regardless of cache residency. *)
+        let w = write_frac t space ~now_ns in
+        record_mix t space ~now_ns ~bytes kind pattern;
+        let latency =
+          match kind with
+          | Access.Nt_write -> dev.Device.write_latency_ns
+          | Access.Read | Access.Write -> Device.latency_ns dev kind pattern
+        in
+        duration_of t dev ~now_ns ~space ~kind ~pattern ~bytes ~latency ~w
+          ~force_device
   in
   let idx = space_index space in
   let tot = t.totals.(idx) in
@@ -419,20 +472,28 @@ let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
     Simstats.Timeseries.add_spread series ~from_ns:now_ns
       ~until_ns:(now_ns +. duration) b
   end;
-  (match Nvmtrace.Hooks.recorder () with
+  (match recorder with
   | None -> ()
   | Some r ->
       Nvmtrace.Recorder.traffic r ~from_ns:now_ns
         ~until_ns:(now_ns +. duration) ~nvm:(space = Access.Nvm)
         ~write:is_write ~cause:t.cause ~bytes:b);
-  t.dur := duration;
+  t.dur.(0) <- duration;
   Simstats.Hostprof.leave prof_prev
 
-let last_duration t = !(t.dur)
+let access_into ?(force_device = false) t ~now_ns ~addr ~space ~kind
+    ~pattern ~bytes =
+  access_main t ~now_ns ~addr ~space ~kind ~pattern ~bytes ~force_device
+
+let access_run_into t ~now_ns ~addr ~space ~kind ~pattern ~bytes =
+  access_main t ~now_ns ~addr ~space ~kind ~pattern ~bytes
+    ~force_device:false
+
+let last_duration t = t.dur.(0)
 
 let access_scalar ?force_device t ~now_ns ~addr ~space ~kind ~pattern ~bytes =
   access_into ?force_device t ~now_ns ~addr ~space ~kind ~pattern ~bytes;
-  !(t.dur)
+  t.dur.(0)
 
 let access ?force_device t ~now_ns ~addr (a : Access.t) =
   access_scalar ?force_device t ~now_ns ~addr ~space:a.Access.space

@@ -92,8 +92,31 @@ val access_into :
     float boxes on every call, and the evacuation engine charges millions
     of accesses per pause. *)
 
+val access_run_into :
+  t ->
+  now_ns:float ->
+  addr:int ->
+  space:Access.space ->
+  kind:Access.kind ->
+  pattern:Access.pattern ->
+  bytes:int ->
+  unit
+(** Bulk-transfer entry point: charge a contiguous [bytes]-long run
+    (spanning any number of 64-byte lines) in one call, leaving the
+    duration in the {!last_duration} cell.  Simulated results are
+    float-for-float identical to {!access_into} without [force_device] —
+    the digest gate in CI holds this to byte-identity — but the run is
+    walked through the LLC with an incrementally stepped line hash and
+    buffered dirty evictions, the per-line write-back charges drain in a
+    single pass with recorder attribution batched per space, and a run
+    whose first line hits with no evictions skips the write-fraction
+    read and the whole bandwidth model.  This is the path for the hot
+    bulk callers: evacuation object copies, write-cache write-backs,
+    header-map probe bursts and header-map cleanup. *)
+
 val last_duration : t -> float
-(** Duration of the most recent {!access_into} charge, in nanoseconds. *)
+(** Duration of the most recent {!access_into}/{!access_run_into}
+    charge, in nanoseconds. *)
 
 val prefetch : t -> now_ns:float -> addr:int -> Access.space -> float
 (** Software prefetch of one line; returns the issue cost in nanoseconds. *)

@@ -15,9 +15,10 @@ type t = {
   mutable bytes : int;  (** simulated bytes copied *)
   mutable pauses : int;  (** simulated pauses contributing *)
   mutable wall_s : float;  (** host wall-clock spent producing them *)
+  mutable cpu_s : float;  (** host user-CPU spent producing them *)
 }
 
-let create () = { objects = 0; bytes = 0; pauses = 0; wall_s = 0.0 }
+let create () = { objects = 0; bytes = 0; pauses = 0; wall_s = 0.0; cpu_s = 0.0 }
 
 let add t ~objects ~bytes ~pauses ~wall_s =
   t.objects <- t.objects + objects;
@@ -25,15 +26,25 @@ let add t ~objects ~bytes ~pauses ~wall_s =
   t.pauses <- t.pauses + pauses;
   t.wall_s <- t.wall_s +. wall_s
 
-(** Time [f], folding its host wall-clock into [t]. *)
+(** Time [f], folding its host wall-clock and user-CPU into [t].  The
+    user-CPU series (rusage, via [Unix.times]) is immune to scheduling
+    noise — time the process spends descheduled on a shared host inflates
+    wall but not CPU — so it is the series regression gates compare.
+    Frequency drift still moves it; recorded baselines remain
+    host-specific. *)
 let timed t f =
+  let c0 = (Unix.times ()).Unix.tms_utime in
   let t0 = Unix.gettimeofday () in
   let v = f () in
   t.wall_s <- t.wall_s +. (Unix.gettimeofday () -. t0);
+  t.cpu_s <- t.cpu_s +. ((Unix.times ()).Unix.tms_utime -. c0);
   v
 
 let objects_per_s t =
   if t.wall_s <= 0.0 then 0.0 else float_of_int t.objects /. t.wall_s
+
+let objects_per_cpu_s t =
+  if t.cpu_s <= 0.0 then 0.0 else float_of_int t.objects /. t.cpu_s
 
 let bytes_per_s t =
   if t.wall_s <= 0.0 then 0.0 else float_of_int t.bytes /. t.wall_s
@@ -46,8 +57,8 @@ let gauge registry t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "%d objects / %.3fs host = %.0f objects/s (%.1f MB/s simulated copy, %d \
-     pauses)"
-    t.objects t.wall_s (objects_per_s t)
+    "%d objects / %.3fs wall (%.3fs user CPU) = %.0f objects/s wall, %.0f \
+     objects/s CPU (%.1f MB/s simulated copy, %d pauses)"
+    t.objects t.wall_s t.cpu_s (objects_per_s t) (objects_per_cpu_s t)
     (bytes_per_s t /. 1e6)
     t.pauses

@@ -10,6 +10,7 @@ type t = {
   mutable bytes : int;  (** simulated bytes copied *)
   mutable pauses : int;  (** simulated pauses contributing *)
   mutable wall_s : float;  (** host wall-clock spent producing them *)
+  mutable cpu_s : float;  (** host user-CPU spent producing them *)
 }
 
 val create : unit -> t
@@ -18,12 +19,18 @@ val add : t -> objects:int -> bytes:int -> pauses:int -> wall_s:float -> unit
 (** Fold one measured interval into the accumulator. *)
 
 val timed : t -> (unit -> 'a) -> 'a
-(** Run [f], adding its host wall-clock to [wall_s]; the caller adds the
+(** Run [f], adding its host wall-clock to [wall_s] and its user-CPU
+    (rusage series, via [Unix.times]) to [cpu_s]; the caller adds the
     objects the call produced via {!add} (with [wall_s:0.0]) or directly. *)
 
 val objects_per_s : t -> float
 (** Simulated objects evacuated per host wall-second; 0 before any time
     was recorded. *)
+
+val objects_per_cpu_s : t -> float
+(** Simulated objects evacuated per host user-CPU second — the
+    scheduling-noise-free series regression gates compare (descheduling
+    on a shared host inflates wall time but not user CPU). *)
 
 val bytes_per_s : t -> float
 

@@ -329,6 +329,113 @@ let test_memory_record_background () =
     (let w = Memsim.Memory.write_frac m A.Nvm ~now_ns:1e6 in
      w > 0.2 && w < 0.5)
 
+(* The float-identity arguments behind the batched run/drain path
+   (Memory.access_run_into), as executable properties:
+
+   1. the traffic-mix EMA is affine in its contributions — decaying to a
+      timestamp then adding k integer-valued parts is bit-for-bit the
+      same as adding their sum once, so every downstream read
+      (write_frac, consumed bandwidth, utilization) agrees exactly;
+
+   2. the continuous recorder's per-cause totals sum exactly (again
+      bitwise, not approximately) to the memory system's aggregate byte
+      counters, even though the run path batches its write-back
+      attribution into per-space deltas.
+
+   Both lean on the same fact: all contributions are integer-valued
+   floats far below 2^53, so float addition of any split is exact. *)
+let prop_batched_mix_equals_fold =
+  QCheck2.Test.make
+    ~name:"batched mix update = per-part fold (bit-for-bit)" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 64)
+        (list_size (int_range 0 8) (pair (int_range 1 1000) (int_range 1 64))))
+    (fun (k, prior) ->
+      let bits = Int64.bits_of_float in
+      let m1 = mk_memory () and m2 = mk_memory () in
+      (* Identical arbitrary prior traffic, so the EMA state the batch
+         lands on is nontrivial. *)
+      let t = ref 0.0 in
+      List.iter
+        (fun (dt, lines) ->
+          t := !t +. float_of_int dt;
+          List.iter
+            (fun m ->
+              Memsim.Memory.record_background m ~from_ns:!t ~until_ns:!t
+                ~space:A.Nvm
+                ~read_bytes:(float_of_int (lines * 64))
+                ~write_bytes:0.0)
+            [ m1; m2 ])
+        prior;
+      let now = !t +. 10.0 in
+      (* m1: one batched contribution of k lines.  m2: k per-line
+         contributions at the same instant (decay is a no-op after the
+         first, dt = 0). *)
+      Memsim.Memory.record_background m1 ~from_ns:now ~until_ns:now
+        ~space:A.Nvm ~read_bytes:0.0
+        ~write_bytes:(float_of_int (k * 64));
+      for _ = 1 to k do
+        Memsim.Memory.record_background m2 ~from_ns:now ~until_ns:now
+          ~space:A.Nvm ~read_bytes:0.0 ~write_bytes:64.0
+      done;
+      let later = now +. 123.0 in
+      bits (Memsim.Memory.write_frac m1 A.Nvm ~now_ns:later)
+      = bits (Memsim.Memory.write_frac m2 A.Nvm ~now_ns:later)
+      && bits (Memsim.Memory.consumed_gbps m1 A.Nvm ~now_ns:later)
+         = bits (Memsim.Memory.consumed_gbps m2 A.Nvm ~now_ns:later)
+      && bits (Memsim.Memory.utilization m1 A.Nvm ~now_ns:later)
+         = bits (Memsim.Memory.utilization m2 A.Nvm ~now_ns:later))
+
+let prop_recorder_cause_totals_exact =
+  QCheck2.Test.make
+    ~name:"recorder per-cause totals sum bitwise to memory totals" ~count:50
+    QCheck2.Gen.(
+      list_size (int_range 1 80) (pair (int_range 0 10_000) (int_range 0 10_000)))
+    (fun ops ->
+      let r = Nvmtrace.Recorder.create () in
+      Nvmtrace.Hooks.set_recorder (Some r);
+      Fun.protect
+        ~finally:(fun () -> Nvmtrace.Hooks.set_recorder None)
+        (fun () ->
+          let m = mk_memory () in
+          let before = Memsim.Memory.snapshot m in
+          let causes = Nvmtrace.Recorder.all_causes in
+          let now = ref 0.0 in
+          List.iter
+            (fun (a, b) ->
+              let space = if a land 1 = 0 then A.Dram else A.Nvm in
+              let kind =
+                match a land 6 with
+                | 0 | 2 -> A.Read
+                | 4 -> A.Write
+                | _ -> A.Nt_write
+              in
+              let pattern = if a land 8 = 0 then A.Random else A.Sequential in
+              let cause = List.nth causes (a mod List.length causes) in
+              let bytes = 8 + (b mod 600) in
+              let addr = b * 97 mod 50_000 * 8 in
+              now := !now +. float_of_int (1 + (a mod 50));
+              Memsim.Memory.set_cause m cause;
+              Memsim.Memory.access_run_into m ~now_ns:!now ~addr ~space ~kind
+                ~pattern ~bytes)
+            ops;
+          let d =
+            Memsim.Memory.diff ~before ~after:(Memsim.Memory.snapshot m)
+          in
+          let bits = Int64.bits_of_float in
+          let sum ~nvm ~write =
+            List.fold_left
+              (fun acc c -> acc +. Nvmtrace.Recorder.total r ~nvm ~write c)
+              0.0 causes
+          in
+          bits (sum ~nvm:false ~write:false) = bits d.Memsim.Memory.dram_read_bytes
+          && bits (sum ~nvm:false ~write:true)
+             = bits d.Memsim.Memory.dram_write_bytes
+          && bits (sum ~nvm:true ~write:false)
+             = bits d.Memsim.Memory.nvm_read_bytes
+          && bits (sum ~nvm:true ~write:true)
+             = bits d.Memsim.Memory.nvm_write_bytes))
+
 let prop_access_duration_monotone_in_size =
   QCheck2.Test.make ~name:"bigger sequential access never cheaper" ~count:50
     QCheck2.Gen.(int_range 64 100_000)
@@ -393,5 +500,7 @@ let () =
           Alcotest.test_case "record background" `Quick
             test_memory_record_background;
           qc prop_access_duration_monotone_in_size;
+          qc prop_batched_mix_equals_fold;
+          qc prop_recorder_cause_totals_exact;
         ] );
     ]
